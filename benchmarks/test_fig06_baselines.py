@@ -1,0 +1,119 @@
+"""Figure 6 — throughput of the baseline workload-distribution algorithms.
+
+The paper compares three text-partitioning algorithms (frequency,
+hypergraph, metric) and three space-partitioning algorithms (grid, kd-tree,
+R-tree) on 4 dispatchers and 8 workers:
+
+* 6(a)/6(c): STS-US-Q1 and STS-UK-Q1 with #Q = 5M;
+* 6(b)/6(d): STS-US-Q2 and STS-UK-Q2 with #Q = 10M.
+
+Expected shape (paper): for Q1 space-partitioning beats text-partitioning;
+for Q2 text-partitioning beats space-partitioning; metric is the best text
+scheme and kd-tree the best space scheme.
+"""
+
+import pytest
+
+TEXT_PARTITIONERS = ["frequency", "hypergraph", "metric"]
+SPACE_PARTITIONERS = ["grid", "kd-tree", "r-tree"]
+DATASETS = ["us", "uk"]
+
+
+def _run(benchmark, experiments, config, name):
+    return benchmark.pedantic(
+        lambda: experiments.get(name, config), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("name", TEXT_PARTITIONERS)
+def test_fig06a_text_partitioning_q1(benchmark, experiments, standard_config, record_row, dataset, name):
+    config = standard_config(dataset, "Q1", "5M")
+    result = _run(benchmark, experiments, config, name)
+    benchmark.extra_info["throughput_tuples_per_s"] = result.report.throughput
+    record_row(
+        "Figure 6(a) Text-partitioning throughput, Q1 (#Q=5M scaled)",
+        {
+            "queries": "STS-%s-Q1" % dataset.upper(),
+            "algorithm": name,
+            "throughput (tuples/s)": result.report.throughput,
+            "imbalance": result.report.load_imbalance,
+        },
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("name", TEXT_PARTITIONERS)
+def test_fig06b_text_partitioning_q2(benchmark, experiments, standard_config, record_row, dataset, name):
+    config = standard_config(dataset, "Q2", "10M")
+    result = _run(benchmark, experiments, config, name)
+    benchmark.extra_info["throughput_tuples_per_s"] = result.report.throughput
+    record_row(
+        "Figure 6(b) Text-partitioning throughput, Q2 (#Q=10M scaled)",
+        {
+            "queries": "STS-%s-Q2" % dataset.upper(),
+            "algorithm": name,
+            "throughput (tuples/s)": result.report.throughput,
+            "imbalance": result.report.load_imbalance,
+        },
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("name", SPACE_PARTITIONERS)
+def test_fig06c_space_partitioning_q1(benchmark, experiments, standard_config, record_row, dataset, name):
+    config = standard_config(dataset, "Q1", "5M")
+    result = _run(benchmark, experiments, config, name)
+    benchmark.extra_info["throughput_tuples_per_s"] = result.report.throughput
+    record_row(
+        "Figure 6(c) Space-partitioning throughput, Q1 (#Q=5M scaled)",
+        {
+            "queries": "STS-%s-Q1" % dataset.upper(),
+            "algorithm": name,
+            "throughput (tuples/s)": result.report.throughput,
+            "imbalance": result.report.load_imbalance,
+        },
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("name", SPACE_PARTITIONERS)
+def test_fig06d_space_partitioning_q2(benchmark, experiments, standard_config, record_row, dataset, name):
+    config = standard_config(dataset, "Q2", "10M")
+    result = _run(benchmark, experiments, config, name)
+    benchmark.extra_info["throughput_tuples_per_s"] = result.report.throughput
+    record_row(
+        "Figure 6(d) Space-partitioning throughput, Q2 (#Q=10M scaled)",
+        {
+            "queries": "STS-%s-Q2" % dataset.upper(),
+            "algorithm": name,
+            "throughput (tuples/s)": result.report.throughput,
+            "imbalance": result.report.load_imbalance,
+        },
+    )
+
+
+def test_fig06_shape_space_beats_text_on_q1(experiments, standard_config):
+    """Sanity assertion on the reproduced shape: best space > best text on Q1."""
+    best_space = max(
+        experiments.get(name, standard_config("us", "Q1", "5M")).report.throughput
+        for name in SPACE_PARTITIONERS
+    )
+    best_text = max(
+        experiments.get(name, standard_config("us", "Q1", "5M")).report.throughput
+        for name in TEXT_PARTITIONERS
+    )
+    assert best_space > best_text
+
+
+def test_fig06_shape_text_beats_space_on_q2(experiments, standard_config):
+    """Sanity assertion on the reproduced shape: best text > best space on Q2."""
+    best_space = max(
+        experiments.get(name, standard_config("us", "Q2", "10M")).report.throughput
+        for name in SPACE_PARTITIONERS
+    )
+    best_text = max(
+        experiments.get(name, standard_config("us", "Q2", "10M")).report.throughput
+        for name in TEXT_PARTITIONERS
+    )
+    assert best_text > best_space

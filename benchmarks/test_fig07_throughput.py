@@ -1,0 +1,49 @@
+"""Figure 7 — throughput: hybrid vs metric-based vs kd-tree partitioning.
+
+7(a): Q1 with #Q = 5M;  7(b): Q2 with #Q = 10M;  7(c): Q3 with #Q = 10M,
+each on both TWEETS-US and TWEETS-UK, 4 dispatchers and 8 workers.
+
+Expected shape (paper): hybrid is the overall best; on Q1 hybrid is close
+to kd-tree and both beat metric; on Q2 hybrid and metric beat kd-tree; on
+Q3 hybrid beats both by roughly 30%.
+"""
+
+import pytest
+
+COMPETITORS = ["hybrid", "metric", "kd-tree"]
+CASES = [("Q1", "5M"), ("Q2", "10M"), ("Q3", "10M")]
+DATASETS = ["us", "uk"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("group,mu_label", CASES)
+@pytest.mark.parametrize("name", COMPETITORS)
+def test_fig07_throughput(benchmark, experiments, standard_config, record_row,
+                          dataset, group, mu_label, name):
+    config = standard_config(dataset, group, mu_label)
+    result = benchmark.pedantic(
+        lambda: experiments.get(name, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["throughput_tuples_per_s"] = result.report.throughput
+    subfigure = {"Q1": "7(a)", "Q2": "7(b)", "Q3": "7(c)"}[group]
+    record_row(
+        "Figure %s Throughput comparison, %s (#Q=%s scaled)" % (subfigure, group, mu_label),
+        {
+            "queries": "STS-%s-%s" % (dataset.upper(), group),
+            "algorithm": name,
+            "throughput (tuples/s)": result.report.throughput,
+            "object fanout": result.report.object_fanout,
+            "query fanout": result.report.query_fanout,
+        },
+    )
+
+
+@pytest.mark.parametrize("group,mu_label", CASES)
+def test_fig07_shape_hybrid_is_best(experiments, standard_config, group, mu_label):
+    """Sanity assertion: hybrid throughput >= 95% of the best competitor."""
+    throughputs = {
+        name: experiments.get(name, standard_config("us", group, mu_label)).report.throughput
+        for name in COMPETITORS
+    }
+    best_baseline = max(throughputs["metric"], throughputs["kd-tree"])
+    assert throughputs["hybrid"] >= 0.95 * best_baseline

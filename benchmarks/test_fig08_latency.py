@@ -1,0 +1,54 @@
+"""Figure 8 — per-tuple latency: hybrid vs metric-based vs kd-tree.
+
+The paper evaluates all algorithms "using a moderate input speed of the
+data stream"; here the common input rate of each case is 60% of the hybrid
+plan's saturation throughput, so every scheme faces the same offered load.
+
+Expected shape (paper): hybrid has the smallest latency; kd-tree is
+noticeably slower on Q2 (large query ranges); metric-based can blow up when
+query keywords are frequent (the 407 ms outlier on STS-UK-Q1).
+"""
+
+import pytest
+
+COMPETITORS = ["hybrid", "metric", "kd-tree"]
+CASES = [("Q1", "5M"), ("Q2", "10M"), ("Q3", "10M")]
+DATASETS = ["us", "uk"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("group,mu_label", CASES)
+@pytest.mark.parametrize("name", COMPETITORS)
+def test_fig08_latency(benchmark, experiments, standard_config, record_row,
+                       dataset, group, mu_label, name):
+    config = standard_config(dataset, group, mu_label)
+    hybrid_result = experiments.get("hybrid", config)
+    common_rate = 0.6 * hybrid_result.report.throughput
+
+    def measure():
+        result = experiments.get(name, config)
+        return result.report_at(common_rate)
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["mean_latency_ms"] = report.mean_latency_ms
+    subfigure = {"Q1": "8(a)", "Q2": "8(b)", "Q3": "8(c)"}[group]
+    record_row(
+        "Figure %s Latency comparison, %s (#Q=%s scaled)" % (subfigure, group, mu_label),
+        {
+            "queries": "STS-%s-%s" % (dataset.upper(), group),
+            "algorithm": name,
+            "mean latency (ms)": report.mean_latency_ms,
+            "p95 latency (ms)": report.p95_latency_ms,
+        },
+    )
+
+
+@pytest.mark.parametrize("group,mu_label", CASES)
+def test_fig08_shape_hybrid_has_lowest_latency(experiments, standard_config, group, mu_label):
+    config = standard_config("us", group, mu_label)
+    common_rate = 0.6 * experiments.get("hybrid", config).report.throughput
+    latencies = {
+        name: experiments.get(name, config).report_at(common_rate).mean_latency_ms
+        for name in COMPETITORS
+    }
+    assert latencies["hybrid"] <= min(latencies["metric"], latencies["kd-tree"]) * 1.1

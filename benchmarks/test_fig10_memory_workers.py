@@ -1,0 +1,45 @@
+"""Figure 10 — average worker memory: hybrid vs metric vs kd-tree.
+
+Expected shape (paper): hybrid has the overall smallest worker memory
+because its region-aware query placement reduces how often one STS query is
+replicated to several workers; none of the methods is memory-hungry.
+"""
+
+import pytest
+
+COMPETITORS = ["hybrid", "metric", "kd-tree"]
+CASES = [("Q1", "5M"), ("Q2", "10M"), ("Q3", "10M")]
+DATASETS = ["us", "uk"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("group,mu_label", CASES)
+@pytest.mark.parametrize("name", COMPETITORS)
+def test_fig10_worker_memory(benchmark, experiments, standard_config, record_row,
+                             dataset, group, mu_label, name):
+    config = standard_config(dataset, group, mu_label)
+    result = benchmark.pedantic(
+        lambda: experiments.get(name, config), rounds=1, iterations=1
+    )
+    memory_mb = result.report.avg_worker_memory_mb
+    benchmark.extra_info["worker_memory_mb"] = memory_mb
+    subfigure = {"Q1": "10(a)", "Q2": "10(b)", "Q3": "10(c)"}[group]
+    record_row(
+        "Figure %s Worker memory, %s (#Q=%s scaled)" % (subfigure, group, mu_label),
+        {
+            "queries": "STS-%s-%s" % (dataset.upper(), group),
+            "algorithm": name,
+            "avg worker memory (MB)": memory_mb,
+            "query fanout": result.report.query_fanout,
+        },
+    )
+
+
+@pytest.mark.parametrize("group,mu_label", CASES)
+def test_fig10_shape_hybrid_not_larger_than_baselines(experiments, standard_config, group, mu_label):
+    config = standard_config("us", group, mu_label)
+    memory = {
+        name: experiments.get(name, config).report.avg_worker_memory_mb
+        for name in COMPETITORS
+    }
+    assert memory["hybrid"] <= 1.25 * min(memory["metric"], memory["kd-tree"])

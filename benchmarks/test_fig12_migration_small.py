@@ -1,0 +1,88 @@
+"""Figure 12 — migration experiments with #Q = 1M (DP, GR, SI, RA).
+
+12(a): time to select the cells to migrate;
+12(b): average migration cost (MB) and migration time (s);
+12(c): fraction of tuples with latency <100 ms / 100 ms–1 s / >1 s during
+        the migration.
+
+Expected shape (paper): DP's selection time is far larger than the others;
+DP and GR ship the least data; GR affects the fewest tuples, RA the most.
+"""
+
+import pytest
+
+from repro.bench import run_migration_experiment
+
+SELECTORS = ["DP", "GR", "SI", "RA"]
+MU_1M = 1000  # the paper's 1M queries, at reproduction scale
+
+
+@pytest.fixture(scope="module")
+def migration_results():
+    return {}
+
+
+def _get(migration_results, selector):
+    if selector not in migration_results:
+        migration_results[selector] = run_migration_experiment(selector, MU_1M)
+    return migration_results[selector]
+
+
+@pytest.mark.parametrize("selector", SELECTORS)
+def test_fig12a_cell_selection_time(benchmark, migration_results, record_row, selector):
+    result = benchmark.pedantic(
+        lambda: _get(migration_results, selector), rounds=1, iterations=1
+    )
+    benchmark.extra_info["selection_time_ms"] = result.selection_time_ms
+    record_row(
+        "Figure 12(a) Cell-selection time, STS-US-Q1 (#Q=1M scaled)",
+        {
+            "algorithm": selector,
+            "selection time (ms)": result.selection_time_ms,
+            "cells selected": result.cells_moved,
+        },
+    )
+
+
+@pytest.mark.parametrize("selector", SELECTORS)
+def test_fig12b_migration_cost_and_time(benchmark, migration_results, record_row, selector):
+    result = benchmark.pedantic(
+        lambda: _get(migration_results, selector), rounds=1, iterations=1
+    )
+    benchmark.extra_info["migration_cost_mb"] = result.migration_cost_mb
+    record_row(
+        "Figure 12(b) Migration cost and time, STS-US-Q1 (#Q=1M scaled)",
+        {
+            "algorithm": selector,
+            "avg migration cost (KB)": result.migration_cost_mb * 1000.0,
+            "avg migration time (s)": result.migration_time_s,
+            "queries moved": result.queries_moved,
+        },
+    )
+
+
+@pytest.mark.parametrize("selector", SELECTORS)
+def test_fig12c_latency_buckets(benchmark, migration_results, record_row, selector):
+    result = benchmark.pedantic(
+        lambda: _get(migration_results, selector), rounds=1, iterations=1
+    )
+    buckets = result.latency_buckets
+    benchmark.extra_info["under_100ms"] = buckets.under_100ms
+    record_row(
+        "Figure 12(c) Latency during migration, STS-US-Q1 (#Q=1M scaled)",
+        {
+            "algorithm": selector,
+            "<100ms": buckets.under_100ms,
+            "[100ms, 1000ms]": buckets.between_100ms_and_1s,
+            ">1000ms": buckets.over_1s,
+        },
+    )
+
+
+def test_fig12_shape_dp_slowest_selection_gr_cheapest(migration_results):
+    results = {selector: _get(migration_results, selector) for selector in SELECTORS}
+    # DP's dynamic program takes longer to choose cells than the greedy scan.
+    assert results["DP"].selection_time_ms >= results["GR"].selection_time_ms
+    # GR never ships more data than SI or RA.
+    assert results["GR"].migration_cost_mb <= results["SI"].migration_cost_mb + 1e-9
+    assert results["GR"].migration_cost_mb <= results["RA"].migration_cost_mb + 1e-9

@@ -1,0 +1,55 @@
+"""Figure 13 — average cell-selection time for GR, SI, RA at 5M and 10M queries.
+
+The paper excludes DP here: its table exceeds worker memory at these query
+populations (our DP selector raises ``MemoryError`` in the same regime).
+
+Expected shape: RA fastest, GR and SI close behind, and the selection time
+essentially independent of the number of queries (it depends only on the
+number of cells).
+"""
+
+import pytest
+
+from repro.bench import run_migration_experiment
+
+SELECTORS = ["GR", "SI", "RA"]
+CASES = [("5M", 2000), ("10M", 3000)]
+
+
+@pytest.fixture(scope="module")
+def migration_results():
+    return {}
+
+
+def _get(migration_results, selector, mu):
+    key = (selector, mu)
+    if key not in migration_results:
+        migration_results[key] = run_migration_experiment(selector, mu)
+    return migration_results[key]
+
+
+@pytest.mark.parametrize("mu_label,mu", CASES)
+@pytest.mark.parametrize("selector", SELECTORS)
+def test_fig13_selection_time(benchmark, migration_results, record_row, selector, mu_label, mu):
+    result = benchmark.pedantic(
+        lambda: _get(migration_results, selector, mu), rounds=1, iterations=1
+    )
+    benchmark.extra_info["selection_time_ms"] = result.selection_time_ms
+    subfigure = "13(a)" if mu_label == "5M" else "13(b)"
+    record_row(
+        "Figure %s Cell-selection time, STS-US-Q1 (#Q=%s scaled)" % (subfigure, mu_label),
+        {
+            "algorithm": selector,
+            "selection time (ms)": result.selection_time_ms,
+            "cells selected": result.cells_moved,
+        },
+    )
+
+
+def test_fig13_shape_selection_time_insensitive_to_query_count(migration_results):
+    for selector in SELECTORS:
+        small = _get(migration_results, selector, 2000).selection_time_ms
+        large = _get(migration_results, selector, 3000).selection_time_ms
+        # Selection time depends on the number of cells, not queries; allow
+        # generous noise for sub-millisecond wall-clock measurements.
+        assert large <= max(5.0 * max(small, 0.05), small + 2.0)

@@ -1,0 +1,65 @@
+"""Figure 14 — migration cost (MB) and migration time (s) for GR, SI, RA.
+
+14(a): #Q = 5M;  14(b): #Q = 10M (both STS-US-Q1).
+
+Expected shape (paper): GR ships 30–40% less data than SI and RA and takes
+the least time; both cost and time grow with the query population because
+each cell carries more queries.
+"""
+
+import pytest
+
+from repro.bench import run_migration_experiment
+
+SELECTORS = ["GR", "SI", "RA"]
+CASES = [("5M", 2000), ("10M", 3000)]
+
+
+@pytest.fixture(scope="module")
+def migration_results():
+    return {}
+
+
+def _get(migration_results, selector, mu):
+    key = (selector, mu)
+    if key not in migration_results:
+        migration_results[key] = run_migration_experiment(selector, mu)
+    return migration_results[key]
+
+
+@pytest.mark.parametrize("mu_label,mu", CASES)
+@pytest.mark.parametrize("selector", SELECTORS)
+def test_fig14_migration_cost_and_time(benchmark, migration_results, record_row,
+                                       selector, mu_label, mu):
+    result = benchmark.pedantic(
+        lambda: _get(migration_results, selector, mu), rounds=1, iterations=1
+    )
+    benchmark.extra_info["migration_cost_mb"] = result.migration_cost_mb
+    benchmark.extra_info["migration_time_s"] = result.migration_time_s
+    subfigure = "14(a)" if mu_label == "5M" else "14(b)"
+    record_row(
+        "Figure %s Migration cost and time, STS-US-Q1 (#Q=%s scaled)" % (subfigure, mu_label),
+        {
+            "algorithm": selector,
+            "avg migration cost (KB)": result.migration_cost_mb * 1000.0,
+            "avg migration time (s)": result.migration_time_s,
+            "queries moved": result.queries_moved,
+        },
+    )
+
+
+def test_fig14_shape_gr_cheapest(migration_results):
+    for mu_label, mu in CASES:
+        gr = _get(migration_results, "GR", mu)
+        si = _get(migration_results, "SI", mu)
+        ra = _get(migration_results, "RA", mu)
+        assert gr.migration_cost_mb <= si.migration_cost_mb + 1e-9
+        assert gr.migration_cost_mb <= ra.migration_cost_mb + 1e-9
+        assert gr.migration_time_s <= max(si.migration_time_s, ra.migration_time_s) + 1e-9
+
+
+def test_fig14_shape_cost_grows_with_queries(migration_results):
+    for selector in SELECTORS:
+        small = _get(migration_results, selector, 2000)
+        large = _get(migration_results, selector, 3000)
+        assert large.migration_cost_mb >= small.migration_cost_mb * 0.8

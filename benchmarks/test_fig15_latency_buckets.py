@@ -1,0 +1,58 @@
+"""Figure 15 — tuple-latency buckets during migration for GR, SI, RA.
+
+15(a): #Q = 5M with buckets <100 ms / 100 ms–1 s / >1 s;
+15(b): #Q = 10M with buckets <300 ms / 300 ms–1 s / >1 s.
+
+Expected shape (paper): GR disturbs the fewest tuples (largest low-latency
+bucket), RA the most; the larger query population shifts everyone's
+distribution towards higher latencies.
+"""
+
+import pytest
+
+from repro.bench import run_migration_experiment
+
+SELECTORS = ["GR", "SI", "RA"]
+CASES = [("5M", 2000, (100.0, 1000.0)), ("10M", 3000, (300.0, 1000.0))]
+
+
+@pytest.fixture(scope="module")
+def migration_results():
+    return {}
+
+
+def _get(migration_results, selector, mu):
+    key = (selector, mu)
+    if key not in migration_results:
+        migration_results[key] = run_migration_experiment(selector, mu)
+    return migration_results[key]
+
+
+@pytest.mark.parametrize("mu_label,mu,thresholds", CASES)
+@pytest.mark.parametrize("selector", SELECTORS)
+def test_fig15_latency_buckets(benchmark, migration_results, record_row,
+                               selector, mu_label, mu, thresholds):
+    result = benchmark.pedantic(
+        lambda: _get(migration_results, selector, mu), rounds=1, iterations=1
+    )
+    buckets = result.latency_buckets
+    low_label = "<%dms" % int(thresholds[0])
+    mid_label = "[%dms, %dms]" % (int(thresholds[0]), int(thresholds[1]))
+    benchmark.extra_info["low_latency_fraction"] = buckets.under_100ms
+    subfigure = "15(a)" if mu_label == "5M" else "15(b)"
+    record_row(
+        "Figure %s Latency during migration, STS-US-Q1 (#Q=%s scaled)" % (subfigure, mu_label),
+        {
+            "algorithm": selector,
+            low_label: buckets.under_100ms,
+            mid_label: buckets.between_100ms_and_1s,
+            ">1000ms": buckets.over_1s,
+        },
+    )
+
+
+def test_fig15_shape_gr_disturbs_fewest_tuples(migration_results):
+    for _, mu, _ in CASES:
+        gr = _get(migration_results, "GR", mu).latency_buckets
+        ra = _get(migration_results, "RA", mu).latency_buckets
+        assert gr.under_100ms >= ra.under_100ms - 0.05

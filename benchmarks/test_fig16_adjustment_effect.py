@@ -1,0 +1,49 @@
+"""Figure 16 — the effect of dynamic load adjustments.
+
+The workload is STS-US-Q3 (#Q = 10M in the paper, scaled down here) whose
+regional query styles drift over time: before every phase 10% of the
+regions switch between the Q1 and Q2 recipes.  One deployment runs with
+periodic local load adjustments (GR selector), the other without any
+adjustment; the throughput of the final phase is compared.
+
+Expected shape (paper): the adjusted system outperforms the unadjusted one
+(by ~26% on the paper's testbed) at a small migration cost.
+"""
+
+import pytest
+
+from repro.bench import run_drift_experiment
+
+
+@pytest.fixture(scope="module")
+def drift_results():
+    return {}
+
+
+def _get(drift_results, adjust):
+    if adjust not in drift_results:
+        drift_results[adjust] = run_drift_experiment(adjust=adjust)
+    return drift_results[adjust]
+
+
+@pytest.mark.parametrize("adjust", [False, True], ids=["NoAdjust", "Adjust"])
+def test_fig16_throughput_with_and_without_adjustment(benchmark, drift_results, record_row, adjust):
+    result = benchmark.pedantic(lambda: _get(drift_results, adjust), rounds=1, iterations=1)
+    benchmark.extra_info["throughput_tuples_per_s"] = result.throughput
+    record_row(
+        "Figure 16 Effect of dynamic load adjustments, STS-US-Q3 with drift",
+        {
+            "system": "Adjust" if adjust else "NoAdjust",
+            "throughput (tuples/s)": result.throughput,
+            "adjustments": result.adjustments_triggered,
+            "queries migrated": result.queries_migrated,
+            "migration cost (MB)": result.migration_cost_mb,
+            "final imbalance": result.final_imbalance,
+        },
+    )
+
+
+def test_fig16_shape_adjustment_does_not_hurt(drift_results):
+    adjusted = _get(drift_results, True)
+    unadjusted = _get(drift_results, False)
+    assert adjusted.throughput >= unadjusted.throughput * 0.95

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Regional event monitoring with dynamic load adjustment.
+
+The paper's other motivating user is the individual who is "interested in
+events in particular regions and keen to receive up-to-date messages ...
+relevant to the events".  This example models a situation room that
+monitors several regions for emergency-related keywords while the public
+interest (and therefore the subscription mix) drifts over time:
+
+* thousands of monitoring subscriptions are registered over a drifting Q3
+  workload (different regions care about different topics);
+* the deployment starts from a hybrid partition plan;
+* as the drift unbalances the workers, the local load adjuster (greedy GR
+  cell selection, Section V-A) migrates query cells from the hottest to the
+  coolest worker;
+* finally a global repartitioning (Section V-B) is evaluated and applied if
+  it pays off.
+
+Run with::
+
+    python examples/event_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.adjustment import GlobalAdjuster, GreedySelector, LocalLoadAdjuster
+from repro.partitioning import HybridPartitioner
+from repro.runtime import Cluster, ClusterConfig
+from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
+
+
+def print_phase(label: str, cluster: Cluster) -> None:
+    report = cluster.report()
+    loads = sorted(report.worker_loads.values(), reverse=True)
+    print("%-28s throughput=%8.0f tuples/s  imbalance=%.2f  top worker loads=%s" % (
+        label,
+        report.throughput,
+        report.load_imbalance,
+        ", ".join("%.0f" % load for load in loads[:3]),
+    ))
+
+
+def main() -> None:
+    tweets = make_dataset("us", seed=13)
+    queries = QueryGenerator(tweets, seed=17)
+    style_map = queries.style_map()
+    stream = WorkloadStream(
+        tweets, queries, StreamConfig(mu=2500, group="Q3"), seed=19, style_map=style_map
+    )
+
+    # Initial deployment from a workload sample.
+    sample = stream.partitioning_sample(2500)
+    plan = HybridPartitioner().partition(sample, num_workers=8)
+    cluster = Cluster(plan, ClusterConfig(num_workers=8))
+    print("Deployed hybrid plan with %d units on 8 workers\n" % len(plan.units))
+
+    # Phase 0: steady state.
+    cluster.run(stream.tuples(2000))
+    print_phase("steady state", cluster)
+
+    adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.4)
+    global_adjuster = GlobalAdjuster(HybridPartitioner(), improvement_threshold=0.05)
+
+    # Phases 1..3: the public's interests drift; 10% of the regions flip
+    # between the Q1-style and Q2-style subscription mix before each phase.
+    for phase in range(1, 4):
+        style_map.flip(0.1)
+        cluster.reset_period()
+        cluster.run(stream.tuples(2000))
+        print_phase("after drift phase %d" % phase, cluster)
+
+        report = adjuster.adjust(cluster)
+        if report.triggered:
+            print(
+                "   local adjustment: moved %d queries (%.1f KB) from worker %s to %s "
+                "in %.2f s (cell selection %.2f ms)"
+                % (
+                    report.queries_moved,
+                    report.bytes_moved / 1e3,
+                    report.source_worker,
+                    report.target_worker,
+                    report.migration_seconds,
+                    report.selection_time_ms,
+                )
+            )
+        else:
+            print("   local adjustment: balance constraint already satisfied")
+
+    # Periodic global check (the paper does this e.g. once per day).
+    recent_sample = stream.partitioning_sample(2500)
+    decision = global_adjuster.check(cluster, recent_sample)
+    if decision.repartitioned:
+        print("\nGlobal adjustment: repartitioning pays off "
+              "(estimated load %.0f -> %.0f); running with dual routing"
+              % (decision.estimated_old_load, decision.estimated_new_load))
+        cluster.run(stream.tuples(1000))
+        final = global_adjuster.finalize(cluster)
+        print("Global adjustment finalised: migrated %d old queries (%.1f KB)"
+              % (final.queries_migrated, final.bytes_migrated / 1e3))
+    else:
+        print("\nGlobal adjustment: current plan still close to optimal, no repartitioning")
+
+    cluster.reset_period()
+    cluster.run(stream.tuples(2000))
+    print_phase("final (post adjustment)", cluster)
+
+
+if __name__ == "__main__":
+    main()

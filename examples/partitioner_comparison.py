@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare all seven workload-partitioning strategies on one workload.
+
+A compact version of the paper's Section VI-B/VI-C evaluation: every
+baseline (three text partitioners, three space partitioners) plus the
+hybrid algorithm is run on the same Q3-style workload, and the resulting
+throughput, latency, memory and replication numbers are printed as a table.
+
+Run with::
+
+    python examples/partitioner_comparison.py [Q1|Q2|Q3]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ExperimentConfig, PARTITIONER_FACTORIES, format_table, run_experiment
+
+
+def main() -> None:
+    group = sys.argv[1].upper() if len(sys.argv) > 1 else "Q3"
+    if group not in ("Q1", "Q2", "Q3"):
+        raise SystemExit("usage: partitioner_comparison.py [Q1|Q2|Q3]")
+
+    config = ExperimentConfig(group=group, mu=2000, num_objects=3000, sample_objects=2500)
+    rows = []
+    for name in ("frequency", "hypergraph", "metric", "grid", "kd-tree", "r-tree", "hybrid"):
+        result = run_experiment(name, config)
+        report = result.report
+        rows.append(
+            {
+                "algorithm": name,
+                "throughput (tuples/s)": report.throughput,
+                "mean latency (ms)": report.mean_latency_ms,
+                "imbalance": report.load_imbalance,
+                "object fanout": report.object_fanout,
+                "query fanout": report.query_fanout,
+                "dispatcher MB": report.avg_dispatcher_memory_mb,
+                "worker MB": report.avg_worker_memory_mb,
+                "partition time (s)": result.partition_seconds,
+            }
+        )
+        print("finished %-10s  throughput=%.0f tuples/s" % (name, report.throughput))
+
+    print()
+    print(format_table("Workload distribution strategies on STS-US-%s (scaled)" % group, rows))
+    best = max(rows, key=lambda row: row["throughput (tuples/s)"])
+    print("Best strategy on this workload: %s" % best["algorithm"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""PS2Stream reproduction: distributed publish/subscribe over spatio-textual streams.
+
+This package reproduces "Distributed Publish/Subscribe Query Processing on
+the Spatio-Textual Data Stream" (Chen et al., ICDE 2017).  See README.md for
+a tour and DESIGN.md for the system inventory and experiment index.
+
+Subpackages
+-----------
+``repro.core``
+    Geometry, text processing, boolean keyword expressions, objects, STS
+    queries and the Definition-1/3 cost model.
+``repro.indexes``
+    GI2 worker index, kdt-tree, gridt dispatcher index, kd-tree, R-tree,
+    inverted index and grid substrates.
+``repro.partitioning``
+    The six baseline partitioners and the hybrid partitioning algorithm.
+``repro.runtime``
+    The simulated dispatcher/worker/merger cluster with throughput, latency
+    and memory accounting.
+``repro.adjustment``
+    Local and global dynamic load adjustment, including the Minimum Cost
+    Migration selectors.
+``repro.workload``
+    Synthetic tweet corpora, STS query generators (Q1/Q2/Q3) and the mixed
+    stream driver.
+``repro.bench``
+    The experiment harness shared by the per-figure benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+from . import adjustment, core, indexes, partitioning, runtime, workload
+
+__all__ = [
+    "adjustment",
+    "core",
+    "indexes",
+    "partitioning",
+    "runtime",
+    "workload",
+    "__version__",
+]

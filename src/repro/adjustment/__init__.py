@@ -1,0 +1,34 @@
+"""Dynamic load adjustment (Section V).
+
+* :mod:`repro.adjustment.migration` — the Minimum Cost Migration cell
+  selectors (DP, GR, SI, RA);
+* :mod:`repro.adjustment.local` — the two-phase local adjustment protocol
+  between the most and least loaded workers;
+* :mod:`repro.adjustment.global_adjust` — periodic global repartitioning
+  with dual-strategy routing while the old query population drains.
+"""
+
+from .global_adjust import DualRoutingIndex, GlobalAdjuster, RepartitionReport
+from .local import AdjustmentReport, LocalLoadAdjuster
+from .migration import (
+    DPSelector,
+    GreedySelector,
+    MigrationSelector,
+    RandomSelector,
+    SizeSelector,
+    selector_by_name,
+)
+
+__all__ = [
+    "AdjustmentReport",
+    "DPSelector",
+    "DualRoutingIndex",
+    "GlobalAdjuster",
+    "GreedySelector",
+    "LocalLoadAdjuster",
+    "MigrationSelector",
+    "RandomSelector",
+    "RepartitionReport",
+    "SizeSelector",
+    "selector_by_name",
+]

@@ -1,0 +1,192 @@
+"""Global load adjustment (Section V-B).
+
+When the data distribution drifts far enough that local cell migrations can
+no longer keep the system efficient, PS2Stream periodically re-runs the
+workload-partitioning algorithm on a recent sample.  To avoid a massive
+one-shot migration it temporarily runs with *two* workload-distribution
+strategies: the old one keeps serving the queries registered before the
+repartitioning, the new one serves newly registered queries.  Once the old
+population has shrunk (queries are continuously deleted by their owners)
+the remaining old queries are migrated and the old strategy is dropped.
+
+:class:`DualRoutingIndex` implements the two-strategy routing; objects and
+deletions consult both structures (a query may live under either), while
+insertions only use the new one.  :class:`GlobalAdjuster` decides when a
+repartitioning is worthwhile and drives the switch-over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.objects import SpatioTextualObject, STSQuery
+from ..indexes.gridt import GridTIndex
+from ..partitioning.base import PartitionPlan, Partitioner, WorkloadSample
+from ..runtime.cluster import Cluster, MigrationRecord
+
+__all__ = ["DualRoutingIndex", "GlobalAdjuster", "RepartitionReport"]
+
+
+class DualRoutingIndex:
+    """Routes with a new strategy while the old one drains.
+
+    The class exposes the same routing surface as
+    :class:`~repro.indexes.gridt.GridTIndex` (``route_object``,
+    ``route_insertion``, ``route_deletion``, ``grid``, ``memory_bytes``), so
+    dispatchers can use it transparently.
+    """
+
+    def __init__(self, old_index: GridTIndex, new_index: GridTIndex) -> None:
+        self.old_index = old_index
+        self.new_index = new_index
+
+    # -- routing -----------------------------------------------------------
+    def route_object(self, obj: SpatioTextualObject) -> Set[int]:
+        """Objects must reach queries registered under either strategy."""
+        return self.old_index.route_object(obj) | self.new_index.route_object(obj)
+
+    def route_insertion(self, query: STSQuery) -> Set[int]:
+        """New queries are placed exclusively by the new strategy."""
+        return self.new_index.route_insertion(query)
+
+    def route_deletion(self, query: STSQuery) -> Set[int]:
+        """A deletion may concern an old or a new query; notify both."""
+        return self.old_index.route_deletion(query) | self.new_index.route_deletion(query)
+
+    # -- surface compatibility ----------------------------------------------
+    @property
+    def grid(self):
+        return self.new_index.grid
+
+    @property
+    def term_statistics(self):
+        return self.new_index.term_statistics
+
+    def cells(self):
+        return self.new_index.cells()
+
+    def migrate_cell(self, coord, from_worker: int, to_worker: int) -> None:
+        self.new_index.migrate_cell(coord, from_worker, to_worker)
+        self.old_index.migrate_cell(coord, from_worker, to_worker)
+
+    def split_cell_by_text(self, coord, term_assignment, default_worker=None) -> None:
+        self.new_index.split_cell_by_text(coord, term_assignment, default_worker)
+
+    def workers(self) -> Set[int]:
+        return self.old_index.workers() | self.new_index.workers()
+
+    def memory_bytes(self) -> int:
+        """Both structures are resident while the old one drains."""
+        return self.old_index.memory_bytes() + self.new_index.memory_bytes()
+
+    def h2_entry_count(self) -> int:
+        return self.old_index.h2_entry_count() + self.new_index.h2_entry_count()
+
+
+@dataclass
+class RepartitionReport:
+    """Outcome of a global adjustment decision."""
+
+    checked: bool = False
+    repartitioned: bool = False
+    estimated_old_load: float = 0.0
+    estimated_new_load: float = 0.0
+    finalized: bool = False
+    queries_migrated: int = 0
+    bytes_migrated: int = 0
+    migration_seconds: float = 0.0
+    records: List[MigrationRecord] = field(default_factory=list)
+
+
+class GlobalAdjuster:
+    """Periodically repartitions the workload on a recent sample."""
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        *,
+        improvement_threshold: float = 0.1,
+        gridt_granularity: int = 64,
+    ) -> None:
+        """``improvement_threshold`` is the minimum relative reduction of the
+        estimated total load that justifies a repartitioning."""
+        self.partitioner = partitioner
+        self.improvement_threshold = improvement_threshold
+        self.gridt_granularity = gridt_granularity
+        self.pending_plan: Optional[PartitionPlan] = None
+        self.history: List[RepartitionReport] = []
+
+    # ------------------------------------------------------------------
+    # Decision and switch-over
+    # ------------------------------------------------------------------
+    def check(self, cluster: Cluster, sample: WorkloadSample) -> RepartitionReport:
+        """Evaluate whether a repartitioning pays off; start it if so."""
+        report = RepartitionReport(checked=True)
+        current_plan = cluster.plan
+        new_plan = self.partitioner.partition(sample, cluster.config.num_workers)
+        old_report = current_plan.worker_loads(sample)
+        new_report = new_plan.worker_loads(sample)
+        report.estimated_old_load = old_report.total
+        report.estimated_new_load = new_report.total
+        improves_total = new_report.total < old_report.total * (1.0 - self.improvement_threshold)
+        improves_balance = (
+            old_report.imbalance == float("inf")
+            or new_report.imbalance < old_report.imbalance * (1.0 - self.improvement_threshold)
+        )
+        if improves_total or improves_balance:
+            self._begin_repartition(cluster, new_plan)
+            report.repartitioned = True
+        self.history.append(report)
+        return report
+
+    def _begin_repartition(self, cluster: Cluster, new_plan: PartitionPlan) -> None:
+        """Install the dual routing strategy (old queries keep their homes)."""
+        old_index = cluster.routing_index
+        new_index = new_plan.to_gridt(self.gridt_granularity)
+        cluster.replace_routing_index(DualRoutingIndex(old_index, new_index))
+        cluster.plan = new_plan
+        self.pending_plan = new_plan
+
+    def finalize(self, cluster: Cluster) -> RepartitionReport:
+        """Migrate the remaining old queries and drop the old strategy.
+
+        Called once the old query population has become small (the paper
+        waits for the natural insert/delete churn to shrink it).
+        """
+        report = RepartitionReport(checked=True)
+        routing = cluster.routing_index
+        if not isinstance(routing, DualRoutingIndex) or self.pending_plan is None:
+            self.history.append(report)
+            return report
+        new_index = routing.new_index
+        plan = self.pending_plan
+        # Re-home every resident query that the new plan maps elsewhere.
+        for worker in list(cluster.workers.values()):
+            stale: List[STSQuery] = []
+            for query in worker.index.queries():
+                targets = plan.route_query(query)
+                if targets and worker.worker_id not in targets:
+                    stale.append(query)
+            if not stale:
+                continue
+            worker.index.remove_queries([query.query_id for query in stale])
+            for query in stale:
+                targets = plan.route_query(query)
+                for target in targets:
+                    cluster.workers[target].install_queries([query])
+                new_index.route_insertion(query)
+            bytes_moved = sum(query.size_bytes() for query in stale)
+            seconds = (
+                cluster.config.migration_fixed_seconds
+                + bytes_moved / cluster.config.migration_bandwidth_bytes_per_sec
+            )
+            report.queries_migrated += len(stale)
+            report.bytes_migrated += bytes_moved
+            report.migration_seconds += seconds
+        cluster.replace_routing_index(new_index)
+        report.finalized = True
+        report.repartitioned = True
+        self.pending_plan = None
+        self.history.append(report)
+        return report

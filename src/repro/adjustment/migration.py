@@ -1,0 +1,237 @@
+"""Cell-selection algorithms for the Minimum Cost Migration problem.
+
+Section V-A, Phase II: when the load-balance constraint is violated, the
+most loaded worker must hand over at least ``tau`` units of load to the
+least loaded worker while shipping as few bytes as possible.  Definition 4
+formalises this as
+
+    minimise   sum of cell sizes S_g  over the migrated cells
+    subject to sum of cell loads L_g >= tau
+
+which is NP-hard (Theorem 2).  The paper evaluates four selectors:
+
+* **DP** — a pseudo-polynomial knapsack-style dynamic program (Section
+  V-A-1); optimal but slow and memory hungry, which the paper demonstrates
+  by it running out of memory at 5M/10M queries;
+* **GR** — the proposed greedy algorithm over cells sorted by relative cost
+  ``S_g / L_g`` (Section V-A-2);
+* **SI** — a simpler greedy that picks cells in descending size order;
+* **RA** — picks cells uniformly at random.
+
+All selectors consume :class:`~repro.indexes.gi2.CellStats` records and
+return the subset to migrate.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..indexes.gi2 import CellStats
+
+__all__ = [
+    "MigrationSelector",
+    "DPSelector",
+    "GreedySelector",
+    "SizeSelector",
+    "RandomSelector",
+    "selector_by_name",
+]
+
+
+class MigrationSelector(abc.ABC):
+    """Interface of a Minimum Cost Migration cell selector."""
+
+    name: str = "selector"
+
+    @abc.abstractmethod
+    def select(self, cells: Sequence[CellStats], tau: float) -> List[CellStats]:
+        """Choose cells whose total load is at least ``tau``.
+
+        When the total load of all cells is below ``tau`` every cell with a
+        positive load is returned (the best any algorithm can do).
+        """
+
+    @staticmethod
+    def _total_load(cells: Sequence[CellStats]) -> float:
+        return sum(cell.load for cell in cells)
+
+    def _fallback_all(self, cells: Sequence[CellStats]) -> List[CellStats]:
+        return [cell for cell in cells if cell.load > 0]
+
+
+class GreedySelector(MigrationSelector):
+    """GR: scan cells by relative cost ``S_g / L_g`` (Section V-A-2).
+
+    Cells are scanned in ascending relative cost.  A cell whose inclusion
+    keeps the accumulated load below ``tau`` is committed (a "GS" cell);
+    otherwise it closes a candidate solution (a "GL" cell): the committed
+    cells plus this one reach ``tau``.  Among all candidate solutions seen
+    during the scan, the one with the smallest total size wins.
+    """
+
+    name = "GR"
+
+    def select(self, cells: Sequence[CellStats], tau: float) -> List[CellStats]:
+        useful = [cell for cell in cells if cell.load > 0]
+        if not useful or tau <= 0:
+            return []
+        if self._total_load(useful) < tau:
+            return self._fallback_all(useful)
+        ordered = sorted(useful, key=lambda cell: (cell.size_bytes / cell.load, -cell.load))
+        committed: List[CellStats] = []
+        committed_load = 0.0
+        committed_size = 0
+        best_solution: Optional[List[CellStats]] = None
+        best_size: Optional[int] = None
+        for cell in ordered:
+            if committed_load + cell.load < tau:
+                committed.append(cell)
+                committed_load += cell.load
+                committed_size += cell.size_bytes
+                continue
+            candidate_size = committed_size + cell.size_bytes
+            if best_size is None or candidate_size < best_size:
+                best_size = candidate_size
+                best_solution = committed + [cell]
+        if best_solution is None:
+            # Every cell was committed yet tau not reached — handled above,
+            # but guard against floating point edge cases.
+            return committed
+        return best_solution
+
+
+class SizeSelector(MigrationSelector):
+    """SI: add cells in descending size order until the load target is met."""
+
+    name = "SI"
+
+    def select(self, cells: Sequence[CellStats], tau: float) -> List[CellStats]:
+        useful = [cell for cell in cells if cell.load > 0]
+        if not useful or tau <= 0:
+            return []
+        if self._total_load(useful) < tau:
+            return self._fallback_all(useful)
+        ordered = sorted(useful, key=lambda cell: -cell.size_bytes)
+        selected: List[CellStats] = []
+        load = 0.0
+        for cell in ordered:
+            selected.append(cell)
+            load += cell.load
+            if load >= tau:
+                break
+        return selected
+
+
+class RandomSelector(MigrationSelector):
+    """RA: pick cells uniformly at random until the load target is met."""
+
+    name = "RA"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def select(self, cells: Sequence[CellStats], tau: float) -> List[CellStats]:
+        useful = [cell for cell in cells if cell.load > 0]
+        if not useful or tau <= 0:
+            return []
+        if self._total_load(useful) < tau:
+            return self._fallback_all(useful)
+        rng = random.Random(self._seed)
+        shuffled = list(useful)
+        rng.shuffle(shuffled)
+        selected: List[CellStats] = []
+        load = 0.0
+        for cell in shuffled:
+            selected.append(cell)
+            load += cell.load
+            if load >= tau:
+                break
+        return selected
+
+
+class DPSelector(MigrationSelector):
+    """DP: the knapsack-style dynamic program of Section V-A-1.
+
+    ``A(i, j)`` is the maximum total load achievable with a subset of the
+    first ``i`` cells whose total size is at most ``j``.  The answer is the
+    smallest ``j`` with ``A(n, j) >= tau``; the subset is recovered by
+    backtracking.  Sizes are bucketed into ``size_resolution``-byte units to
+    keep the table tractable — exactly the time/space blow-up the paper
+    reports makes DP impractical for large query populations.
+    """
+
+    name = "DP"
+
+    def __init__(self, size_resolution: int = 256, max_table_cells: int = 20_000_000) -> None:
+        if size_resolution <= 0:
+            raise ValueError("size_resolution must be positive")
+        self._resolution = size_resolution
+        self._max_table_cells = max_table_cells
+
+    def select(self, cells: Sequence[CellStats], tau: float) -> List[CellStats]:
+        useful = [cell for cell in cells if cell.load > 0]
+        if not useful or tau <= 0:
+            return []
+        if self._total_load(useful) < tau:
+            return self._fallback_all(useful)
+        sizes = [max(1, -(-cell.size_bytes // self._resolution)) for cell in useful]
+        # Upper bound P on the optimal cost: the greedy solution's size.
+        greedy = GreedySelector().select(useful, tau)
+        upper = sum(max(1, -(-cell.size_bytes // self._resolution)) for cell in greedy)
+        count = len(useful)
+        if count * (upper + 1) > self._max_table_cells:
+            raise MemoryError(
+                "DP table would need %d cells; the dynamic program does not "
+                "scale to this many cells (the paper observes the same)"
+                % (count * (upper + 1))
+            )
+        loads = [cell.load for cell in useful]
+        # A[i][j]: max load using first i cells with size budget j.
+        table = [[0.0] * (upper + 1) for _ in range(count + 1)]
+        for i in range(1, count + 1):
+            size_i = sizes[i - 1]
+            load_i = loads[i - 1]
+            previous = table[i - 1]
+            current = table[i]
+            for j in range(upper + 1):
+                best = previous[j]
+                if j >= size_i:
+                    candidate = previous[j - size_i] + load_i
+                    if candidate > best:
+                        best = candidate
+                current[j] = best
+        # Smallest budget reaching tau.
+        budget = None
+        for j in range(upper + 1):
+            if table[count][j] >= tau:
+                budget = j
+                break
+        if budget is None:
+            budget = upper
+        # Backtrack the chosen subset.
+        selected: List[CellStats] = []
+        j = budget
+        for i in range(count, 0, -1):
+            if table[i][j] != table[i - 1][j]:
+                selected.append(useful[i - 1])
+                j -= sizes[i - 1]
+                if j < 0:
+                    j = 0
+        return selected
+
+
+def selector_by_name(name: str, seed: int = 0) -> MigrationSelector:
+    """Instantiate a selector by its paper name: DP, GR, SI or RA."""
+    key = name.strip().upper()
+    if key == "DP":
+        return DPSelector()
+    if key == "GR":
+        return GreedySelector()
+    if key == "SI":
+        return SizeSelector()
+    if key == "RA":
+        return RandomSelector(seed)
+    raise ValueError("unknown migration selector %r" % name)

@@ -1,0 +1,184 @@
+"""Command-line interface for the PS2Stream reproduction.
+
+Three subcommands cover the workflows a downstream user needs most often::
+
+    python -m repro run       --partitioner hybrid --group Q3 --mu 2000
+    python -m repro compare   --group Q2 --workers 8
+    python -m repro adjust    --selector GR --mu 2000
+
+* ``run`` — build one workload, partition it with one strategy, replay the
+  stream on the simulated cluster and print the run report.
+* ``compare`` — run every partitioning strategy (or a chosen subset) on the
+  same workload and print a comparison table, like
+  ``examples/partitioner_comparison.py`` but parameterised.
+* ``adjust`` — reproduce a local load-adjustment round with a chosen
+  Minimum Cost Migration selector and print its cost/time/latency impact.
+
+All numbers are simulated (see DESIGN.md); the CLI is a convenience wrapper
+around :mod:`repro.bench`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .bench import (
+    ExperimentConfig,
+    PARTITIONER_FACTORIES,
+    format_table,
+    run_experiment,
+    run_migration_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PS2Stream reproduction: distributed spatio-textual publish/subscribe",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", choices=["us", "uk"], default="us",
+                         help="synthetic corpus to stream (default: us)")
+        sub.add_argument("--group", choices=["Q1", "Q2", "Q3"], default="Q1",
+                         help="STS query group (default: Q1)")
+        sub.add_argument("--mu", type=int, default=2000,
+                         help="live query population (default: 2000)")
+        sub.add_argument("--objects", type=int, default=4000,
+                         help="streamed objects after warm-up (default: 4000)")
+        sub.add_argument("--workers", type=int, default=8,
+                         help="number of workers (default: 8)")
+        sub.add_argument("--dispatchers", type=int, default=4,
+                         help="number of dispatchers (default: 4)")
+        sub.add_argument("--seed", type=int, default=1, help="workload seed (default: 1)")
+
+    run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
+    add_workload_arguments(run_parser)
+    run_parser.add_argument("--partitioner", choices=sorted(PARTITIONER_FACTORIES),
+                            default="hybrid", help="strategy to deploy (default: hybrid)")
+
+    compare_parser = subparsers.add_parser("compare", help="compare partitioning strategies")
+    add_workload_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--partitioners", nargs="+", choices=sorted(PARTITIONER_FACTORIES),
+        default=sorted(PARTITIONER_FACTORIES),
+        help="strategies to compare (default: all seven)")
+
+    adjust_parser = subparsers.add_parser("adjust", help="run a local load-adjustment round")
+    adjust_parser.add_argument("--selector", choices=["DP", "GR", "SI", "RA"], default="GR",
+                               help="Minimum Cost Migration selector (default: GR)")
+    adjust_parser.add_argument("--mu", type=int, default=2000,
+                               help="live query population (default: 2000)")
+    adjust_parser.add_argument("--objects", type=int, default=2000,
+                               help="objects streamed before the adjustment (default: 2000)")
+    adjust_parser.add_argument("--workers", type=int, default=8,
+                               help="number of workers (default: 8)")
+    return parser
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=args.dataset,
+        group=args.group,
+        mu=args.mu,
+        num_objects=args.objects,
+        sample_objects=max(500, args.mu),
+        num_workers=args.workers,
+        num_dispatchers=args.dispatchers,
+        seed=args.seed,
+    )
+
+
+def _command_run(args: argparse.Namespace, out) -> int:
+    config = _experiment_config(args)
+    result = run_experiment(args.partitioner, config)
+    report = result.report
+    text_units = sum(1 for unit in result.plan.units if unit.terms is not None)
+    rows = [
+        {"metric": "partition units", "value": len(result.plan.units)},
+        {"metric": "text-partitioned units", "value": text_units},
+        {"metric": "partitioning time (s)", "value": result.partition_seconds},
+        {"metric": "tuples processed", "value": report.tuples_processed},
+        {"metric": "throughput (tuples/s)", "value": report.throughput},
+        {"metric": "mean latency (ms)", "value": report.mean_latency_ms},
+        {"metric": "p95 latency (ms)", "value": report.p95_latency_ms},
+        {"metric": "load imbalance", "value": report.load_imbalance},
+        {"metric": "object fanout", "value": report.object_fanout},
+        {"metric": "query fanout", "value": report.query_fanout},
+        {"metric": "dispatcher memory (MB)", "value": report.avg_dispatcher_memory_mb},
+        {"metric": "worker memory (MB)", "value": report.avg_worker_memory_mb},
+        {"metric": "matches delivered", "value": report.matches_delivered},
+    ]
+    title = "%s on STS-%s-%s (mu=%d, %d workers)" % (
+        args.partitioner, args.dataset.upper(), args.group, args.mu, args.workers)
+    out.write(format_table(title, rows))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace, out) -> int:
+    config = _experiment_config(args)
+    rows = []
+    for name in args.partitioners:
+        result = run_experiment(name, config)
+        report = result.report
+        rows.append(
+            {
+                "algorithm": name,
+                "throughput (tuples/s)": report.throughput,
+                "latency (ms)": report.mean_latency_ms,
+                "imbalance": report.load_imbalance,
+                "dispatcher MB": report.avg_dispatcher_memory_mb,
+                "worker MB": report.avg_worker_memory_mb,
+                "matches": report.matches_delivered,
+            }
+        )
+    title = "Workload distribution strategies on STS-%s-%s (mu=%d, %d workers)" % (
+        args.dataset.upper(), args.group, args.mu, args.workers)
+    out.write(format_table(title, rows))
+    best = max(rows, key=lambda row: row["throughput (tuples/s)"])
+    out.write("Best strategy: %s\n" % best["algorithm"])
+    return 0
+
+
+def _command_adjust(args: argparse.Namespace, out) -> int:
+    result = run_migration_experiment(
+        args.selector, args.mu, num_objects=args.objects, num_workers=args.workers
+    )
+    buckets = result.latency_buckets
+    rows = [
+        {"metric": "selector", "value": result.selector},
+        {"metric": "cell-selection time (ms)", "value": result.selection_time_ms},
+        {"metric": "cells migrated", "value": result.cells_moved},
+        {"metric": "queries migrated", "value": result.queries_moved},
+        {"metric": "migration cost (KB)", "value": result.migration_cost_mb * 1000.0},
+        {"metric": "migration time (s)", "value": result.migration_time_s},
+        {"metric": "imbalance before", "value": result.imbalance_before},
+        {"metric": "imbalance after", "value": result.imbalance_after},
+        {"metric": "tuples <100ms", "value": buckets.under_100ms},
+        {"metric": "tuples 100ms-1s", "value": buckets.between_100ms_and_1s},
+        {"metric": "tuples >1s", "value": buckets.over_1s},
+        {"metric": "post-adjustment throughput", "value": result.throughput_after},
+    ]
+    out.write(format_table("Local load adjustment with %s (mu=%d)" % (args.selector, args.mu), rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point used by ``python -m repro`` and the tests."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args, out)
+    if args.command == "compare":
+        return _command_compare(args, out)
+    if args.command == "adjust":
+        return _command_adjust(args, out)
+    parser.error("unknown command %r" % args.command)
+    return 2

@@ -1,0 +1,42 @@
+"""Index substrates used by dispatchers and workers.
+
+* :class:`UniformGrid` — cell geometry shared by GI2 and gridt;
+* :class:`InvertedIndex` — term to posting lists;
+* :class:`GI2Index` — the worker-side Grid-Inverted-Index (Section IV-D);
+* :class:`KDTree` / :func:`build_leaf_regions` — kd-tree machinery used by
+  the kd-tree partitioning baseline and the hybrid partitioner;
+* :class:`RTree` — STR bulk-loaded R-tree for the R-tree baseline;
+* :class:`KdtTree` — the hybrid partitioner's output routing tree;
+* :class:`GridTIndex` — the dispatcher's flattened routing grid
+  (Section IV-C).
+"""
+
+from .gi2 import CellStats, GI2Index, MatchOutcome
+from .grid import CellCoord, UniformGrid
+from .gridt import GridTCell, GridTIndex
+from .inverted import InvertedIndex
+from .kdt_tree import KdtNode, KdtTree
+from .kdtree import KDTree, KDTreeNode, build_leaf_regions, median_split
+from .rq_index import RQIndex
+from .rtree import RTree, RTreeEntry, str_pack
+
+__all__ = [
+    "CellCoord",
+    "CellStats",
+    "GI2Index",
+    "GridTCell",
+    "GridTIndex",
+    "InvertedIndex",
+    "KDTree",
+    "KDTreeNode",
+    "KdtNode",
+    "KdtTree",
+    "MatchOutcome",
+    "RQIndex",
+    "RTree",
+    "RTreeEntry",
+    "UniformGrid",
+    "build_leaf_regions",
+    "median_split",
+    "str_pack",
+]

@@ -1,0 +1,318 @@
+"""GI2 — the Grid-Inverted-Index maintained by every worker (Section IV-D).
+
+The index divides the worker's space into uniform grid cells and keeps one
+inverted index of STS queries per cell:
+
+* a query overlapping several cells is registered in each of them;
+* within a cell, a pure-AND query is appended to the posting list of its
+  least frequent keyword; a query with OR operators is appended once per
+  conjunctive clause, keyed by that clause's least frequent keyword;
+* deletions are lazy: the id of a dropped query is recorded in a hash set
+  and physically removed the next time a posting list containing it is
+  traversed during object matching (or when :meth:`compact` is called,
+  e.g. before a migration).
+
+Matching an incoming object probes only the cell containing the object's
+location and only the posting lists of the object's own terms, then runs
+the full region + boolean-expression check on each candidate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.costmodel import cell_load
+from ..core.geometry import Point, Rect
+from ..core.objects import SpatioTextualObject, STSQuery
+from ..core.text import TermStatistics
+from .grid import CellCoord, UniformGrid
+from .inverted import InvertedIndex
+
+__all__ = ["GI2Index", "CellStats", "MatchOutcome"]
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Per-cell statistics used by the dynamic load adjusters (Section V).
+
+    ``load`` is Definition 3 (objects seen in the period times queries
+    stored), ``size_bytes`` the total serialised size of the resident
+    queries — the migration cost of moving the cell to another worker.
+    """
+
+    cell: CellCoord
+    object_count: int
+    query_count: int
+    size_bytes: int
+
+    @property
+    def load(self) -> float:
+        return cell_load(self.object_count, self.query_count)
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Result of matching one object: matching query ids plus probe cost."""
+
+    query_ids: Tuple[int, ...]
+    checks: int
+
+
+class GI2Index:
+    """The worker-side Grid-Inverted-Index."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        granularity: int = 64,
+        term_statistics: Optional[TermStatistics] = None,
+    ) -> None:
+        """Create an empty index.
+
+        ``granularity`` is the number of cells per axis (the paper uses
+        ``2^6`` for its experiments).  ``term_statistics`` supplies the term
+        frequencies used to pick posting keywords; when omitted the choice
+        falls back to a deterministic lexicographic rule.
+        """
+        self._grid = UniformGrid(bounds, granularity, granularity)
+        self._cells: Dict[CellCoord, InvertedIndex[int]] = {}
+        self._queries: Dict[int, STSQuery] = {}
+        self._query_cells: Dict[int, Set[CellCoord]] = {}
+        self._pending_deletions: Set[int] = set()
+        self._statistics = term_statistics
+        self._cell_query_counts: Counter = Counter()
+        self._cell_object_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> UniformGrid:
+        return self._grid
+
+    @property
+    def query_count(self) -> int:
+        """Number of live (non-deleted) queries resident in the index."""
+        return len(self._queries) - len(self._pending_deletions & self._queries.keys())
+
+    @property
+    def pending_deletion_count(self) -> int:
+        return len(self._pending_deletions)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._queries and query_id not in self._pending_deletions
+
+    def get_query(self, query_id: int) -> Optional[STSQuery]:
+        if query_id in self._pending_deletions:
+            return None
+        return self._queries.get(query_id)
+
+    def queries(self) -> List[STSQuery]:
+        """All live queries (mainly for tests and migration)."""
+        return [
+            query
+            for query_id, query in self._queries.items()
+            if query_id not in self._pending_deletions
+        ]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, query: STSQuery) -> int:
+        """Register a query; returns the number of postings created."""
+        if query.query_id in self._queries and query.query_id not in self._pending_deletions:
+            # Re-registration of a live query is a no-op (idempotent insert).
+            return 0
+        # A re-inserted query cancels a pending deletion.
+        self._pending_deletions.discard(query.query_id)
+        posting_keys = query.expression.posting_keywords(self._statistics)
+        cells = self._grid.cells_overlapping(query.region)
+        created = 0
+        for cell in cells:
+            inverted = self._cells.get(cell)
+            if inverted is None:
+                inverted = InvertedIndex()
+                self._cells[cell] = inverted
+            for key in posting_keys:
+                inverted.add(key, query.query_id)
+                created += 1
+            self._cell_query_counts[cell] += 1
+        self._queries[query.query_id] = query
+        self._query_cells[query.query_id] = set(cells)
+        return created
+
+    def delete(self, query_id: int) -> bool:
+        """Lazily delete a query; returns ``True`` when the query was live."""
+        if query_id not in self._queries or query_id in self._pending_deletions:
+            return False
+        self._pending_deletions.add(query_id)
+        for cell in self._query_cells.get(query_id, ()):
+            if self._cell_query_counts[cell] > 0:
+                self._cell_query_counts[cell] -= 1
+        return True
+
+    def compact(self) -> int:
+        """Eagerly remove all pending deletions from every posting list.
+
+        Returns the number of queries physically removed.  Called before a
+        migration so that only live queries are shipped.
+        """
+        if not self._pending_deletions:
+            return 0
+        stale = set(self._pending_deletions)
+        for inverted in self._cells.values():
+            for term in list(inverted.terms()):
+                inverted.purge(term, stale.__contains__)
+        removed = 0
+        for query_id in stale:
+            if query_id in self._queries:
+                del self._queries[query_id]
+                self._query_cells.pop(query_id, None)
+                removed += 1
+        self._pending_deletions.clear()
+        self._drop_empty_cells()
+        return removed
+
+    def _drop_empty_cells(self) -> None:
+        empty = [cell for cell, inverted in self._cells.items() if inverted.entry_count == 0]
+        for cell in empty:
+            del self._cells[cell]
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, obj: SpatioTextualObject) -> MatchOutcome:
+        """Find all live queries matched by ``obj``.
+
+        Only the cell containing the object is probed, and only the posting
+        lists of the object's own terms; lazy deletions encountered on the
+        way are purged.
+        """
+        cell = self._grid.cell_of(obj.location)
+        self._cell_object_counts[cell] += 1
+        inverted = self._cells.get(cell)
+        if inverted is None:
+            return MatchOutcome((), 0)
+        matched: Set[int] = set()
+        checks = 0
+        for term in obj.terms:
+            postings = inverted.postings(term)
+            if not postings:
+                continue
+            if self._pending_deletions:
+                inverted.purge(term, self._purge_posting)
+                postings = inverted.postings(term)
+            for query_id in postings:
+                if query_id in matched:
+                    continue
+                query = self._queries.get(query_id)
+                if query is None:
+                    continue
+                checks += 1
+                if query.matches(obj):
+                    matched.add(query_id)
+        return MatchOutcome(tuple(sorted(matched)), checks)
+
+    def _purge_posting(self, query_id: int) -> bool:
+        """Posting-list staleness check used during lazy deletion."""
+        if query_id in self._pending_deletions:
+            # The query may still have postings in other cells; it is fully
+            # forgotten only via compact().  Dropping it from this list is
+            # enough for matching correctness.
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statistics, memory and migration support
+    # ------------------------------------------------------------------
+    def reset_object_counts(self) -> None:
+        """Start a new measurement period for Definition-3 cell loads."""
+        self._cell_object_counts.clear()
+
+    def cell_stats(self) -> List[CellStats]:
+        """Per-cell statistics over the current measurement period."""
+        stats: List[CellStats] = []
+        cells = set(self._cell_query_counts) | set(self._cell_object_counts)
+        for cell in cells:
+            query_count = self._cell_query_counts.get(cell, 0)
+            if query_count <= 0 and self._cell_object_counts.get(cell, 0) <= 0:
+                continue
+            size = self._cell_size_bytes(cell)
+            stats.append(
+                CellStats(
+                    cell=cell,
+                    object_count=self._cell_object_counts.get(cell, 0),
+                    query_count=query_count,
+                    size_bytes=size,
+                )
+            )
+        return stats
+
+    def _cell_size_bytes(self, cell: CellCoord) -> int:
+        total = 0
+        for query_id, cells in self._query_cells.items():
+            if cell in cells and query_id not in self._pending_deletions:
+                query = self._queries.get(query_id)
+                if query is not None:
+                    total += query.size_bytes()
+        return total
+
+    def cells_of_query(self, query_id: int) -> Set[CellCoord]:
+        """The grid cells a registered query is posted in (empty when unknown)."""
+        return set(self._query_cells.get(query_id, set()))
+
+    def queries_in_cell(self, cell: CellCoord) -> List[STSQuery]:
+        """Live queries registered in ``cell`` (used for migration)."""
+        result = []
+        for query_id, cells in self._query_cells.items():
+            if cell in cells and query_id not in self._pending_deletions:
+                query = self._queries.get(query_id)
+                if query is not None:
+                    result.append(query)
+        return result
+
+    def remove_queries(self, query_ids: Iterable[int]) -> List[STSQuery]:
+        """Physically remove queries (eager), returning the removed ones.
+
+        Used by the migration machinery: the source worker extracts the
+        queries of the cells being handed over and ships them to the target
+        worker, which re-inserts them.
+        """
+        removed: List[STSQuery] = []
+        ids = set(query_ids)
+        if not ids:
+            return removed
+        for query_id in ids:
+            query = self._queries.pop(query_id, None)
+            if query is None:
+                continue
+            was_pending = query_id in self._pending_deletions
+            self._pending_deletions.discard(query_id)
+            cells = self._query_cells.pop(query_id, set())
+            for cell in cells:
+                inverted = self._cells.get(cell)
+                if inverted is not None:
+                    for term in list(inverted.terms()):
+                        inverted.remove(term, query_id)
+                if not was_pending and self._cell_query_counts[cell] > 0:
+                    self._cell_query_counts[cell] -= 1
+            if not was_pending:
+                removed.append(query)
+        self._drop_empty_cells()
+        return removed
+
+    def memory_bytes(self) -> int:
+        """Estimated resident memory of the index (queries + postings)."""
+        query_bytes = sum(
+            query.size_bytes()
+            for query_id, query in self._queries.items()
+        )
+        posting_bytes = sum(inverted.memory_bytes() for inverted in self._cells.values())
+        cell_overhead = 96 * len(self._cells)
+        return query_bytes + posting_bytes + cell_overhead
+
+    @property
+    def posting_count(self) -> int:
+        return sum(inverted.entry_count for inverted in self._cells.values())

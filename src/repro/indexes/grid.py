@@ -1,0 +1,113 @@
+"""A uniform spatial grid over a bounding rectangle.
+
+The grid is the spatial backbone of two paper components:
+
+* the worker-side GI2 index divides its space into ``2^k x 2^k`` cells and
+  keeps one inverted index per cell (Section IV-D);
+* the dispatcher-side gridt index uses the same cell layout to hold the
+  per-cell term-to-worker hash maps (Section IV-C).
+
+Cells are addressed by ``(column, row)`` pairs; helper methods convert
+points and rectangles into cell coordinates.  Points outside the bounding
+rectangle are clamped to the nearest border cell, which mirrors how a real
+deployment would handle slightly out-of-range GPS fixes rather than
+dropping them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..core.geometry import Point, Rect
+
+__all__ = ["UniformGrid", "CellCoord"]
+
+CellCoord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class UniformGrid:
+    """Geometry of a ``columns x rows`` uniform grid over ``bounds``."""
+
+    bounds: Rect
+    columns: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.columns <= 0 or self.rows <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.bounds.width <= 0 or self.bounds.height <= 0:
+            raise ValueError("grid bounds must have positive area")
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    @property
+    def cell_width(self) -> float:
+        return self.bounds.width / self.columns
+
+    @property
+    def cell_height(self) -> float:
+        return self.bounds.height / self.rows
+
+    @property
+    def cell_count(self) -> int:
+        return self.columns * self.rows
+
+    # ------------------------------------------------------------------
+    # Point / rectangle mapping
+    # ------------------------------------------------------------------
+    def cell_of(self, point: Point) -> CellCoord:
+        """The cell containing ``point`` (out-of-range points are clamped)."""
+        col = int((point.x - self.bounds.min_x) / self.cell_width)
+        row = int((point.y - self.bounds.min_y) / self.cell_height)
+        col = min(max(col, 0), self.columns - 1)
+        row = min(max(row, 0), self.rows - 1)
+        return (col, row)
+
+    def cell_rect(self, cell: CellCoord) -> Rect:
+        """The spatial extent of ``cell``."""
+        col, row = cell
+        if not (0 <= col < self.columns and 0 <= row < self.rows):
+            raise ValueError("cell %r outside grid" % (cell,))
+        return Rect(
+            self.bounds.min_x + col * self.cell_width,
+            self.bounds.min_y + row * self.cell_height,
+            self.bounds.min_x + (col + 1) * self.cell_width,
+            self.bounds.min_y + (row + 1) * self.cell_height,
+        )
+
+    def cell_center(self, cell: CellCoord) -> Point:
+        return self.cell_rect(cell).center
+
+    def cells_overlapping(self, rect: Rect) -> List[CellCoord]:
+        """All cells whose extent intersects ``rect``.
+
+        The query rectangle is clipped to the grid bounds first; a query
+        entirely outside the bounds overlaps the nearest border cells, so
+        that subscriptions just outside the data region are still indexed
+        somewhere deterministic.
+        """
+        min_col, min_row = self.cell_of(Point(rect.min_x, rect.min_y))
+        max_col, max_row = self.cell_of(Point(rect.max_x, rect.max_y))
+        return [
+            (col, row)
+            for row in range(min_row, max_row + 1)
+            for col in range(min_col, max_col + 1)
+        ]
+
+    def all_cells(self) -> Iterator[CellCoord]:
+        for row in range(self.rows):
+            for col in range(self.columns):
+                yield (col, row)
+
+    def cell_index(self, cell: CellCoord) -> int:
+        """A dense integer id for ``cell`` (row-major)."""
+        col, row = cell
+        return row * self.columns + col
+
+    def cell_from_index(self, index: int) -> CellCoord:
+        if not 0 <= index < self.cell_count:
+            raise ValueError("cell index %r out of range" % index)
+        return (index % self.columns, index // self.columns)

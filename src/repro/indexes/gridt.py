@@ -1,0 +1,415 @@
+"""The gridt index: the dispatcher's flat routing structure (Section IV-C).
+
+Traversing the kdt-tree for every tuple costs ``O(log m)``; under very fast
+arrival rates this overloads the dispatcher.  The gridt index flattens the
+kdt-tree into a uniform grid where every cell holds two hash maps:
+
+* **H1** — the static term-to-worker assignment of the cell.  For a
+  space-partitioned cell every term maps to the single worker owning the
+  cell, represented compactly by ``default_worker``.  For a
+  text-partitioned cell H1 holds the explicit term map produced by the
+  partitioner.
+* **H2** — the dynamic map from *posting keywords of registered queries* to
+  the workers currently holding those queries in this cell.  Objects are
+  routed (and filtered) exclusively through H2: an object whose terms hit
+  no H2 entry cannot match any registered query and is discarded.
+
+Query insertions are routed through H1 using the least frequent keyword of
+each conjunctive clause, and H2 is updated with the chosen keyword; query
+deletions repeat the same computation (the term statistics are frozen at
+partitioning time, so the keyword choice is deterministic) and decrement the
+H2 reference counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.geometry import Point, Rect
+from ..core.objects import SpatioTextualObject, STSQuery
+from ..core.text import TermStatistics
+from .grid import CellCoord, UniformGrid
+from .kdt_tree import KdtTree
+
+__all__ = ["GridTIndex", "GridTCell"]
+
+
+@dataclass
+class GridTCell:
+    """Routing state of one grid cell."""
+
+    #: Worker owning the whole cell (space-partitioned cells).
+    default_worker: Optional[int] = None
+    #: H1: explicit term-to-worker map (text-partitioned cells).
+    term_workers: Optional[Dict[str, int]] = None
+    #: H2: posting keyword -> worker id -> number of live queries posted
+    #: under that keyword for that worker in this cell.
+    h2: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    def lookup_h1(self, term: str) -> Optional[int]:
+        """The worker owning ``term`` in this cell according to H1."""
+        if self.term_workers is not None:
+            worker = self.term_workers.get(term)
+            if worker is not None:
+                return worker
+        return self.default_worker
+
+    def workers(self) -> Set[int]:
+        """Every worker this cell can currently route to."""
+        result: Set[int] = set()
+        if self.default_worker is not None:
+            result.add(self.default_worker)
+        if self.term_workers:
+            result.update(self.term_workers.values())
+        for owners in self.h2.values():
+            result.update(owners)
+        return result
+
+    def add_posting(self, term: str, worker: int) -> None:
+        owners = self.h2.setdefault(term, {})
+        owners[worker] = owners.get(worker, 0) + 1
+
+    def remove_posting(self, term: str, worker: int) -> None:
+        owners = self.h2.get(term)
+        if not owners:
+            return
+        count = owners.get(worker, 0)
+        if count <= 1:
+            owners.pop(worker, None)
+            if not owners:
+                self.h2.pop(term, None)
+        else:
+            owners[worker] = count - 1
+
+    def h2_entry_count(self) -> int:
+        return sum(len(owners) for owners in self.h2.values())
+
+
+class GridTIndex:
+    """Dispatcher-side routing index with per-cell H1/H2 hash maps."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        granularity: int = 64,
+        term_statistics: Optional[TermStatistics] = None,
+        *,
+        object_filtering: bool = False,
+    ) -> None:
+        """``object_filtering`` enables the PS2Stream H2 routing rule.
+
+        With filtering on (the system of Section IV-C), objects are routed
+        through H2 in every cell and discarded when no registered query's
+        posting keyword appears in them.  With filtering off (the
+        behaviour of the evaluated baselines), a space-partitioned cell
+        forwards every object to its owner and a text-partitioned cell
+        routes objects through H1, i.e. to every worker owning one of the
+        object's terms.
+        """
+        self._grid = UniformGrid(bounds, granularity, granularity)
+        self._cells: Dict[CellCoord, GridTCell] = {}
+        self._statistics = term_statistics
+        self.object_filtering = object_filtering
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> UniformGrid:
+        return self._grid
+
+    @property
+    def term_statistics(self) -> Optional[TermStatistics]:
+        return self._statistics
+
+    def cell(self, coord: CellCoord) -> GridTCell:
+        """The cell at ``coord``, created on demand."""
+        cell = self._cells.get(coord)
+        if cell is None:
+            cell = GridTCell()
+            self._cells[coord] = cell
+        return cell
+
+    def cells(self) -> Dict[CellCoord, GridTCell]:
+        return self._cells
+
+    def set_cell_worker(self, coord: CellCoord, worker_id: int) -> None:
+        """Assign the whole cell to one worker (space partitioning)."""
+        cell = self.cell(coord)
+        cell.default_worker = worker_id
+        cell.term_workers = None
+
+    def set_cell_term_map(
+        self,
+        coord: CellCoord,
+        term_workers: Mapping[str, int],
+        default_worker: Optional[int] = None,
+        *,
+        share: bool = False,
+    ) -> None:
+        """Assign a term-to-worker map to the cell (text partitioning).
+
+        When ``share`` is true the mapping object is stored by reference so
+        that a single global text partition shared by every cell is only
+        held in memory once (this is how the pure text-partitioning
+        baselines keep the dispatcher footprint reasonable).
+        """
+        cell = self.cell(coord)
+        cell.term_workers = term_workers if share else dict(term_workers)
+        cell.default_worker = default_worker
+
+    @classmethod
+    def from_assignments(
+        cls,
+        bounds: Rect,
+        assignments: Sequence[Tuple[Rect, Optional[Mapping[str, int]], Optional[int]]],
+        granularity: int = 64,
+        term_statistics: Optional[TermStatistics] = None,
+        *,
+        share_term_maps: bool = True,
+        object_filtering: bool = False,
+    ) -> "GridTIndex":
+        """Build a gridt index from partition units.
+
+        Each assignment is ``(region, term_workers, worker_id)``; a ``None``
+        term map means the unit is space partitioned.  Cells are assigned by
+        the unit containing their centre; text units covering the same cell
+        are merged.
+        """
+        index = cls(
+            bounds,
+            granularity=granularity,
+            term_statistics=term_statistics,
+            object_filtering=object_filtering,
+        )
+        # An R-tree over the assignment regions keeps cell assignment fast
+        # even when a plan has thousands of units (e.g. grid partitioning).
+        from .rtree import RTree, RTreeEntry
+
+        lookup: RTree[int] = RTree.bulk_load(
+            [RTreeEntry(region, position) for position, (region, _, _) in enumerate(assignments)],
+            capacity=16,
+        )
+        # Cells covered by the same set of text units share one merged term
+        # map, so a pure text partition costs one map, not one per cell.
+        merged_cache: Dict[Tuple[int, ...], Dict[str, int]] = {}
+        for coord in index._grid.all_cells():
+            center = index._grid.cell_center(coord)
+            covering_ids = sorted(entry.payload for entry in lookup.search_point(center))
+            if not covering_ids:
+                continue
+            covering = [assignments[position] for position in covering_ids]
+            space_units = [unit for unit in covering if unit[1] is None]
+            text_units = [
+                (position, unit)
+                for position, unit in zip(covering_ids, covering)
+                if unit[1] is not None
+            ]
+            if text_units:
+                default: Optional[int] = None
+                for _, (_, _, worker_id) in text_units:
+                    if worker_id is not None:
+                        default = worker_id
+                        break
+                if default is None and space_units:
+                    default = space_units[0][2]
+                if len(text_units) == 1 and share_term_maps:
+                    _, (_, term_map, _) = text_units[0]
+                    assert term_map is not None
+                    index.set_cell_term_map(coord, term_map, default, share=True)
+                else:
+                    cache_key = tuple(position for position, _ in text_units)
+                    merged = merged_cache.get(cache_key) if share_term_maps else None
+                    if merged is None:
+                        merged = {}
+                        for _, (_, term_map, _) in text_units:
+                            assert term_map is not None
+                            merged.update(term_map)
+                        if share_term_maps:
+                            merged_cache[cache_key] = merged
+                    index.set_cell_term_map(coord, merged, default, share=share_term_maps)
+            elif space_units:
+                worker_id = space_units[0][2]
+                if worker_id is not None:
+                    index.set_cell_worker(coord, worker_id)
+        return index
+
+    @classmethod
+    def from_kdt_tree(
+        cls,
+        tree: KdtTree,
+        granularity: int = 64,
+        term_statistics: Optional[TermStatistics] = None,
+    ) -> "GridTIndex":
+        """Flatten a kdt-tree into a gridt index (Figure 4)."""
+        leaves = tree.leaves()
+        assignments: List[Tuple[Rect, Optional[Mapping[str, int]], Optional[int]]] = []
+        for leaf in leaves:
+            if leaf.is_text_leaf:
+                assignments.append((leaf.region, leaf.term_workers or {}, leaf.default_worker))
+            else:
+                assignments.append((leaf.region, None, leaf.worker_id))
+        bounds = tree.root.region
+        statistics = term_statistics if term_statistics is not None else tree._statistics
+        return cls.from_assignments(
+            bounds,
+            assignments,
+            granularity=granularity,
+            term_statistics=statistics,
+            object_filtering=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_object(self, obj: SpatioTextualObject) -> Set[int]:
+        """Workers that must receive ``obj``; empty set means "discard".
+
+        With ``object_filtering`` (PS2Stream) the object is routed through
+        H2: it is relevant exactly to the workers holding queries whose
+        posting keyword appears in the object's text within the object's
+        cell, and discarded otherwise.  Without filtering, the baseline
+        routing rules apply (see :meth:`__init__`).
+        """
+        coord = self._grid.cell_of(obj.location)
+        cell = self._cells.get(coord)
+        if cell is None:
+            return set()
+        # Content-based routing (H2) applies to text-partitioned cells
+        # always — that is what "routing by text" means for the baselines —
+        # and to space-partitioned cells only when PS2Stream's object
+        # filtering is enabled.
+        if cell.term_workers is not None or self.object_filtering:
+            if not cell.h2:
+                return set()
+            workers: Set[int] = set()
+            for term in obj.terms:
+                owners = cell.h2.get(term)
+                if owners:
+                    workers.update(owners)
+            return workers
+        return {cell.default_worker} if cell.default_worker is not None else set()
+
+    def _posting_assignments(self, query: STSQuery) -> List[Tuple[CellCoord, str, int]]:
+        """The (cell, posting keyword, worker) triples for a query.
+
+        This is the shared computation behind insertion and deletion
+        routing; determinism is guaranteed because the term statistics are
+        frozen at partitioning time.
+        """
+        assignments: List[Tuple[CellCoord, str, int]] = []
+        posting_keys = query.expression.posting_keywords(self._statistics)
+        for coord in self._grid.cells_overlapping(query.region):
+            cell = self._cells.get(coord)
+            for key in posting_keys:
+                worker: Optional[int] = None
+                if cell is not None:
+                    worker = cell.lookup_h1(key)
+                if worker is None:
+                    worker = self._fallback_worker(key)
+                if worker is not None:
+                    assignments.append((coord, key, worker))
+        return assignments
+
+    def _fallback_worker(self, term: str) -> Optional[int]:
+        """Deterministic destination for terms in uncovered cells.
+
+        Falls back to hashing the term over the set of known workers so a
+        query is never silently dropped.
+        """
+        workers = sorted(self.workers())
+        if not workers:
+            return None
+        return workers[hash(term) % len(workers)]
+
+    def route_insertion(self, query: STSQuery) -> Set[int]:
+        """Route a query insertion and update H2; returns target workers."""
+        workers: Set[int] = set()
+        for coord, key, worker in self._posting_assignments(query):
+            self.cell(coord).add_posting(key, worker)
+            workers.add(worker)
+        return workers
+
+    def route_deletion(self, query: STSQuery) -> Set[int]:
+        """Route a query deletion and update H2; returns target workers."""
+        workers: Set[int] = set()
+        for coord, key, worker in self._posting_assignments(query):
+            cell = self._cells.get(coord)
+            if cell is not None:
+                cell.remove_posting(key, worker)
+            workers.add(worker)
+        return workers
+
+    # ------------------------------------------------------------------
+    # Dynamic adjustment support (Section V)
+    # ------------------------------------------------------------------
+    def migrate_cell(self, coord: CellCoord, from_worker: int, to_worker: int) -> None:
+        """Repoint every reference to ``from_worker`` in a cell to ``to_worker``."""
+        cell = self._cells.get(coord)
+        if cell is None:
+            return
+        if cell.default_worker == from_worker:
+            cell.default_worker = to_worker
+        if cell.term_workers is not None:
+            cell.term_workers = {
+                term: (to_worker if worker == from_worker else worker)
+                for term, worker in cell.term_workers.items()
+            }
+        for term, owners in list(cell.h2.items()):
+            if from_worker in owners:
+                count = owners.pop(from_worker)
+                owners[to_worker] = owners.get(to_worker, 0) + count
+
+    def split_cell_by_text(
+        self,
+        coord: CellCoord,
+        term_assignment: Mapping[str, int],
+        default_worker: Optional[int] = None,
+    ) -> None:
+        """Turn a space-partitioned cell into a text-partitioned one.
+
+        Used by Phase I of the local load adjustment when splitting a hot
+        cell between the overloaded and the underloaded worker.
+        """
+        cell = self.cell(coord)
+        if default_worker is None:
+            default_worker = cell.default_worker
+        cell.term_workers = dict(term_assignment)
+        cell.default_worker = default_worker
+        for term, owners in list(cell.h2.items()):
+            target = cell.lookup_h1(term)
+            if target is None:
+                continue
+            total = sum(owners.values())
+            cell.h2[term] = {target: total}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def workers(self) -> Set[int]:
+        result: Set[int] = set()
+        for cell in self._cells.values():
+            result.update(cell.workers())
+        return result
+
+    def cell_for_point(self, point: Point) -> CellCoord:
+        return self._grid.cell_of(point)
+
+    def memory_bytes(self) -> int:
+        """Estimated dispatcher memory: H1 maps (shared ones once) plus H2."""
+        total = 0
+        seen_maps: Set[int] = set()
+        for cell in self._cells.values():
+            total += 64  # cell overhead
+            if cell.term_workers is not None and id(cell.term_workers) not in seen_maps:
+                seen_maps.add(id(cell.term_workers))
+                total += sum(24 + len(term) for term in cell.term_workers)
+            total += sum(
+                24 + len(term) + 12 * len(owners) for term, owners in cell.h2.items()
+            )
+        return total
+
+    def h2_entry_count(self) -> int:
+        return sum(cell.h2_entry_count() for cell in self._cells.values())

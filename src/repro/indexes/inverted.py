@@ -1,0 +1,104 @@
+"""A simple in-memory inverted index from terms to posting lists.
+
+Used as the building block of the GI2 worker index: each grid cell owns one
+``InvertedIndex`` whose postings are STS queries keyed by their posting
+keyword (the least frequent keyword of each conjunctive clause).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Set, Tuple, TypeVar
+
+__all__ = ["InvertedIndex"]
+
+T = TypeVar("T")
+
+
+class InvertedIndex(Generic[T]):
+    """Maps terms to lists of postings.
+
+    Postings are arbitrary hashable payloads (the GI2 index stores query
+    ids).  Removal supports both eager deletion and the lazy-deletion
+    pattern from the paper, where stale entries are purged while a posting
+    list is being traversed.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[T]] = defaultdict(list)
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add(self, term: str, posting: T) -> None:
+        """Append ``posting`` to the list of ``term``."""
+        self._postings[term].append(posting)
+        self._entry_count += 1
+
+    def remove(self, term: str, posting: T) -> bool:
+        """Eagerly remove one occurrence of ``posting`` from ``term``'s list.
+
+        Returns ``True`` when an entry was removed.
+        """
+        postings = self._postings.get(term)
+        if not postings:
+            return False
+        try:
+            postings.remove(posting)
+        except ValueError:
+            return False
+        self._entry_count -= 1
+        if not postings:
+            del self._postings[term]
+        return True
+
+    def purge(self, term: str, is_stale: Callable[[T], bool]) -> int:
+        """Lazily delete stale entries from one posting list.
+
+        ``is_stale`` is evaluated for each posting; stale ones are dropped.
+        Returns the number of removed entries.  This is the mechanism the
+        GI2 index uses while traversing a list during object matching.
+        """
+        postings = self._postings.get(term)
+        if not postings:
+            return 0
+        kept = [posting for posting in postings if not is_stale(posting)]
+        removed = len(postings) - len(kept)
+        if removed:
+            self._entry_count -= removed
+            if kept:
+                self._postings[term] = kept
+            else:
+                del self._postings[term]
+        return removed
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def postings(self, term: str) -> List[T]:
+        """The posting list of ``term`` (empty list when absent)."""
+        return self._postings.get(term, [])
+
+    def terms(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def __len__(self) -> int:
+        """Number of distinct terms with at least one posting."""
+        return len(self._postings)
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of postings across all terms."""
+        return self._entry_count
+
+    def memory_bytes(self, per_entry: int = 16, per_term: int = 64) -> int:
+        """Rough memory footprint estimate used by the benches."""
+        return per_term * len(self._postings) + per_entry * self._entry_count

@@ -1,0 +1,263 @@
+"""The kdt-tree: a kd-tree whose leaves may be further split by text.
+
+The kdt-tree is the output of the hybrid workload-partitioning algorithm
+(Section IV-B, Figure 3).  Internal nodes split space like a kd-tree; a
+leaf node either
+
+* is assigned wholly to one worker (a *space leaf*), or
+* carries a term partition: disjoint term subsets, each assigned to a
+  worker (a *text leaf*).
+
+The dispatcher can route directly on the kdt-tree in ``O(log m)`` time per
+tuple, or transform it into the flat :class:`~repro.indexes.gridt.GridTIndex`
+(Section IV-C) which trades memory for constant-time cell lookup.  Both
+implementations are kept because the ablation bench compares their routing
+cost, and because tests use one as an oracle for the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.expression import BooleanExpression
+from ..core.geometry import Point, Rect
+from ..core.objects import SpatioTextualObject, STSQuery
+from ..core.text import TermStatistics
+
+__all__ = ["KdtTree", "KdtNode"]
+
+
+@dataclass
+class KdtNode:
+    """A node of the kdt-tree.
+
+    Exactly one of the following shapes is valid:
+
+    * internal: ``axis``/``split`` set, two children;
+    * space leaf: ``worker_id`` set;
+    * text leaf: ``term_workers`` set (term -> worker id) together with a
+      ``default_worker`` for terms that were unseen when the partition was
+      computed.
+    """
+
+    region: Rect
+    axis: Optional[int] = None
+    split: Optional[float] = None
+    left: Optional["KdtNode"] = None
+    right: Optional["KdtNode"] = None
+    worker_id: Optional[int] = None
+    term_workers: Optional[Dict[str, int]] = None
+    default_worker: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def is_text_leaf(self) -> bool:
+        return self.is_leaf and self.term_workers is not None
+
+    def leaf_workers(self) -> Set[int]:
+        """All workers this leaf may route to."""
+        if not self.is_leaf:
+            raise ValueError("leaf_workers() called on an internal node")
+        if self.term_workers is not None:
+            workers = set(self.term_workers.values())
+            if self.default_worker is not None:
+                workers.add(self.default_worker)
+            return workers
+        if self.worker_id is None:
+            raise ValueError("space leaf without a worker assignment")
+        return {self.worker_id}
+
+
+class KdtTree:
+    """Routing structure produced by the hybrid partitioner."""
+
+    def __init__(self, root: KdtNode, term_statistics: Optional[TermStatistics] = None) -> None:
+        self.root = root
+        self._statistics = term_statistics
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_leaves(
+        cls,
+        bounds: Rect,
+        leaves: Sequence[Tuple[Rect, Optional[Mapping[str, int]], Optional[int]]],
+        term_statistics: Optional[TermStatistics] = None,
+    ) -> "KdtTree":
+        """Build a kdt-tree from flat leaf descriptions.
+
+        Each leaf is ``(region, term_workers, worker_id)`` with
+        ``term_workers`` being ``None`` for space leaves.  The internal
+        structure is rebuilt by recursive median splits of the leaf regions,
+        which reproduces a valid kd-tree over any tiling produced by the
+        partitioners in this library.
+        """
+        leaf_nodes = []
+        for region, term_workers, worker_id in leaves:
+            leaf_nodes.append(
+                KdtNode(
+                    region=region,
+                    worker_id=worker_id,
+                    term_workers=dict(term_workers) if term_workers is not None else None,
+                    default_worker=worker_id if term_workers is not None else None,
+                )
+            )
+        root = cls._build_internal(bounds, leaf_nodes)
+        return cls(root, term_statistics)
+
+    @classmethod
+    def _build_internal(cls, region: Rect, leaves: List[KdtNode]) -> KdtNode:
+        if not leaves:
+            # An uncovered region: route to nothing by making an empty text leaf.
+            return KdtNode(region=region, term_workers={}, default_worker=None)
+        if len(leaves) == 1:
+            return leaves[0]
+        # Choose the splitting axis/coordinate that best separates the leaves.
+        for axis in cls._axis_preference(region):
+            coordinates = sorted(
+                {leaf.region.max_x if axis == 0 else leaf.region.max_y for leaf in leaves}
+            )
+            for coordinate in coordinates[:-1]:
+                left = [l for l in leaves if (l.region.max_x if axis == 0 else l.region.max_y) <= coordinate + 1e-12]
+                right = [l for l in leaves if (l.region.min_x if axis == 0 else l.region.min_y) >= coordinate - 1e-12]
+                if len(left) + len(right) == len(leaves) and left and right:
+                    left_region, right_region = region.split(axis, coordinate)
+                    node = KdtNode(region=region, axis=axis, split=coordinate)
+                    node.left = cls._build_internal(left_region, left)
+                    node.right = cls._build_internal(right_region, right)
+                    return node
+        # Leaves overlap spatially (text partition of the same region):
+        # collapse them into one text leaf.
+        merged: Dict[str, int] = {}
+        default_worker: Optional[int] = None
+        for leaf in leaves:
+            if leaf.term_workers:
+                merged.update(leaf.term_workers)
+            if leaf.worker_id is not None and default_worker is None:
+                default_worker = leaf.worker_id
+            if leaf.default_worker is not None and default_worker is None:
+                default_worker = leaf.default_worker
+        return KdtNode(region=region, term_workers=merged, default_worker=default_worker)
+
+    @staticmethod
+    def _axis_preference(region: Rect) -> Tuple[int, int]:
+        return (0, 1) if region.width >= region.height else (1, 0)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _leaf_for_point(self, point: Point) -> KdtNode:
+        node = self.root
+        while not node.is_leaf:
+            assert node.axis is not None and node.split is not None
+            coordinate = point.x if node.axis == 0 else point.y
+            node = node.left if coordinate <= node.split else node.right
+            assert node is not None
+        return node
+
+    def _leaves_for_rect(self, rect: Rect) -> List[KdtNode]:
+        found: List[KdtNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.region.intersects(rect):
+                continue
+            if node.is_leaf:
+                found.append(node)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        return found
+
+    def route_object(self, obj: SpatioTextualObject) -> Set[int]:
+        """Workers that must receive ``obj`` (Definition 2 routing rule)."""
+        leaf = self._leaf_for_point(obj.location)
+        if not leaf.is_text_leaf:
+            return {leaf.worker_id} if leaf.worker_id is not None else set()
+        workers: Set[int] = set()
+        assert leaf.term_workers is not None
+        for term in obj.terms:
+            worker = leaf.term_workers.get(term)
+            if worker is not None:
+                workers.add(worker)
+        return workers
+
+    def route_query(self, query: STSQuery) -> Set[int]:
+        """Workers that must receive an insertion/deletion of ``query``.
+
+        A space leaf contributes its worker; a text leaf contributes the
+        worker owning the posting keyword (least frequent keyword) of every
+        conjunctive clause, which is sufficient for matching correctness.
+        """
+        workers: Set[int] = set()
+        for leaf in self._leaves_for_rect(query.region):
+            if not leaf.is_text_leaf:
+                if leaf.worker_id is not None:
+                    workers.add(leaf.worker_id)
+                continue
+            assert leaf.term_workers is not None
+            for key in query.expression.posting_keywords(self._statistics):
+                worker = leaf.term_workers.get(key, leaf.default_worker)
+                if worker is not None:
+                    workers.add(worker)
+        return workers
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leaves(self) -> List[KdtNode]:
+        result: List[KdtNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                if node.right is not None:
+                    stack.append(node.right)
+                if node.left is not None:
+                    stack.append(node.left)
+        return result
+
+    def workers(self) -> Set[int]:
+        """All workers referenced anywhere in the tree."""
+        result: Set[int] = set()
+        for leaf in self.leaves():
+            if leaf.worker_id is not None:
+                result.add(leaf.worker_id)
+            if leaf.term_workers:
+                result.update(leaf.term_workers.values())
+        return result
+
+    @property
+    def height(self) -> int:
+        def depth(node: Optional[KdtNode]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self.root)
+
+    def memory_bytes(self) -> int:
+        """Estimated resident size of the routing tree."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 96  # node overhead: region + pointers
+            if node.term_workers:
+                total += sum(16 + len(term) for term in node.term_workers)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total

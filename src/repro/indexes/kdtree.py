@@ -1,0 +1,189 @@
+"""kd-tree construction over point sets.
+
+Two uses in the reproduction:
+
+* the kd-tree *space partitioning* baseline (Section VI-B) builds a kd-tree
+  over a sample of object locations so that each leaf holds roughly the
+  same number of objects, and assigns each leaf to one worker — this is the
+  strategy used by AQWA and Tornado, both evaluated as baselines;
+* the hybrid partitioner (Algorithm 1) splits subspaces "in either
+  x-dimension or y-dimension as the normal kd-tree does", for which the
+  median-split helper here is reused.
+
+A small point-indexing kd-tree with range search is also provided; it is
+used in tests as an oracle and by examples that need ad-hoc spatial lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.geometry import Point, Rect, bounding_rect
+
+__all__ = [
+    "median_split",
+    "build_leaf_regions",
+    "KDTree",
+    "KDTreeNode",
+]
+
+
+def median_split(points: Sequence[Point], axis: int) -> float:
+    """The median coordinate of ``points`` along ``axis`` (0 = x, 1 = y).
+
+    The median is the midpoint between the two middle elements for even
+    counts, which keeps both halves non-empty whenever the points are not
+    all identical along the axis.
+    """
+    if not points:
+        raise ValueError("median_split() requires at least one point")
+    values = sorted(point.x if axis == 0 else point.y for point in points)
+    mid = len(values) // 2
+    if len(values) % 2 == 1:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+def _split_points(
+    points: Sequence[Point], axis: int, coordinate: float
+) -> Tuple[List[Point], List[Point]]:
+    low = [p for p in points if (p.x if axis == 0 else p.y) <= coordinate]
+    high = [p for p in points if (p.x if axis == 0 else p.y) > coordinate]
+    return low, high
+
+
+def build_leaf_regions(
+    points: Sequence[Point],
+    num_leaves: int,
+    bounds: Rect,
+) -> List[Rect]:
+    """Partition ``bounds`` into ``num_leaves`` rectangles kd-tree style.
+
+    The region with the most points is split repeatedly at the median of
+    the wider axis, so leaves end up with roughly equal point counts — the
+    behaviour the kd-tree partitioning baselines rely on for balance.
+    Regions tile ``bounds`` exactly (no gaps, touching borders).
+    """
+    if num_leaves <= 0:
+        raise ValueError("num_leaves must be positive")
+    regions: List[Tuple[List[Point], Rect]] = [(list(points), bounds)]
+    while len(regions) < num_leaves:
+        # Split the most populated region; fall back to the largest one when
+        # every region is empty so we still produce the requested count.
+        index = max(range(len(regions)), key=lambda i: (len(regions[i][0]), regions[i][1].area))
+        region_points, rect = regions.pop(index)
+        axis = 0 if rect.width >= rect.height else 1
+        if region_points:
+            coordinate = median_split(region_points, axis)
+            lower = rect.min_x if axis == 0 else rect.min_y
+            upper = rect.max_x if axis == 0 else rect.max_y
+            if not (lower < coordinate < upper):
+                coordinate = (lower + upper) / 2.0
+        else:
+            coordinate = (rect.min_x + rect.max_x) / 2.0 if axis == 0 else (
+                rect.min_y + rect.max_y
+            ) / 2.0
+        first_rect, second_rect = rect.split(axis, coordinate)
+        first_points, second_points = _split_points(region_points, axis, coordinate)
+        regions.append((first_points, first_rect))
+        regions.append((second_points, second_rect))
+    return [rect for _, rect in regions]
+
+
+@dataclass
+class KDTreeNode:
+    """A node of the point-indexing kd-tree."""
+
+    bounds: Rect
+    points: List[Point] = field(default_factory=list)
+    axis: int = 0
+    split: Optional[float] = None
+    left: Optional["KDTreeNode"] = None
+    right: Optional["KDTreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class KDTree:
+    """A static kd-tree over points supporting rectangular range search."""
+
+    def __init__(self, points: Iterable[Point], leaf_capacity: int = 32,
+                 bounds: Optional[Rect] = None) -> None:
+        point_list = list(points)
+        if leaf_capacity <= 0:
+            raise ValueError("leaf_capacity must be positive")
+        if bounds is None:
+            bounds = bounding_rect(point_list) if point_list else Rect(0, 0, 1, 1)
+        self._leaf_capacity = leaf_capacity
+        self._size = len(point_list)
+        self.root = self._build(point_list, bounds, depth=0)
+
+    def _build(self, points: List[Point], bounds: Rect, depth: int) -> KDTreeNode:
+        node = KDTreeNode(bounds=bounds, axis=depth % 2)
+        if len(points) <= self._leaf_capacity:
+            node.points = points
+            return node
+        axis = node.axis
+        coordinate = median_split(points, axis)
+        lower = bounds.min_x if axis == 0 else bounds.min_y
+        upper = bounds.max_x if axis == 0 else bounds.max_y
+        if not (lower < coordinate < upper):
+            # Degenerate distribution along this axis; keep as a leaf.
+            node.points = points
+            return node
+        low_points, high_points = _split_points(points, axis, coordinate)
+        if not low_points or not high_points:
+            node.points = points
+            return node
+        node.split = coordinate
+        low_rect, high_rect = bounds.split(axis, coordinate)
+        node.left = self._build(low_points, low_rect, depth + 1)
+        node.right = self._build(high_points, high_rect, depth + 1)
+        return node
+
+    def __len__(self) -> int:
+        return self._size
+
+    def range_search(self, rect: Rect) -> List[Point]:
+        """All indexed points inside ``rect``."""
+        found: List[Point] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None or not node.bounds.intersects(rect):
+                continue
+            if node.is_leaf:
+                found.extend(p for p in node.points if rect.contains_point(p))
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return found
+
+    def leaves(self) -> List[KDTreeNode]:
+        """All leaf nodes in depth-first order."""
+        result: List[KDTreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return result
+
+    @property
+    def height(self) -> int:
+        def depth(node: Optional[KDTreeNode]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self.root)

@@ -1,0 +1,173 @@
+"""RQ-index: an R-tree based STS query index (alternative worker index).
+
+Section IV-D notes that PS2Stream adopts the GI2 index for its cheap
+construction and maintenance, but that "our system can be extended to adopt
+other index structures" — the centralized spatial-keyword pub/sub systems
+it cites (IQ-tree, R^t-tree, AP-tree) all index subscriptions with spatial
+trees.  This module provides such an alternative: queries are indexed by
+their region in an R-tree, and each entry carries the query's posting
+keywords so that candidate filtering can skip queries whose keywords cannot
+match.
+
+The ablation bench ``benchmarks/test_ablation_worker_index.py`` compares it
+against GI2 on construction cost, matching cost and maintenance under
+churn, reproducing the trade-off the paper uses to justify choosing GI2
+(cheap incremental maintenance and cheap migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.geometry import Point, Rect
+from ..core.objects import SpatioTextualObject, STSQuery
+from ..core.text import TermStatistics
+from .gi2 import MatchOutcome
+from .rtree import RTree, RTreeEntry
+
+__all__ = ["RQIndex"]
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """Payload stored in the R-tree: query id plus its posting keywords."""
+
+    query_id: int
+    posting_keywords: FrozenSet[str]
+
+
+class RQIndex:
+    """An R-tree over STS query regions with keyword pre-filtering.
+
+    The interface mirrors :class:`~repro.indexes.gi2.GI2Index` where the two
+    overlap (``insert`` / ``delete`` / ``match`` / ``compact`` /
+    ``memory_bytes`` / ``query_count``), so benches can drive either through
+    the same code.  Spatial containment is resolved by the R-tree; the
+    boolean expression is verified on the surviving candidates.
+
+    Deletions are lazy, like GI2's: removed ids go to a tombstone set and are
+    physically purged when :meth:`compact` rebuilds the tree (R-trees do not
+    support cheap deletes, which is exactly the maintenance cost the paper's
+    choice of GI2 avoids).
+    """
+
+    #: Rebuild the R-tree when tombstones exceed this fraction of entries.
+    COMPACTION_THRESHOLD = 0.5
+
+    def __init__(
+        self,
+        bounds: Rect,
+        capacity: int = 16,
+        term_statistics: Optional[TermStatistics] = None,
+    ) -> None:
+        self._bounds = bounds
+        self._capacity = capacity
+        self._statistics = term_statistics
+        self._tree: RTree[_Entry] = RTree(capacity=capacity)
+        self._queries: Dict[int, STSQuery] = {}
+        self._tombstones: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, query: STSQuery) -> int:
+        """Register a query; returns 1 when a new entry was created."""
+        if query.query_id in self._queries and query.query_id not in self._tombstones:
+            return 0
+        self._tombstones.discard(query.query_id)
+        if query.query_id not in self._queries:
+            entry = _Entry(
+                query_id=query.query_id,
+                posting_keywords=frozenset(query.expression.posting_keywords(self._statistics)),
+            )
+            self._tree.insert(query.region, entry)
+        self._queries[query.query_id] = query
+        return 1
+
+    def bulk_load(self, queries: Iterable[STSQuery]) -> int:
+        """Replace the index contents with ``queries`` (STR bulk load)."""
+        queries = list(queries)
+        entries = []
+        self._queries = {}
+        self._tombstones = set()
+        for query in queries:
+            entry = _Entry(
+                query_id=query.query_id,
+                posting_keywords=frozenset(query.expression.posting_keywords(self._statistics)),
+            )
+            entries.append(RTreeEntry(query.region, entry))
+            self._queries[query.query_id] = query
+        self._tree = RTree.bulk_load(entries, capacity=self._capacity)
+        return len(queries)
+
+    def delete(self, query_id: int) -> bool:
+        """Lazily delete a query; triggers a rebuild when tombstones pile up."""
+        if query_id not in self._queries or query_id in self._tombstones:
+            return False
+        self._tombstones.add(query_id)
+        if (
+            self._queries
+            and len(self._tombstones) / len(self._queries) > self.COMPACTION_THRESHOLD
+        ):
+            self.compact()
+        return True
+
+    def compact(self) -> int:
+        """Physically drop tombstoned queries by rebuilding the R-tree."""
+        if not self._tombstones:
+            return 0
+        removed = len(self._tombstones)
+        survivors = [
+            query
+            for query_id, query in self._queries.items()
+            if query_id not in self._tombstones
+        ]
+        self.bulk_load(survivors)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, obj: SpatioTextualObject) -> MatchOutcome:
+        """All live queries satisfied by ``obj``."""
+        matched: List[int] = []
+        checks = 0
+        for entry in self._tree.search_point(obj.location):
+            payload = entry.payload
+            if payload.query_id in self._tombstones:
+                continue
+            # Keyword pre-filter: a query can only match when the object
+            # contains at least one of its posting keywords.
+            if payload.posting_keywords and not (payload.posting_keywords & obj.terms):
+                continue
+            query = self._queries.get(payload.query_id)
+            if query is None:
+                continue
+            checks += 1
+            if query.matches(obj):
+                matched.append(payload.query_id)
+        return MatchOutcome(tuple(sorted(set(matched))), checks)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        return len(self._queries) - len(self._tombstones & self._queries.keys())
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._queries and query_id not in self._tombstones
+
+    def queries(self) -> List[STSQuery]:
+        return [
+            query
+            for query_id, query in self._queries.items()
+            if query_id not in self._tombstones
+        ]
+
+    def memory_bytes(self) -> int:
+        query_bytes = sum(query.size_bytes() for query in self._queries.values())
+        # R-tree node overhead: roughly one entry per query plus internal nodes.
+        tree_bytes = 72 * max(len(self._queries), 1)
+        return query_bytes + tree_bytes

@@ -1,0 +1,271 @@
+"""An R-tree with Sort-Tile-Recursive (STR) bulk loading.
+
+The R-tree plays two roles:
+
+* the *R-tree space-partitioning* baseline (Section VI-B) bulk-loads an
+  R-tree over a sample of object locations and assigns groups of leaf
+  nodes to workers, following SpatialHadoop's partitioning strategy;
+* a general-purpose dynamic spatial index (insert + range search) that
+  examples and tests can use as an oracle for rectangle containment.
+
+The implementation supports STR bulk loading, single insertions with the
+classic least-enlargement descent and quadratic node splitting, rectangle
+range search, and traversal of leaf-level minimum bounding rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..core.geometry import Point, Rect
+
+__all__ = ["RTree", "RTreeEntry", "str_pack"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RTreeEntry(Generic[T]):
+    """A leaf entry: a bounding rectangle plus an arbitrary payload."""
+
+    rect: Rect
+    payload: T
+
+
+@dataclass
+class _Node(Generic[T]):
+    is_leaf: bool
+    entries: List[RTreeEntry[T]] = field(default_factory=list)
+    children: List["_Node[T]"] = field(default_factory=list)
+    rect: Optional[Rect] = None
+
+    def recompute_rect(self) -> None:
+        rects: List[Rect]
+        if self.is_leaf:
+            rects = [entry.rect for entry in self.entries]
+        else:
+            rects = [child.rect for child in self.children if child.rect is not None]
+        if not rects:
+            self.rect = None
+            return
+        current = rects[0]
+        for rect in rects[1:]:
+            current = current.union(rect)
+        self.rect = current
+
+
+def _slice_count(count: int, capacity: int) -> int:
+    leaves = math.ceil(count / capacity)
+    return max(1, math.ceil(math.sqrt(leaves)))
+
+
+def str_pack(entries: Sequence[RTreeEntry[T]], capacity: int) -> List[List[RTreeEntry[T]]]:
+    """Group entries into leaf-sized runs using Sort-Tile-Recursive packing.
+
+    Entries are sorted by the x-coordinate of their centre, cut into
+    vertical slices, each slice sorted by the y-coordinate and cut into
+    groups of at most ``capacity`` entries.
+    """
+    if capacity <= 1:
+        raise ValueError("capacity must be at least 2")
+    if not entries:
+        return []
+    by_x = sorted(entries, key=lambda entry: entry.rect.center.x)
+    slices = _slice_count(len(entries), capacity)
+    slice_size = math.ceil(len(entries) / slices)
+    groups: List[List[RTreeEntry[T]]] = []
+    for start in range(0, len(by_x), slice_size):
+        vertical = sorted(by_x[start:start + slice_size], key=lambda entry: entry.rect.center.y)
+        for inner in range(0, len(vertical), capacity):
+            groups.append(vertical[inner:inner + capacity])
+    return groups
+
+
+class RTree(Generic[T]):
+    """A dynamic R-tree with STR bulk loading."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self._capacity = capacity
+        self._root: _Node[T] = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, entries: Iterable[RTreeEntry[T]], capacity: int = 16) -> "RTree[T]":
+        """Build an R-tree bottom-up with STR packing."""
+        tree = cls(capacity=capacity)
+        entry_list = list(entries)
+        tree._size = len(entry_list)
+        if not entry_list:
+            return tree
+        leaf_groups = str_pack(entry_list, capacity)
+        level: List[_Node[T]] = []
+        for group in leaf_groups:
+            node = _Node(is_leaf=True, entries=list(group))
+            node.recompute_rect()
+            level.append(node)
+        while len(level) > 1:
+            parents: List[_Node[T]] = []
+            wrapped = [RTreeEntry(node.rect, node) for node in level if node.rect is not None]
+            for group in str_pack(wrapped, capacity):
+                parent = _Node(is_leaf=False, children=[entry.payload for entry in group])
+                parent.recompute_rect()
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect, payload: T) -> None:
+        """Insert one entry, splitting overflowing nodes quadratically."""
+        entry = RTreeEntry(rect, payload)
+        split = self._insert_into(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False, children=[old_root, split])
+            self._root.recompute_rect()
+        self._size += 1
+
+    def _insert_into(self, node: _Node[T], entry: RTreeEntry[T]) -> Optional[_Node[T]]:
+        if node.is_leaf:
+            node.entries.append(entry)
+            node.recompute_rect()
+            if len(node.entries) > self._capacity:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_child(node, entry.rect)
+        overflow = self._insert_into(child, entry)
+        if overflow is not None:
+            node.children.append(overflow)
+        node.recompute_rect()
+        if len(node.children) > self._capacity:
+            return self._split_internal(node)
+        return None
+
+    def _choose_child(self, node: _Node[T], rect: Rect) -> _Node[T]:
+        best = None
+        best_key = None
+        for child in node.children:
+            child_rect = child.rect if child.rect is not None else rect
+            key = (child_rect.enlargement_area(rect), child_rect.area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = child
+        assert best is not None
+        return best
+
+    def _split_leaf(self, node: _Node[T]) -> _Node[T]:
+        groups = self._quadratic_split([entry.rect for entry in node.entries])
+        first, second = groups
+        entries = node.entries
+        node.entries = [entries[i] for i in first]
+        node.recompute_rect()
+        sibling = _Node(is_leaf=True, entries=[entries[i] for i in second])
+        sibling.recompute_rect()
+        return sibling
+
+    def _split_internal(self, node: _Node[T]) -> _Node[T]:
+        rects = [child.rect for child in node.children]
+        groups = self._quadratic_split(rects)
+        first, second = groups
+        children = node.children
+        node.children = [children[i] for i in first]
+        node.recompute_rect()
+        sibling = _Node(is_leaf=False, children=[children[i] for i in second])
+        sibling.recompute_rect()
+        return sibling
+
+    @staticmethod
+    def _quadratic_split(rects: Sequence[Rect]) -> Tuple[List[int], List[int]]:
+        """Split indices into two groups using Guttman's quadratic heuristic."""
+        count = len(rects)
+        if count < 2:
+            return list(range(count)), []
+        # Pick the seed pair wasting the most area when combined.
+        worst = (0, 1)
+        worst_waste = -1.0
+        for i in range(count):
+            for j in range(i + 1, count):
+                waste = rects[i].union(rects[j]).area - rects[i].area - rects[j].area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst = (i, j)
+        first = [worst[0]]
+        second = [worst[1]]
+        first_rect = rects[worst[0]]
+        second_rect = rects[worst[1]]
+        remaining = [i for i in range(count) if i not in worst]
+        for index in remaining:
+            growth_first = first_rect.enlargement_area(rects[index])
+            growth_second = second_rect.enlargement_area(rects[index])
+            if growth_first <= growth_second:
+                first.append(index)
+                first_rect = first_rect.union(rects[index])
+            else:
+                second.append(index)
+                second_rect = second_rect.union(rects[index])
+        # Guarantee both groups are non-empty.
+        if not second:
+            second.append(first.pop())
+        if not first:
+            first.append(second.pop())
+        return first, second
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, rect: Rect) -> List[RTreeEntry[T]]:
+        """All entries whose rectangle intersects ``rect``."""
+        results: List[RTreeEntry[T]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not node.rect.intersects(rect):
+                continue
+            if node.is_leaf:
+                results.extend(entry for entry in node.entries if entry.rect.intersects(rect))
+            else:
+                stack.extend(node.children)
+        return results
+
+    def search_point(self, point: Point) -> List[RTreeEntry[T]]:
+        """All entries whose rectangle contains ``point``."""
+        probe = Rect(point.x, point.y, point.x, point.y)
+        return [entry for entry in self.search(probe) if entry.rect.contains_point(point)]
+
+    def leaf_rects(self) -> List[Rect]:
+        """Minimum bounding rectangles of the leaf nodes.
+
+        The R-tree partitioning baseline assigns these MBRs (or groups of
+        them) to workers.
+        """
+        rects: List[Rect] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if node.rect is not None:
+                    rects.append(node.rect)
+            else:
+                stack.extend(node.children)
+        return rects
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height

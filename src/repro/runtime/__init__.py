@@ -1,0 +1,27 @@
+"""The simulated PS2Stream cluster runtime.
+
+Substitute for the paper's Storm-on-EC2 deployment: dispatchers route the
+tuple stream through the gridt index, workers match objects against their
+GI2 indexes, mergers deduplicate results, and the cost model converts the
+executed work into throughput, latency and memory reports.
+"""
+
+from .cluster import Cluster, ClusterConfig, MigrationRecord
+from .dispatcher import DispatcherNode, RoutingDecision
+from .merger import MergerNode
+from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
+from .worker import WorkerNode
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "DispatcherNode",
+    "LatencyBuckets",
+    "LatencyTracker",
+    "MergerNode",
+    "MigrationRecord",
+    "RoutingDecision",
+    "RunReport",
+    "WorkerNode",
+    "utilization_latency",
+]

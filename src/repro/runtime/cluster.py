@@ -1,0 +1,348 @@
+"""The simulated PS2Stream cluster: dispatchers, workers and mergers.
+
+This module is the substitute for the paper's Storm-on-EC2 deployment (see
+DESIGN.md).  The cluster executes every tuple *for real* — objects are
+routed through the gridt index, matched against GI2 posting lists, results
+deduplicated by mergers — while time is accounted through the
+Definition-1 cost model.  From the accounted busy time the simulator
+derives
+
+* **saturation throughput**: total tuples divided by the busy time of the
+  bottleneck process (the quantity Figures 6, 7, 11 and 16 plot);
+* **latency**: per-tuple service times inflated by a single-server
+  queueing factor at a configurable input rate (Figure 8, 12(c), 15);
+* **memory**: analytic footprints of the dispatcher routing index and the
+  worker GI2 indexes (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.costmodel import CostModel, LoadReport
+from ..core.geometry import Rect
+from ..core.objects import MatchResult, StreamTuple, TupleKind
+from ..indexes.gi2 import CellStats
+from ..indexes.grid import CellCoord
+from ..indexes.gridt import GridTIndex
+from ..partitioning.base import PartitionPlan
+from .dispatcher import DispatcherNode
+from .merger import MergerNode
+from .metrics import LatencyTracker, RunReport, utilization_latency
+from .worker import WorkerNode
+
+__all__ = ["Cluster", "ClusterConfig", "MigrationRecord"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sizing and calibration of the simulated cluster.
+
+    The defaults mirror the paper's testbed: 4 dispatchers, 8 workers and
+    GI2/gridt granularity ``2^6``.  ``cost_unit_seconds`` converts the
+    abstract cost units of :class:`~repro.core.costmodel.CostModel` into
+    seconds; it was calibrated so that one object-handling unit corresponds
+    to a few tens of microseconds of Python matching work.
+    """
+
+    num_dispatchers: int = 4
+    num_workers: int = 8
+    num_mergers: int = 2
+    gi2_granularity: int = 64
+    gridt_granularity: int = 64
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Seconds per cost unit.
+    cost_unit_seconds: float = 20e-6
+    #: Input rate (as a fraction of saturation) at which latency is reported.
+    latency_load_fraction: float = 0.6
+    #: Network / framework overhead per hop (source -> dispatcher -> worker),
+    #: matching the millisecond-scale per-tuple latency floor of a Storm
+    #: deployment on EC2.
+    network_hop_ms: float = 4.0
+    #: Bandwidth available for migrating queries between workers.
+    migration_bandwidth_bytes_per_sec: float = 20e6
+    #: Fixed network/coordination overhead per migration.
+    migration_fixed_seconds: float = 0.05
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """Outcome of one cell migration between two workers."""
+
+    source_worker: int
+    target_worker: int
+    cells: Tuple[CellCoord, ...]
+    queries_moved: int
+    bytes_moved: int
+    seconds: float
+
+
+@dataclass
+class _TupleTrace:
+    """Per-tuple record used to reconstruct latency after the run."""
+
+    dispatcher_id: int
+    dispatcher_cost: float
+    worker_costs: Dict[int, float]
+
+
+class Cluster:
+    """A PS2Stream deployment over simulated processes."""
+
+    def __init__(self, plan: PartitionPlan, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.plan = plan
+        self.bounds: Rect = plan.bounds
+        self.routing_index: GridTIndex = plan.to_gridt(self.config.gridt_granularity)
+        # Each dispatcher holds (a reference to) the routing structure; the
+        # memory report charges a full copy per dispatcher, as in the paper.
+        self.dispatchers: List[DispatcherNode] = [
+            DispatcherNode(index, self.routing_index)
+            for index in range(self.config.num_dispatchers)
+        ]
+        self.workers: Dict[int, WorkerNode] = {
+            index: WorkerNode(
+                index,
+                self.bounds,
+                granularity=self.config.gi2_granularity,
+                cost_model=self.config.cost_model,
+                term_statistics=plan.statistics,
+            )
+            for index in range(self.config.num_workers)
+        }
+        self.mergers: List[MergerNode] = [
+            MergerNode(index) for index in range(self.config.num_mergers)
+        ]
+        self._traces: List[_TupleTrace] = []
+        self._next_dispatcher = 0
+        self._tuples_processed = 0
+        self._objects = 0
+        self._insertions = 0
+        self._deletions = 0
+        self._matches_produced = 0
+        self._object_fanout_total = 0
+        self._query_fanout_total = 0
+        self.migrations: List[MigrationRecord] = []
+
+    # ------------------------------------------------------------------
+    # Tuple processing
+    # ------------------------------------------------------------------
+    def process(self, item: StreamTuple, *, trace: bool = True) -> Set[int]:
+        """Run one tuple through dispatcher, workers and mergers.
+
+        Returns the set of workers that handled the tuple.
+        """
+        dispatcher = self.dispatchers[self._next_dispatcher]
+        self._next_dispatcher = (self._next_dispatcher + 1) % len(self.dispatchers)
+        decision = dispatcher.route(item)
+        worker_costs: Dict[int, float] = {}
+        handled: Set[int] = set()
+        results: List[MatchResult] = []
+        for worker_id in decision.workers:
+            worker = self.workers.get(worker_id)
+            if worker is None:
+                continue
+            handled.add(worker_id)
+            if item.kind is TupleKind.OBJECT:
+                results.extend(worker.handle_object(item.payload))  # type: ignore[arg-type]
+            elif item.kind is TupleKind.INSERT:
+                worker.handle_insertion(item.payload)  # type: ignore[arg-type]
+            else:
+                worker.handle_deletion(item.payload)  # type: ignore[arg-type]
+            worker_costs[worker_id] = worker.last_tuple_cost
+
+        if results:
+            self._matches_produced += len(results)
+            for result in results:
+                merger = self.mergers[result.query_id % len(self.mergers)]
+                merger.handle(result)
+
+        self._tuples_processed += 1
+        if item.kind is TupleKind.OBJECT:
+            self._objects += 1
+            self._object_fanout_total += len(handled)
+        elif item.kind is TupleKind.INSERT:
+            self._insertions += 1
+            self._query_fanout_total += len(handled)
+        else:
+            self._deletions += 1
+        if trace:
+            self._traces.append(
+                _TupleTrace(
+                    dispatcher_id=dispatcher.dispatcher_id,
+                    dispatcher_cost=decision.cost,
+                    worker_costs=worker_costs,
+                )
+            )
+        return handled
+
+    def run(self, tuples: Iterable[StreamTuple], *, trace: bool = True) -> RunReport:
+        """Process a tuple stream and return the run report."""
+        for item in tuples:
+            self.process(item, trace=trace)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def saturation_throughput(self) -> float:
+        """Tuples per second when the bottleneck process is saturated."""
+        if self._tuples_processed == 0:
+            return 0.0
+        unit = self.config.cost_unit_seconds
+        busy_seconds = [d.busy_cost * unit for d in self.dispatchers]
+        busy_seconds += [w.busy_cost * unit for w in self.workers.values()]
+        busy_seconds += [m.busy_cost * unit for m in self.mergers]
+        bottleneck = max(busy_seconds) if busy_seconds else 0.0
+        if bottleneck <= 0.0:
+            return 0.0
+        return self._tuples_processed / bottleneck
+
+    def _process_utilizations(self, input_rate: float) -> Tuple[Dict[int, float], Dict[int, float]]:
+        """Utilisation of each dispatcher and worker at ``input_rate`` tuples/s."""
+        if self._tuples_processed == 0 or input_rate <= 0.0:
+            return {}, {}
+        unit = self.config.cost_unit_seconds
+        wall_seconds = self._tuples_processed / input_rate
+        dispatcher_util = {
+            d.dispatcher_id: (d.busy_cost * unit) / wall_seconds for d in self.dispatchers
+        }
+        worker_util = {
+            w.worker_id: (w.busy_cost * unit) / wall_seconds for w in self.workers.values()
+        }
+        return dispatcher_util, worker_util
+
+    def latency_tracker(self, input_rate: Optional[float] = None) -> LatencyTracker:
+        """Per-tuple latencies (ms) at the given input rate.
+
+        Defaults to ``latency_load_fraction`` of the saturation throughput,
+        matching the paper's "moderate input speed" protocol for Figure 8.
+        """
+        tracker = LatencyTracker()
+        if not self._traces:
+            return tracker
+        if input_rate is None:
+            input_rate = self.config.latency_load_fraction * self.saturation_throughput()
+        dispatcher_util, worker_util = self._process_utilizations(input_rate)
+        unit_ms = self.config.cost_unit_seconds * 1000.0
+        hop_ms = self.config.network_hop_ms
+        for trace in self._traces:
+            dispatcher_ms = utilization_latency(
+                hop_ms + trace.dispatcher_cost * unit_ms,
+                dispatcher_util.get(trace.dispatcher_id, 0.0),
+            )
+            worker_ms = 0.0
+            for worker_id, cost in trace.worker_costs.items():
+                candidate = utilization_latency(
+                    hop_ms + cost * unit_ms, worker_util.get(worker_id, 0.0)
+                )
+                worker_ms = max(worker_ms, candidate)
+            tracker.record(dispatcher_ms + worker_ms)
+        return tracker
+
+    def worker_load_report(self) -> LoadReport:
+        return LoadReport(
+            worker_loads={w.worker_id: w.load() for w in self.workers.values()}
+        )
+
+    def report(self, input_rate: Optional[float] = None) -> RunReport:
+        """Build the full :class:`RunReport` for the processed stream."""
+        tracker = self.latency_tracker(input_rate)
+        buckets = tracker.buckets()
+        objects = max(self._objects, 1)
+        insertions = max(self._insertions, 1)
+        return RunReport(
+            tuples_processed=self._tuples_processed,
+            objects_processed=self._objects,
+            insertions_processed=self._insertions,
+            deletions_processed=self._deletions,
+            throughput=self.saturation_throughput(),
+            mean_latency_ms=tracker.mean,
+            p95_latency_ms=tracker.percentile(95.0),
+            latency_buckets=buckets,
+            worker_loads={w.worker_id: w.load() for w in self.workers.values()},
+            dispatcher_memory={d.dispatcher_id: d.memory_bytes() for d in self.dispatchers},
+            worker_memory={w.worker_id: w.memory_bytes() for w in self.workers.values()},
+            matches_produced=self._matches_produced,
+            matches_delivered=sum(m.delivered for m in self.mergers),
+            object_fanout=self._object_fanout_total / objects,
+            query_fanout=self._query_fanout_total / insertions,
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic adjustment hooks (Section V)
+    # ------------------------------------------------------------------
+    def worker_cell_stats(self, worker_id: int) -> List[CellStats]:
+        return self.workers[worker_id].cell_stats()
+
+    def migrate_cells(
+        self,
+        source_worker: int,
+        target_worker: int,
+        cells: Sequence[CellCoord],
+    ) -> MigrationRecord:
+        """Move the queries of ``cells`` from one worker to another.
+
+        Queries that also overlap cells staying on the source worker are
+        *copied* rather than moved, so matching correctness is preserved.
+        The dispatcher routing index is updated to point the migrated cells
+        at the target worker.  The returned record carries the migration
+        cost (bytes shipped) and the simulated migration time.
+        """
+        source = self.workers[source_worker]
+        target = self.workers[target_worker]
+        moving = set(cells)
+        unique: Dict[int, object] = {}
+        for cell in moving:
+            for query in source.index.queries_in_cell(cell):
+                unique[query.query_id] = query
+        removable: List[int] = []
+        for query_id in unique:
+            owned_cells = source.index.cells_of_query(query_id)
+            if owned_cells and owned_cells <= moving:
+                removable.append(query_id)
+        shipped = list(unique.values())
+        source.index.remove_queries(removable)
+        target.install_queries(shipped)  # type: ignore[arg-type]
+        for cell in moving:
+            self.routing_index.migrate_cell(cell, source_worker, target_worker)
+        bytes_moved = sum(query.size_bytes() for query in shipped)  # type: ignore[attr-defined]
+        seconds = (
+            self.config.migration_fixed_seconds
+            + bytes_moved / self.config.migration_bandwidth_bytes_per_sec
+            + len(shipped) * self.config.cost_model.insert_handling * self.config.cost_unit_seconds
+        )
+        record = MigrationRecord(
+            source_worker=source_worker,
+            target_worker=target_worker,
+            cells=tuple(moving),
+            queries_moved=len(shipped),
+            bytes_moved=bytes_moved,
+            seconds=seconds,
+        )
+        self.migrations.append(record)
+        return record
+
+    def replace_routing_index(self, routing_index: GridTIndex) -> None:
+        """Swap in a new routing structure (global load adjustment)."""
+        self.routing_index = routing_index
+        for dispatcher in self.dispatchers:
+            dispatcher.routing_index = routing_index
+
+    def reset_period(self) -> None:
+        """Start a new measurement period on every process."""
+        for dispatcher in self.dispatchers:
+            dispatcher.reset_period()
+        for worker in self.workers.values():
+            worker.reset_period()
+        for merger in self.mergers:
+            merger.reset_period()
+        self._traces.clear()
+        self._tuples_processed = 0
+        self._objects = 0
+        self._insertions = 0
+        self._deletions = 0
+        self._matches_produced = 0
+        self._object_fanout_total = 0
+        self._query_fanout_total = 0

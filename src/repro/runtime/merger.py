@@ -1,0 +1,80 @@
+"""Merger processes: deduplicate match results and deliver them to users.
+
+A query replicated to several workers (because its region or keywords span
+multiple partitions) can produce the same (query, object) match more than
+once; the merger removes the duplicates before notifying subscribers
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.objects import MatchResult
+
+__all__ = ["MergerNode"]
+
+
+class MergerNode:
+    """One merger of the PS2Stream cluster."""
+
+    #: Cost of handling one match result (deduplication + delivery).
+    RESULT_COST = 0.02
+
+    def __init__(self, merger_id: int, *, dedup_window: int = 100_000) -> None:
+        """``dedup_window`` bounds how many recent match keys are remembered.
+
+        A real deployment cannot remember every (query, object) pair it ever
+        delivered; a sliding window over recent object ids is sufficient
+        because duplicates of one object arrive close together.
+        """
+        self.merger_id = merger_id
+        self.busy_cost = 0.0
+        self.received = 0
+        self.delivered = 0
+        self.duplicates = 0
+        self._dedup_window = dedup_window
+        self._seen: Set[Tuple[int, int]] = set()
+        self._order: List[Tuple[int, int]] = []
+        self._delivered_per_subscriber: Dict[int, int] = defaultdict(int)
+
+    def handle(self, result: MatchResult) -> bool:
+        """Process one match result; returns ``True`` when delivered."""
+        self.received += 1
+        self.busy_cost += self.RESULT_COST
+        key = result.key()
+        if key in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(key)
+        self._order.append(key)
+        if len(self._order) > self._dedup_window:
+            oldest = self._order.pop(0)
+            self._seen.discard(oldest)
+        self.delivered += 1
+        self._delivered_per_subscriber[result.subscriber_id] += 1
+        return True
+
+    def handle_many(self, results: Iterable[MatchResult]) -> int:
+        """Process a batch of results; returns how many were delivered."""
+        delivered = 0
+        for result in results:
+            if self.handle(result):
+                delivered += 1
+        return delivered
+
+    def deliveries_for(self, subscriber_id: int) -> int:
+        return self._delivered_per_subscriber.get(subscriber_id, 0)
+
+    def reset_period(self) -> None:
+        self.busy_cost = 0.0
+        self.received = 0
+        self.delivered = 0
+        self.duplicates = 0
+
+    def memory_bytes(self) -> int:
+        return 48 * len(self._seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MergerNode(id=%d, delivered=%d)" % (self.merger_id, self.delivered)

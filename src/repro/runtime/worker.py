@@ -1,0 +1,137 @@
+"""Worker processes: index STS queries and match incoming objects.
+
+A worker (Section III-B) owns an in-memory GI2 index.  It executes three
+operations — query insertion, query deletion and object matching — and
+accounts the cost of each through the Definition-1 cost model so that the
+cluster simulator can derive saturation throughput and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.costmodel import CostModel, WorkerLoadCounters
+from ..core.geometry import Rect
+from ..core.objects import MatchResult, QueryDeletion, QueryInsertion, SpatioTextualObject, STSQuery
+from ..core.text import TermStatistics
+from ..indexes.gi2 import CellStats, GI2Index
+from ..indexes.grid import CellCoord
+
+__all__ = ["WorkerNode"]
+
+
+class WorkerNode:
+    """One worker of the PS2Stream cluster."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        bounds: Rect,
+        *,
+        granularity: int = 64,
+        cost_model: Optional[CostModel] = None,
+        term_statistics: Optional[TermStatistics] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.index = GI2Index(bounds, granularity=granularity, term_statistics=term_statistics)
+        self.counters = WorkerLoadCounters()
+        #: Accumulated busy time in cost units (converted to seconds by the cluster).
+        self.busy_cost = 0.0
+        self._last_tuple_cost = 0.0
+
+    # ------------------------------------------------------------------
+    # Operations (Section III-B, worker responsibilities)
+    # ------------------------------------------------------------------
+    def handle_insertion(self, insertion: QueryInsertion) -> None:
+        """(1) Query insertion: add the STS query to the in-memory index."""
+        self.index.insert(insertion.query)
+        self.counters.record_insertion()
+        cost = self.cost_model.insert_handling
+        self.busy_cost += cost
+        self._last_tuple_cost = cost
+
+    def handle_deletion(self, deletion: QueryDeletion) -> None:
+        """(2) Query deletion: lazily remove the STS query from the index."""
+        self.index.delete(deletion.query_id)
+        self.counters.record_deletion()
+        cost = self.cost_model.delete_handling
+        self.busy_cost += cost
+        self._last_tuple_cost = cost
+
+    def handle_object(self, obj: SpatioTextualObject) -> List[MatchResult]:
+        """(3) Matching: find the registered queries satisfied by ``obj``."""
+        outcome = self.index.match(obj)
+        self.counters.record_object(checks=outcome.checks, matches=len(outcome.query_ids))
+        cost = self.cost_model.object_handling + self.cost_model.match_check * outcome.checks
+        self.busy_cost += cost
+        self._last_tuple_cost = cost
+        results = []
+        for query_id in outcome.query_ids:
+            query = self.index.get_query(query_id)
+            subscriber = query.subscriber_id if query is not None else 0
+            results.append(
+                MatchResult(
+                    query_id=query_id,
+                    object_id=obj.object_id,
+                    subscriber_id=subscriber,
+                    worker_id=self.worker_id,
+                )
+            )
+        return results
+
+    @property
+    def last_tuple_cost(self) -> float:
+        """Cost charged for the most recent tuple (used for latency modelling)."""
+        return self._last_tuple_cost
+
+    # ------------------------------------------------------------------
+    # Load accounting and adjustment hooks
+    # ------------------------------------------------------------------
+    def load(self) -> float:
+        """Definition-1 load of this worker over the current period."""
+        return self.counters.load(self.cost_model)
+
+    def reset_period(self) -> None:
+        """Start a new load-measurement period (counters and cell stats)."""
+        self.counters.reset()
+        self.busy_cost = 0.0
+        self.index.reset_object_counts()
+
+    def cell_stats(self) -> List[CellStats]:
+        """Per-cell loads and sizes (Definition 3), for the load adjusters."""
+        return self.index.cell_stats()
+
+    def extract_cells(self, cells: Iterable[CellCoord]) -> List[STSQuery]:
+        """Remove and return the live queries registered in ``cells``.
+
+        The migration machinery ships the returned queries to the target
+        worker, which re-registers them via :meth:`install_queries`.
+        """
+        query_ids: Set[int] = set()
+        for cell in cells:
+            for query in self.index.queries_in_cell(cell):
+                query_ids.add(query.query_id)
+        return self.index.remove_queries(query_ids)
+
+    def install_queries(self, queries: Iterable[STSQuery]) -> int:
+        """Register migrated queries; returns how many were installed."""
+        installed = 0
+        for query in queries:
+            self.index.insert(query)
+            installed += 1
+        return installed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        return self.index.query_count
+
+    def memory_bytes(self) -> int:
+        return self.index.memory_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WorkerNode(id=%d, queries=%d)" % (self.worker_id, self.query_count)

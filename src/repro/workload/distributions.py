@@ -1,0 +1,215 @@
+"""Statistical building blocks of the synthetic workload generators.
+
+The paper evaluates on two proprietary corpora (TWEETS-US with 280 million
+and TWEETS-UK with 58 million geo-tagged tweets).  The generators in this
+package substitute seeded synthetic streams that reproduce the three
+statistics the experiments actually depend on:
+
+* a power-law (Zipfian) term frequency distribution over the vocabulary;
+* spatially clustered object density (people tweet from cities);
+* regionally varying topical vocabularies, so that the text distributions
+  of objects and queries differ between regions (the situation Figure 2
+  motivates and the Q3 query sets exploit).
+
+This module provides the low-level samplers; :mod:`repro.workload.tweets`
+assembles them into object streams.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.geometry import Point, Rect
+
+__all__ = [
+    "ZipfVocabulary",
+    "SpatialClusterModel",
+    "TopicModel",
+    "US_BOUNDS",
+    "UK_BOUNDS",
+]
+
+#: Approximate bounding box of the contiguous United States (lon/lat).
+US_BOUNDS = Rect(-125.0, 24.0, -66.0, 50.0)
+#: Approximate bounding box of Great Britain (lon/lat).
+UK_BOUNDS = Rect(-8.0, 49.9, 2.0, 59.5)
+
+
+class ZipfVocabulary:
+    """A vocabulary of synthetic terms with Zipfian sampling weights.
+
+    Term ``i`` (1-based rank) has weight ``1 / i**exponent``.  Sampling is
+    done by binary search over the cumulative weights, which keeps the
+    generator fast enough to synthesise hundreds of thousands of tweets.
+    """
+
+    def __init__(self, size: int = 5000, exponent: float = 1.0, prefix: str = "term") -> None:
+        if size <= 0:
+            raise ValueError("vocabulary size must be positive")
+        self.terms: List[str] = ["%s%05d" % (prefix, rank) for rank in range(1, size + 1)]
+        weights = [1.0 / (rank ** exponent) for rank in range(1, size + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one term according to the Zipf weights."""
+        position = bisect.bisect_left(self._cumulative, rng.random())
+        position = min(position, len(self.terms) - 1)
+        return self.terms[position]
+
+    def sample_many(self, rng: random.Random, count: int) -> List[str]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def rank_of(self, term: str) -> Optional[int]:
+        """The 1-based rank of ``term`` or ``None`` for foreign terms."""
+        if not term.startswith(self.terms[0][: -5]):
+            return None
+        try:
+            rank = int(term[-5:])
+        except ValueError:
+            return None
+        if 1 <= rank <= len(self.terms):
+            return rank
+        return None
+
+    def head(self, fraction: float) -> List[str]:
+        """The most frequent ``fraction`` of the vocabulary (by rank)."""
+        cutoff = max(1, int(round(len(self.terms) * fraction)))
+        return self.terms[:cutoff]
+
+    def tail(self, fraction: float) -> List[str]:
+        """The least frequent ``fraction`` of the vocabulary (by rank)."""
+        cutoff = max(1, int(round(len(self.terms) * fraction)))
+        return self.terms[-cutoff:]
+
+
+@dataclass(frozen=True)
+class _Cluster:
+    center: Point
+    spread_x: float
+    spread_y: float
+    weight: float
+
+
+class SpatialClusterModel:
+    """A mixture of 2-D Gaussian clusters clipped to a bounding box.
+
+    Models the city-centric density of geo-tagged tweets.  Cluster centres,
+    spreads and weights are drawn from the seeded ``rng`` at construction
+    so that a given seed always produces the same "country".
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        num_clusters: int = 20,
+        seed: int = 0,
+        *,
+        uniform_fraction: float = 0.1,
+    ) -> None:
+        if num_clusters <= 0:
+            raise ValueError("num_clusters must be positive")
+        if not 0.0 <= uniform_fraction <= 1.0:
+            raise ValueError("uniform_fraction must lie in [0, 1]")
+        self.bounds = bounds
+        self.uniform_fraction = uniform_fraction
+        rng = random.Random(seed)
+        clusters: List[_Cluster] = []
+        for _ in range(num_clusters):
+            center = Point(
+                rng.uniform(bounds.min_x, bounds.max_x),
+                rng.uniform(bounds.min_y, bounds.max_y),
+            )
+            spread_x = rng.uniform(0.01, 0.06) * bounds.width
+            spread_y = rng.uniform(0.01, 0.06) * bounds.height
+            weight = rng.uniform(0.5, 3.0)
+            clusters.append(_Cluster(center, spread_x, spread_y, weight))
+        total = sum(cluster.weight for cluster in clusters)
+        self._clusters = clusters
+        self._cumulative: List[float] = []
+        running = 0.0
+        for cluster in clusters:
+            running += cluster.weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    @property
+    def clusters(self) -> Sequence[_Cluster]:
+        return self._clusters
+
+    def cluster_index(self, rng: random.Random) -> int:
+        position = bisect.bisect_left(self._cumulative, rng.random())
+        return min(position, len(self._clusters) - 1)
+
+    def sample(self, rng: random.Random) -> Tuple[Point, int]:
+        """Draw ``(location, cluster_index)``; index is -1 for uniform noise."""
+        if rng.random() < self.uniform_fraction:
+            point = Point(
+                rng.uniform(self.bounds.min_x, self.bounds.max_x),
+                rng.uniform(self.bounds.min_y, self.bounds.max_y),
+            )
+            return point, -1
+        index = self.cluster_index(rng)
+        cluster = self._clusters[index]
+        x = rng.gauss(cluster.center.x, cluster.spread_x)
+        y = rng.gauss(cluster.center.y, cluster.spread_y)
+        x = min(max(x, self.bounds.min_x), self.bounds.max_x)
+        y = min(max(y, self.bounds.min_y), self.bounds.max_y)
+        return Point(x, y), index
+
+    def sample_point(self, rng: random.Random) -> Point:
+        return self.sample(rng)[0]
+
+
+class TopicModel:
+    """Per-cluster topical vocabularies layered over the global Zipf terms.
+
+    Each spatial cluster is associated with a small set of "topic" terms;
+    tweets from that cluster mix globally popular terms with their local
+    topic terms.  This is what makes text distributions differ by region —
+    the property the hybrid partitioner exploits.
+    """
+
+    def __init__(
+        self,
+        vocabulary: ZipfVocabulary,
+        num_clusters: int,
+        seed: int = 0,
+        *,
+        topic_terms_per_cluster: int = 40,
+        topical_fraction: float = 0.35,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.topical_fraction = topical_fraction
+        rng = random.Random(seed ^ 0x5EED)
+        # Topic terms come from the middle of the Zipf distribution: not so
+        # frequent that they dominate everywhere, not so rare they never occur.
+        middle = vocabulary.terms[len(vocabulary.terms) // 10: len(vocabulary.terms) // 2]
+        if not middle:
+            middle = list(vocabulary.terms)
+        self._topics: List[List[str]] = []
+        for _ in range(max(1, num_clusters)):
+            self._topics.append(rng.sample(middle, min(topic_terms_per_cluster, len(middle))))
+
+    def topic_terms(self, cluster_index: int) -> List[str]:
+        if cluster_index < 0:
+            return []
+        return self._topics[cluster_index % len(self._topics)]
+
+    def sample_term(self, rng: random.Random, cluster_index: int) -> str:
+        terms = self.topic_terms(cluster_index)
+        if terms and rng.random() < self.topical_fraction:
+            return rng.choice(terms)
+        return self.vocabulary.sample(rng)

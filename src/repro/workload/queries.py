@@ -1,0 +1,210 @@
+"""STS query generators: the Q1 / Q2 / Q3 groups of Section VI-A.
+
+The paper synthesises subscription queries from the tweet corpora:
+
+* **Q1** — 1 to 3 keywords connected by AND or OR, drawn from the same
+  power-law distribution as the tweet terms; square ranges with side
+  lengths between 1 km and 50 km centred on tweet locations.
+* **Q2** — side lengths between 1 km and 100 km; at least one keyword is
+  *not* among the top 1 % most frequent terms.
+* **Q3** — the space is divided into 100 equally sized regions and each
+  region uses either the Q1 or the Q2 recipe, simulating users in different
+  regions having different preferences (Section VI-C).
+
+For the dynamic-adjustment experiment (Figure 16) the Q3 style map can be
+*drifted*: a fraction of the regions flip between Q1 and Q2 style at fixed
+intervals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.expression import BooleanExpression
+from ..core.geometry import Point, Rect, km_to_degrees
+from ..core.objects import STSQuery
+from .tweets import TweetGenerator
+
+__all__ = ["QueryGenerator", "RegionalStyleMap", "QueryGroup"]
+
+
+@dataclass(frozen=True)
+class QueryGroup:
+    """Parameters of one query recipe (Q1 or Q2)."""
+
+    name: str
+    min_side_km: float
+    max_side_km: float
+    require_infrequent_keyword: bool
+
+    @classmethod
+    def q1(cls) -> "QueryGroup":
+        return cls(name="Q1", min_side_km=1.0, max_side_km=50.0, require_infrequent_keyword=False)
+
+    @classmethod
+    def q2(cls) -> "QueryGroup":
+        return cls(name="Q2", min_side_km=1.0, max_side_km=100.0, require_infrequent_keyword=True)
+
+
+class RegionalStyleMap:
+    """Assigns a query recipe (Q1 or Q2) to each of ``rows x cols`` regions.
+
+    Used by the Q3 generator and by the drift model of Figure 16.
+    """
+
+    def __init__(self, bounds: Rect, rows: int = 10, cols: int = 10, seed: int = 0) -> None:
+        self.bounds = bounds
+        self.rows = rows
+        self.cols = cols
+        rng = random.Random(seed)
+        self._styles: List[str] = [
+            "Q1" if rng.random() < 0.5 else "Q2" for _ in range(rows * cols)
+        ]
+
+    def region_of(self, point: Point) -> int:
+        col = int((point.x - self.bounds.min_x) / self.bounds.width * self.cols)
+        row = int((point.y - self.bounds.min_y) / self.bounds.height * self.rows)
+        col = min(max(col, 0), self.cols - 1)
+        row = min(max(row, 0), self.rows - 1)
+        return row * self.cols + col
+
+    def style_at(self, point: Point) -> str:
+        return self._styles[self.region_of(point)]
+
+    def styles(self) -> List[str]:
+        return list(self._styles)
+
+    def flip(self, fraction: float, rng: Optional[random.Random] = None) -> List[int]:
+        """Switch the style of a random ``fraction`` of the regions.
+
+        Returns the indices of the flipped regions.  This is the drift used
+        in the Figure 16 experiment ("the types of queries in 10% of the
+        regions switch between STS-US-Q1 and STS-US-Q2").
+        """
+        rng = rng if rng is not None else random.Random(0)
+        count = max(1, int(round(len(self._styles) * fraction)))
+        indices = rng.sample(range(len(self._styles)), count)
+        for index in indices:
+            self._styles[index] = "Q2" if self._styles[index] == "Q1" else "Q1"
+        return indices
+
+
+class QueryGenerator:
+    """Synthesises STS queries from a tweet generator's statistics."""
+
+    def __init__(self, tweets: TweetGenerator, seed: int = 7) -> None:
+        self.tweets = tweets
+        self._rng = random.Random(seed)
+        self._frequent: Set[str] = set(tweets.frequent_terms(0.01))
+        self._infrequent_pool: List[str] = tweets.infrequent_terms(0.7)
+        self._style_map: Optional[RegionalStyleMap] = None
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    # Keyword and range synthesis
+    # ------------------------------------------------------------------
+    #: Probability that a Q2 keyword is drawn from the infrequent tail of
+    #: the vocabulary.  The paper's Q2 rule ("at least one keyword not in
+    #: the top 1% most frequent terms") is stated against a multi-million
+    #: term Twitter vocabulary where the top 1% covers nearly all token
+    #: occurrences; with our much smaller synthetic vocabulary the same
+    #: *intent* — query keywords that rarely occur in objects — is obtained
+    #: by biasing Q2 keywords towards the tail (see DESIGN.md).
+    INFREQUENT_KEYWORD_BIAS = 0.7
+
+    def _sample_keywords(self, cluster: int, group: QueryGroup) -> List[str]:
+        rng = self._rng
+        count = rng.randint(1, 3)
+        keywords: List[str] = []
+        attempts = 0
+        while len(keywords) < count and attempts < 20 * count:
+            if group.require_infrequent_keyword and rng.random() < self.INFREQUENT_KEYWORD_BIAS:
+                term = rng.choice(self._infrequent_pool)
+            else:
+                term = self.tweets.topics.sample_term(rng, cluster)
+            attempts += 1
+            if term not in keywords:
+                keywords.append(term)
+        if not keywords:
+            keywords.append(self.tweets.vocabulary.sample(rng))
+        if group.require_infrequent_keyword and all(k in self._frequent for k in keywords):
+            keywords[rng.randrange(len(keywords))] = rng.choice(self._infrequent_pool)
+        return keywords
+
+    def _build_expression(self, keywords: Sequence[str]) -> BooleanExpression:
+        rng = self._rng
+        if len(keywords) == 1:
+            return BooleanExpression.conjunction(keywords)
+        connector = "AND" if rng.random() < 0.5 else "OR"
+        if connector == "AND":
+            return BooleanExpression.conjunction(keywords)
+        return BooleanExpression.disjunction(keywords)
+
+    def _build_region(self, center: Point, group: QueryGroup) -> Rect:
+        rng = self._rng
+        side_km = rng.uniform(group.min_side_km, group.max_side_km)
+        d_lon, d_lat = km_to_degrees(side_km, latitude_deg=center.y)
+        return Rect.from_center(center, d_lon, d_lat)
+
+    def _make_query(self, group: QueryGroup, timestamp: float = 0.0) -> STSQuery:
+        location, cluster = self.tweets.spatial.sample(self._rng)
+        keywords = self._sample_keywords(cluster, group)
+        expression = self._build_expression(keywords)
+        region = self._build_region(location, group)
+        return STSQuery.create(expression, region, timestamp=timestamp,
+                               subscriber_id=self._rng.randrange(1, 1_000_000))
+
+    # ------------------------------------------------------------------
+    # Public recipes
+    # ------------------------------------------------------------------
+    def generate_q1(self, count: int) -> List[STSQuery]:
+        """STS-*-Q1: frequent keywords, 1–50 km ranges."""
+        group = QueryGroup.q1()
+        return [self._make_query(group, timestamp=float(i)) for i in range(count)]
+
+    def generate_q2(self, count: int) -> List[STSQuery]:
+        """STS-*-Q2: at least one infrequent keyword, 1–100 km ranges."""
+        group = QueryGroup.q2()
+        return [self._make_query(group, timestamp=float(i)) for i in range(count)]
+
+    def generate_q3(self, count: int, style_map: Optional[RegionalStyleMap] = None) -> List[STSQuery]:
+        """STS-*-Q3: per-region mixture of the Q1 and Q2 recipes."""
+        if style_map is None:
+            style_map = self.style_map()
+        queries: List[STSQuery] = []
+        q1 = QueryGroup.q1()
+        q2 = QueryGroup.q2()
+        for index in range(count):
+            location, cluster = self.tweets.spatial.sample(self._rng)
+            group = q1 if style_map.style_at(location) == "Q1" else q2
+            keywords = self._sample_keywords(cluster, group)
+            expression = self._build_expression(keywords)
+            region = self._build_region(location, group)
+            queries.append(
+                STSQuery.create(
+                    expression,
+                    region,
+                    timestamp=float(index),
+                    subscriber_id=self._rng.randrange(1, 1_000_000),
+                )
+            )
+        return queries
+
+    def generate(self, group_name: str, count: int) -> List[STSQuery]:
+        """Generate by group name: ``"Q1"``, ``"Q2"`` or ``"Q3"``."""
+        key = group_name.strip().upper()
+        if key == "Q1":
+            return self.generate_q1(count)
+        if key == "Q2":
+            return self.generate_q2(count)
+        if key == "Q3":
+            return self.generate_q3(count)
+        raise ValueError("unknown query group %r" % group_name)
+
+    def style_map(self) -> RegionalStyleMap:
+        """The (lazily created) 10x10 regional style map used by Q3."""
+        if self._style_map is None:
+            self._style_map = RegionalStyleMap(self.tweets.bounds, 10, 10, seed=self._seed)
+        return self._style_map

@@ -1,0 +1,94 @@
+"""Shared fixtures: small deterministic workloads, samples and plans."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Point, Rect, STSQuery, SpatioTextualObject
+from repro.partitioning import WorkloadSample
+from repro.workload import (
+    QueryGenerator,
+    StreamConfig,
+    TweetGenerator,
+    US_SPEC,
+    WorkloadStream,
+    make_dataset,
+)
+
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+#: A tiny controlled vocabulary used by the hand-built workload fixtures.
+LEFT_TERMS = ["music", "rock", "jazz", "concert", "guitar", "piano"]
+RIGHT_TERMS = ["basketball", "kobe", "lebron", "nba", "dunk", "playoffs"]
+COMMON_TERMS = ["city", "today", "photo"]
+
+
+def _make_object(rng: random.Random, left: bool) -> SpatioTextualObject:
+    pool = LEFT_TERMS if left else RIGHT_TERMS
+    x = rng.uniform(0.0, 49.0) if left else rng.uniform(51.0, 100.0)
+    y = rng.uniform(0.0, 100.0)
+    words = rng.sample(pool, 3) + [rng.choice(COMMON_TERMS)]
+    return SpatioTextualObject.create(" ".join(words), Point(x, y))
+
+
+def _make_query(rng: random.Random, left: bool) -> STSQuery:
+    pool = LEFT_TERMS if left else RIGHT_TERMS
+    x = rng.uniform(0.0, 49.0) if left else rng.uniform(51.0, 100.0)
+    y = rng.uniform(0.0, 100.0)
+    keywords = rng.sample(pool, 2)
+    connector = " AND " if rng.random() < 0.5 else " OR "
+    region = Rect.from_center(Point(x, y), rng.uniform(2.0, 10.0), rng.uniform(2.0, 10.0))
+    return STSQuery.create(connector.join(keywords), region)
+
+
+@pytest.fixture(scope="session")
+def bounds() -> Rect:
+    return BOUNDS
+
+
+@pytest.fixture(scope="session")
+def toy_objects() -> list:
+    """400 objects split between two regions with disjoint vocabularies."""
+    rng = random.Random(101)
+    return [_make_object(rng, left=(index % 2 == 0)) for index in range(400)]
+
+
+@pytest.fixture(scope="session")
+def toy_queries() -> list:
+    """200 queries matching the regional vocabularies of ``toy_objects``."""
+    rng = random.Random(202)
+    return [_make_query(rng, left=(index % 2 == 0)) for index in range(200)]
+
+
+@pytest.fixture(scope="session")
+def toy_sample(toy_objects, toy_queries) -> WorkloadSample:
+    return WorkloadSample(objects=list(toy_objects), insertions=list(toy_queries), bounds=BOUNDS)
+
+
+@pytest.fixture(scope="session")
+def tweet_generator() -> TweetGenerator:
+    return make_dataset("us", seed=17)
+
+
+@pytest.fixture(scope="session")
+def query_generator(tweet_generator) -> QueryGenerator:
+    return QueryGenerator(tweet_generator, seed=23)
+
+
+@pytest.fixture()
+def small_stream() -> WorkloadStream:
+    """A fresh small Q1 stream (mu=200) for runtime tests."""
+    tweets = make_dataset("us", seed=5)
+    queries = QueryGenerator(tweets, seed=6)
+    return WorkloadStream(tweets, queries, StreamConfig(mu=200, group="Q1"), seed=7)
+
+
+@pytest.fixture()
+def q3_stream() -> WorkloadStream:
+    """A fresh small Q3 stream for partitioning / adjustment tests."""
+    tweets = make_dataset("us", seed=9)
+    queries = QueryGenerator(tweets, seed=10)
+    return WorkloadStream(tweets, queries, StreamConfig(mu=300, group="Q3"), seed=11)

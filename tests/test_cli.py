@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+TINY_WORKLOAD = ["--mu", "150", "--objects", "300", "--workers", "4", "--dispatchers", "2"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.partitioner == "hybrid"
+        assert args.group == "Q1"
+        assert args.workers == 8
+
+    def test_compare_defaults_to_all_partitioners(self):
+        args = build_parser().parse_args(["compare"])
+        assert len(args.partitioners) == 7
+
+    def test_adjust_selector_choices(self):
+        args = build_parser().parse_args(["adjust", "--selector", "RA"])
+        assert args.selector == "RA"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adjust", "--selector", "XX"])
+
+    def test_invalid_partitioner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--partitioner", "bogus"])
+
+
+class TestCommands:
+    def test_run_command_prints_report(self):
+        code, output = run_cli(["run", "--partitioner", "kd-tree", *TINY_WORKLOAD])
+        assert code == 0
+        assert "throughput (tuples/s)" in output
+        assert "kd-tree on STS-US-Q1" in output
+
+    def test_run_command_hybrid_q3(self):
+        code, output = run_cli(["run", "--partitioner", "hybrid", "--group", "Q3", *TINY_WORKLOAD])
+        assert code == 0
+        assert "hybrid on STS-US-Q3" in output
+
+    def test_compare_command_subset(self):
+        code, output = run_cli(
+            ["compare", "--partitioners", "kd-tree", "hybrid", *TINY_WORKLOAD]
+        )
+        assert code == 0
+        assert "kd-tree" in output
+        assert "hybrid" in output
+        assert "Best strategy:" in output
+
+    def test_adjust_command(self):
+        code, output = run_cli(
+            ["adjust", "--selector", "GR", "--mu", "300", "--objects", "400", "--workers", "4"]
+        )
+        assert code == 0
+        assert "Local load adjustment with GR" in output
+        assert "migration cost (KB)" in output

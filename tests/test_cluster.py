@@ -1,0 +1,155 @@
+"""Unit and integration tests for the simulated cluster."""
+
+import pytest
+
+from repro.core import TupleKind
+from repro.partitioning import HybridPartitioner, KDTreeSpacePartitioner
+from repro.runtime import Cluster, ClusterConfig
+
+
+def build_cluster(stream, partitioner=None, num_workers=4, sample_objects=500, **config_kwargs):
+    partitioner = partitioner if partitioner is not None else KDTreeSpacePartitioner()
+    sample = stream.partitioning_sample(sample_objects)
+    plan = partitioner.partition(sample, num_workers)
+    config = ClusterConfig(num_dispatchers=2, num_workers=num_workers, num_mergers=2, **config_kwargs)
+    return Cluster(plan, config)
+
+
+class TestClusterConstruction:
+    def test_processes_created(self, small_stream):
+        cluster = build_cluster(small_stream, num_workers=4)
+        assert len(cluster.dispatchers) == 2
+        assert len(cluster.workers) == 4
+        assert len(cluster.mergers) == 2
+
+    def test_workers_share_plan_statistics(self, small_stream):
+        cluster = build_cluster(small_stream)
+        assert cluster.plan.statistics is not None
+
+
+class TestProcessing:
+    def test_run_produces_report(self, small_stream):
+        cluster = build_cluster(small_stream)
+        report = cluster.run(small_stream.tuples(400))
+        assert report.tuples_processed > 400
+        assert report.objects_processed == 400
+        assert report.insertions_processed >= small_stream.config.mu
+        assert report.throughput > 0
+        assert report.mean_latency_ms > 0
+        assert report.matches_delivered <= report.matches_produced
+
+    def test_insertions_reach_some_worker(self, small_stream):
+        cluster = build_cluster(small_stream)
+        for item in small_stream.tuples(200):
+            handled = cluster.process(item)
+            if item.kind is TupleKind.INSERT:
+                assert handled, "query insertion must be routed to at least one worker"
+
+    def test_worker_memory_grows_with_queries(self, small_stream):
+        cluster = build_cluster(small_stream)
+        cluster.run(small_stream.tuples(100))
+        report = cluster.report()
+        assert sum(report.worker_memory.values()) > 0
+        assert sum(report.dispatcher_memory.values()) > 0
+
+    def test_reset_period_clears_counters(self, small_stream):
+        cluster = build_cluster(small_stream)
+        cluster.run(small_stream.tuples(100))
+        cluster.reset_period()
+        report = cluster.report()
+        assert report.tuples_processed == 0
+        assert report.throughput == 0.0
+
+    def test_report_at_explicit_input_rate(self, small_stream):
+        cluster = build_cluster(small_stream)
+        cluster.run(small_stream.tuples(300))
+        saturation = cluster.saturation_throughput()
+        relaxed = cluster.report(input_rate=saturation * 0.1)
+        stressed = cluster.report(input_rate=saturation * 0.95)
+        assert stressed.mean_latency_ms >= relaxed.mean_latency_ms
+
+    def test_latency_buckets_sum_to_one(self, small_stream):
+        cluster = build_cluster(small_stream)
+        report = cluster.run(small_stream.tuples(200))
+        buckets = report.latency_buckets
+        total = buckets.under_100ms + buckets.between_100ms_and_1s + buckets.over_1s
+        assert total == pytest.approx(1.0)
+
+
+class TestCorrectness:
+    def test_matches_equal_bruteforce(self, small_stream):
+        """The distributed pipeline must deliver exactly the ground-truth matches."""
+        cluster = build_cluster(small_stream, partitioner=HybridPartitioner(), num_workers=4)
+        live = {}
+        expected = set()
+        tuples = list(small_stream.tuples(600))
+        for item in tuples:
+            if item.kind is TupleKind.INSERT:
+                live[item.payload.query_id] = item.payload.query
+            elif item.kind is TupleKind.DELETE:
+                live.pop(item.payload.query_id, None)
+            else:
+                obj = item.payload
+                for query in live.values():
+                    if query.matches(obj):
+                        expected.add((query.query_id, obj.object_id))
+        cluster.run(tuples)
+        delivered = sum(merger.delivered for merger in cluster.mergers)
+        assert delivered == len(expected)
+
+    def test_different_partitioners_deliver_same_matches(self, q3_stream):
+        tuples = list(q3_stream.tuples(500))
+        delivered = []
+        for partitioner in (KDTreeSpacePartitioner(), HybridPartitioner()):
+            sample = q3_stream.partitioning_sample(300)
+            plan = partitioner.partition(sample, 4)
+            cluster = Cluster(plan, ClusterConfig(num_dispatchers=2, num_workers=4))
+            cluster.run(tuples)
+            delivered.append(sum(merger.delivered for merger in cluster.mergers))
+        assert delivered[0] == delivered[1]
+
+
+class TestMigration:
+    def test_migrate_cells_moves_queries_and_preserves_matching(self, small_stream):
+        cluster = build_cluster(small_stream, num_workers=4)
+        tuples = list(small_stream.tuples(300))
+        cluster.run(tuples)
+        # Pick the busiest worker and move all of its populated cells away.
+        loads = cluster.worker_load_report()
+        source = loads.most_loaded()
+        target = loads.least_loaded()
+        stats = cluster.worker_cell_stats(source)
+        populated = [cell.cell for cell in stats if cell.query_count > 0]
+        if not populated:
+            pytest.skip("no populated cells on the busiest worker")
+        ids_before = {
+            query.query_id
+            for worker in (cluster.workers[source], cluster.workers[target])
+            for query in worker.index.queries()
+        }
+        record = cluster.migrate_cells(source, target, populated)
+        ids_after = {
+            query.query_id
+            for worker in (cluster.workers[source], cluster.workers[target])
+            for query in worker.index.queries()
+        }
+        assert record.queries_moved > 0
+        assert record.bytes_moved > 0
+        assert record.seconds > 0
+        # Queries may be deduplicated (a replica removed from the source when
+        # the target already held it) but never lost.
+        assert ids_before <= ids_after
+        assert cluster.migrations == [record]
+
+    def test_processing_continues_after_migration(self, small_stream):
+        cluster = build_cluster(small_stream, num_workers=4)
+        warm = list(small_stream.tuples(200))
+        cluster.run(warm)
+        loads = cluster.worker_load_report()
+        source, target = loads.most_loaded(), loads.least_loaded()
+        stats = cluster.worker_cell_stats(source)
+        cells = [cell.cell for cell in stats[:5]]
+        if cells:
+            cluster.migrate_cells(source, target, cells)
+        more = cluster.run(small_stream.tuples(200))
+        assert more.objects_processed >= 400

@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+The examples are full applications and take tens of seconds at their
+default sizes, so these tests only verify that every example imports
+cleanly and exposes a ``main`` entry point; the quickstart example is
+additionally executed because it is small enough.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location("example_%s" % path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert {"quickstart.py", "geo_advertising.py", "event_monitoring.py"} <= names
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_and_has_main(path):
+    module = load_example(path)
+    assert hasattr(module, "main"), "%s must define main()" % path.name
+    assert callable(module.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load_example(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Matches delivered" in output
+    assert "throughput" in output.lower()

@@ -1,0 +1,156 @@
+"""White-box tests for Algorithm 1's internal steps.
+
+The public behaviour of :class:`HybridPartitioner` is covered in
+``test_hybrid_partitioner.py``; these tests pin down the individual
+sub-procedures the paper names — ComputeNumberPartitions, PartitionNode and
+MergeNodesIntoPartitions — so regressions in one phase are caught directly.
+"""
+
+import pytest
+
+from repro.core import Point, Rect, STSQuery, SpatioTextualObject
+from repro.partitioning import HybridConfig, HybridPartitioner, WorkloadSample
+from repro.partitioning.hybrid import _Node
+
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def obj(text, x, y):
+    return SpatioTextualObject.create(text, Point(x, y))
+
+
+def query(expr, x, y, size=6.0):
+    return STSQuery.create(expr, Rect.from_center(Point(x, y), size, size))
+
+
+@pytest.fixture
+def partitioner(toy_sample):
+    hybrid = HybridPartitioner(HybridConfig())
+    # partition() initialises the posting-keyword cache the internals need.
+    hybrid.partition(toy_sample, 4)
+    return hybrid
+
+
+@pytest.fixture
+def left_right_sample():
+    """Two regions with disjoint vocabularies and a handful of queries."""
+    objects = []
+    queries = []
+    words_left = ["music", "rock", "jazz"]
+    words_right = ["kobe", "lebron", "nba"]
+    for index in range(120):
+        left = index % 2 == 0
+        words = words_left if left else words_right
+        x = 10 + (index % 30) if left else 60 + (index % 30)
+        objects.append(obj(" ".join(words), x, (index * 7) % 100))
+        if index % 3 == 0:
+            queries.append(query(" AND ".join(words[:2]), x, (index * 7) % 100))
+    return WorkloadSample(objects=objects, insertions=queries, bounds=BOUNDS)
+
+
+class TestNodeStatistics:
+    def test_counters_and_similarity(self, left_right_sample):
+        node = _Node(BOUNDS, list(left_right_sample.objects), list(left_right_sample.insertions))
+        assert node.object_counter["music"] > 0
+        assert node.query_counter["kobe"] > 0
+        assert 0.0 <= node.text_similarity() <= 1.0
+
+    def test_empty_node_similarity_is_zero(self):
+        node = _Node(BOUNDS, [], [])
+        assert node.text_similarity() == 0.0
+
+    def test_node_load_is_cached_and_nonnegative(self, partitioner, left_right_sample):
+        node = _Node(BOUNDS, list(left_right_sample.objects), list(left_right_sample.insertions))
+        first = partitioner._node_load(node)
+        second = partitioner._node_load(node)
+        assert first == second >= 0.0
+
+
+class TestComputeNumberPartitions:
+    def test_allocation_sums_to_worker_count(self, partitioner, left_right_sample):
+        node_a = _Node(
+            Rect(0, 0, 50, 100),
+            [o for o in left_right_sample.objects if o.location.x <= 50],
+            [q for q in left_right_sample.insertions if q.region.min_x <= 50],
+        )
+        node_b = _Node(
+            Rect(50, 0, 100, 100),
+            [o for o in left_right_sample.objects if o.location.x > 50],
+            [q for q in left_right_sample.insertions if q.region.min_x > 50],
+        )
+        allocation = partitioner._compute_number_partitions(
+            [node_a], [node_b], 6, left_right_sample.term_statistics
+        )
+        assert sum(allocation.values()) == 6
+        assert all(parts >= 1 for parts in allocation.values())
+
+    def test_enough_nodes_means_one_partition_each(self, partitioner, left_right_sample):
+        nodes = [
+            _Node(BOUNDS, list(left_right_sample.objects), list(left_right_sample.insertions))
+            for _ in range(5)
+        ]
+        allocation = partitioner._compute_number_partitions(
+            nodes[:3], nodes[3:], 4, left_right_sample.term_statistics
+        )
+        assert all(parts == 1 for parts in allocation.values())
+
+    def test_empty_node_list(self, partitioner, left_right_sample):
+        assert partitioner._compute_number_partitions([], [], 4, left_right_sample.term_statistics) == {}
+
+
+class TestPartitionNode:
+    def test_text_node_splits_by_text(self, partitioner, left_right_sample):
+        node = _Node(BOUNDS, list(left_right_sample.objects), list(left_right_sample.insertions))
+        text_nodes, space_nodes = [node], []
+        children = partitioner._partition_node(
+            node, text_nodes, space_nodes, 3, left_right_sample.term_statistics
+        )
+        assert len(children) > 1
+        assert node not in text_nodes
+        assert all(child.terms is not None for child in children)
+        # The children's term sets are pairwise disjoint.
+        seen = set()
+        for child in children:
+            assert not (seen & set(child.terms))
+            seen |= set(child.terms)
+
+    def test_space_node_chooses_cheaper_strategy(self, partitioner, left_right_sample):
+        node = _Node(BOUNDS, list(left_right_sample.objects), list(left_right_sample.insertions))
+        text_nodes, space_nodes = [], [node]
+        children = partitioner._partition_node(
+            node, text_nodes, space_nodes, 2, left_right_sample.term_statistics
+        )
+        assert len(children) == 2
+        assert node not in space_nodes
+        assert len(text_nodes) + len(space_nodes) == 2
+
+    def test_single_part_is_noop(self, partitioner, left_right_sample):
+        node = _Node(BOUNDS, list(left_right_sample.objects), list(left_right_sample.insertions))
+        text_nodes, space_nodes = [node], []
+        children = partitioner._partition_node(
+            node, text_nodes, space_nodes, 1, left_right_sample.term_statistics
+        )
+        assert children == [node]
+        assert text_nodes == [node]
+
+
+class TestMergeNodesIntoPartitions:
+    def test_every_node_assigned_exactly_once(self, partitioner, left_right_sample):
+        nodes = []
+        for index in range(10):
+            subset = left_right_sample.objects[index::10]
+            nodes.append(_Node(BOUNDS, list(subset), list(left_right_sample.insertions[index::10])))
+        partitions = partitioner._merge_nodes_into_partitions(nodes[:5], nodes[5:], 4)
+        assert len(partitions) == 4
+        flattened = [node for partition in partitions for node in partition]
+        assert sorted(map(id, flattened)) == sorted(map(id, nodes))
+
+    def test_loads_reasonably_balanced(self, partitioner, left_right_sample):
+        nodes = []
+        for index in range(12):
+            subset = left_right_sample.objects[index::12]
+            nodes.append(_Node(BOUNDS, list(subset), list(left_right_sample.insertions[index::12])))
+        partitions = partitioner._merge_nodes_into_partitions(nodes, [], 3)
+        loads = [sum(partitioner._node_load(node) for node in part) for part in partitions]
+        assert max(loads) <= 3.0 * (sum(loads) / len(loads) + 1e-9)

@@ -1,0 +1,132 @@
+"""Unit tests for the hybrid partitioning algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.partitioning import (
+    HybridConfig,
+    HybridPartitioner,
+    KDTreeSpacePartitioner,
+    MetricTextPartitioner,
+    WorkloadSample,
+)
+
+
+class TestPlanShape:
+    def test_all_workers_receive_units(self, toy_sample):
+        plan = HybridPartitioner().partition(toy_sample, 4)
+        assert {unit.worker_id for unit in plan.units} == {0, 1, 2, 3}
+
+    def test_object_filtering_enabled(self, toy_sample):
+        plan = HybridPartitioner().partition(toy_sample, 4)
+        assert plan.object_filtering is True
+
+    def test_partitioner_name(self, toy_sample):
+        assert HybridPartitioner().partition(toy_sample, 2).partitioner_name == "hybrid"
+
+    def test_invalid_worker_count(self, toy_sample):
+        with pytest.raises(ValueError):
+            HybridPartitioner().partition(toy_sample, 0)
+
+    def test_single_worker(self, toy_sample):
+        plan = HybridPartitioner().partition(toy_sample, 1)
+        assert plan.workers() == {0}
+
+    def test_more_workers_than_nodes_still_covered(self, toy_sample):
+        plan = HybridPartitioner().partition(toy_sample, 16)
+        assert len(plan.workers()) == 16
+
+    def test_empty_sample(self, bounds):
+        sample = WorkloadSample(objects=[], insertions=[], bounds=bounds)
+        plan = HybridPartitioner().partition(sample, 4)
+        assert plan.units, "plan must not be empty even for an empty sample"
+
+
+class TestRoutingCorrectness:
+    def test_matching_objects_reach_query_workers(self, toy_sample):
+        plan = HybridPartitioner().partition(toy_sample, 4)
+        queries = toy_sample.insertions[:60]
+        objects = toy_sample.objects[:120]
+        for query in queries:
+            query_workers = plan.route_query(query)
+            assert query_workers, "query must be assigned to at least one worker"
+            for obj in objects:
+                if query.matches(obj):
+                    assert plan.route_object(obj) & query_workers
+
+
+class TestQuality:
+    def test_balance_constraint_approximately_met(self, toy_sample):
+        config = HybridConfig(balance_sigma=2.0)
+        plan = HybridPartitioner(config).partition(toy_sample, 4)
+        report = plan.worker_loads(toy_sample)
+        # The runtime balance loop targets sigma on its own estimate; allow
+        # slack for the Definition-1 evaluation.
+        assert report.imbalance < 6.0
+
+    def test_total_load_not_worse_than_both_baselines(self, toy_sample):
+        hybrid_total = (
+            HybridPartitioner().partition(toy_sample, 4).worker_loads(toy_sample).total
+        )
+        kd_total = (
+            KDTreeSpacePartitioner().partition(toy_sample, 4).worker_loads(toy_sample).total
+        )
+        metric_total = (
+            MetricTextPartitioner().partition(toy_sample, 4).worker_loads(toy_sample).total
+        )
+        assert hybrid_total <= 1.25 * min(kd_total, metric_total)
+
+    def test_deterministic_given_same_sample(self, toy_sample):
+        first = HybridPartitioner().partition(toy_sample, 4)
+        second = HybridPartitioner().partition(toy_sample, 4)
+        assert [
+            (unit.region.as_tuple(), unit.terms, unit.worker_id) for unit in first.units
+        ] == [(unit.region.as_tuple(), unit.terms, unit.worker_id) for unit in second.units]
+
+
+class TestConfigKnobs:
+    def test_low_threshold_prefers_space_partitioning(self, toy_sample):
+        # delta = 0 means every node's similarity exceeds the threshold, so
+        # the whole space is treated as space-partitionable.
+        config = HybridConfig(text_similarity_threshold=0.0)
+        plan = HybridPartitioner(config).partition(toy_sample, 4)
+        assert all(unit.terms is None for unit in plan.units)
+
+    def test_high_threshold_allows_text_partitioning(self, query_generator, tweet_generator):
+        # delta = 1 sends everything towards Nt; with fewer nodes than
+        # workers, the DP then splits nodes by text.
+        objects = tweet_generator.generate(600)
+        queries = query_generator.generate_q2(300)
+        sample = WorkloadSample(objects=objects, insertions=queries, bounds=tweet_generator.bounds)
+        config = HybridConfig(text_similarity_threshold=1.01, max_depth=0)
+        plan = HybridPartitioner(config).partition(sample, 4)
+        assert any(unit.terms is not None for unit in plan.units)
+
+    def test_max_nodes_limits_unit_count(self, toy_sample):
+        config = HybridConfig(max_nodes=8, balance_sigma=1.0001)
+        plan = HybridPartitioner(config).partition(toy_sample, 4)
+        assert len(plan.units) <= 16  # theta bounds the node count
+
+    def test_sigma_must_allow_imbalance(self, toy_sample):
+        # A very tight sigma forces the algorithm to keep splitting until it
+        # hits a stopping condition; it must still terminate and cover all
+        # workers.
+        config = HybridConfig(balance_sigma=1.01, max_nodes=64)
+        plan = HybridPartitioner(config).partition(toy_sample, 4)
+        assert plan.workers() == {0, 1, 2, 3}
+
+
+class TestRegionalWorkloads:
+    def test_q3_style_regions_use_space_where_similar(self, tweet_generator, query_generator):
+        """On a Q3-style workload the hybrid plan's total load is at least as
+        good as the better of the two pure baselines."""
+        objects = tweet_generator.generate(800)
+        queries = query_generator.generate_q3(400)
+        sample = WorkloadSample(objects=objects, insertions=queries, bounds=tweet_generator.bounds)
+        hybrid = HybridPartitioner().partition(sample, 8)
+        kd = KDTreeSpacePartitioner().partition(sample, 8)
+        metric = MetricTextPartitioner().partition(sample, 8)
+        hybrid_report = hybrid.worker_loads(sample)
+        best_baseline = min(
+            kd.worker_loads(sample).total, metric.worker_loads(sample).total
+        )
+        assert hybrid_report.total <= 1.3 * best_baseline

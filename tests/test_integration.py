@@ -1,0 +1,146 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the full pipeline the way the benchmarks do: generate a
+workload, partition it, build a cluster, replay the stream, optionally
+adjust the load, and verify both correctness (delivered matches equal the
+ground truth) and the qualitative relationships the paper reports.
+"""
+
+import pytest
+
+from repro.adjustment import GreedySelector, LocalLoadAdjuster
+from repro.core import TupleKind
+from repro.partitioning import (
+    ALL_BASELINES,
+    HybridPartitioner,
+    KDTreeSpacePartitioner,
+    MetricTextPartitioner,
+    GridSpacePartitioner,
+)
+from repro.runtime import Cluster, ClusterConfig
+from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
+
+
+def ground_truth_matches(tuples):
+    live = {}
+    expected = set()
+    for item in tuples:
+        if item.kind is TupleKind.INSERT:
+            live[item.payload.query_id] = item.payload.query
+        elif item.kind is TupleKind.DELETE:
+            live.pop(item.payload.query_id, None)
+        else:
+            obj = item.payload
+            for query in live.values():
+                if query.matches(obj):
+                    expected.add((query.query_id, obj.object_id))
+    return expected
+
+
+def fresh_stream(group, mu=300, seed=31):
+    tweets = make_dataset("us", seed=seed)
+    queries = QueryGenerator(tweets, seed=seed + 1)
+    return WorkloadStream(tweets, queries, StreamConfig(mu=mu, group=group), seed=seed + 2)
+
+
+class TestEndToEndCorrectness:
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_every_baseline_delivers_ground_truth(self, name):
+        stream = fresh_stream("Q1", mu=200)
+        sample = stream.partitioning_sample(400)
+        partitioner_cls = ALL_BASELINES[name]
+        if name == "grid":
+            partitioner = partitioner_cls(granularity=16)
+        else:
+            partitioner = partitioner_cls()
+        plan = partitioner.partition(sample, 4)
+        cluster = Cluster(plan, ClusterConfig(num_dispatchers=2, num_workers=4))
+        tuples = list(stream.tuples(500))
+        cluster.run(tuples)
+        delivered = sum(merger.delivered for merger in cluster.mergers)
+        assert delivered == len(ground_truth_matches(tuples))
+
+    def test_hybrid_delivers_ground_truth_on_q3(self):
+        stream = fresh_stream("Q3", mu=300)
+        sample = stream.partitioning_sample(500)
+        plan = HybridPartitioner().partition(sample, 8)
+        cluster = Cluster(plan, ClusterConfig(num_workers=8))
+        tuples = list(stream.tuples(600))
+        cluster.run(tuples)
+        delivered = sum(merger.delivered for merger in cluster.mergers)
+        assert delivered == len(ground_truth_matches(tuples))
+
+
+class TestQualitativeShapes:
+    """Scaled-down versions of the paper's headline comparisons."""
+
+    def test_q1_space_beats_text_partitioning(self):
+        """Figure 6 / 7(a): space partitioning wins when keywords are frequent.
+
+        The effect needs a reasonably dense query population (the paper uses
+        millions of queries); ``mu`` is therefore larger here than in the
+        correctness tests.
+        """
+        stream_kd = fresh_stream("Q1", mu=2000, seed=41)
+        kd_plan = KDTreeSpacePartitioner().partition(stream_kd.partitioning_sample(2000), 8)
+        kd = Cluster(kd_plan, ClusterConfig()).run(stream_kd.tuples(2500))
+
+        stream_metric = fresh_stream("Q1", mu=2000, seed=41)
+        metric_plan = MetricTextPartitioner().partition(stream_metric.partitioning_sample(2000), 8)
+        metric = Cluster(metric_plan, ClusterConfig()).run(stream_metric.tuples(2500))
+
+        assert kd.throughput > metric.throughput
+
+    def test_q2_text_beats_space_partitioning(self):
+        """Figure 6 / 7(b): text partitioning wins when keywords are rare."""
+        stream_kd = fresh_stream("Q2", mu=400, seed=43)
+        kd_plan = KDTreeSpacePartitioner().partition(stream_kd.partitioning_sample(800), 8)
+        kd = Cluster(kd_plan, ClusterConfig()).run(stream_kd.tuples(1500))
+
+        stream_metric = fresh_stream("Q2", mu=400, seed=43)
+        metric_plan = MetricTextPartitioner().partition(stream_metric.partitioning_sample(800), 8)
+        metric = Cluster(metric_plan, ClusterConfig()).run(stream_metric.tuples(1500))
+
+        assert metric.throughput > kd.throughput
+
+    @pytest.mark.parametrize("group", ["Q1", "Q2", "Q3"])
+    def test_hybrid_at_least_matches_best_baseline(self, group):
+        """Figure 7: the hybrid plan is the overall best performer."""
+        throughputs = {}
+        for name, partitioner in (
+            ("hybrid", HybridPartitioner()),
+            ("kd-tree", KDTreeSpacePartitioner()),
+            ("metric", MetricTextPartitioner()),
+        ):
+            stream = fresh_stream(group, mu=400, seed=47)
+            plan = partitioner.partition(stream.partitioning_sample(800), 8)
+            throughputs[name] = Cluster(plan, ClusterConfig()).run(stream.tuples(1500)).throughput
+        best_baseline = max(throughputs["kd-tree"], throughputs["metric"])
+        assert throughputs["hybrid"] >= 0.95 * best_baseline
+
+    def test_scalability_with_more_workers(self):
+        """Figure 11: throughput grows with the number of workers."""
+        results = []
+        for workers in (4, 16):
+            stream = fresh_stream("Q1", mu=400, seed=51)
+            plan = HybridPartitioner().partition(stream.partitioning_sample(800), workers)
+            config = ClusterConfig(num_workers=workers)
+            results.append(Cluster(plan, config).run(stream.tuples(1500)).throughput)
+        assert results[1] > results[0]
+
+    def test_adjustment_improves_imbalanced_deployment(self):
+        """Figure 16's mechanism: adjusting a skewed deployment raises throughput."""
+        stream = fresh_stream("Q1", mu=400, seed=53)
+        sample = stream.partitioning_sample(800)
+        plan = MetricTextPartitioner().partition(sample, 8)
+
+        cluster = Cluster(plan, ClusterConfig())
+        cluster.run(stream.tuples(800))
+        before = cluster.report().throughput
+
+        adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.3)
+        adjuster.adjust(cluster)
+        cluster.reset_period()
+        cluster.run(stream.tuples(800))
+        after = cluster.report().throughput
+        assert after >= before * 0.95  # adjustment must not hurt, usually helps

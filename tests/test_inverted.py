@@ -1,0 +1,91 @@
+"""Unit tests for the inverted index building block."""
+
+from repro.indexes.inverted import InvertedIndex
+
+
+class TestBasics:
+    def test_add_and_lookup(self):
+        index = InvertedIndex()
+        index.add("kobe", 1)
+        index.add("kobe", 2)
+        index.add("nba", 3)
+        assert index.postings("kobe") == [1, 2]
+        assert index.postings("nba") == [3]
+        assert index.postings("missing") == []
+
+    def test_len_counts_terms(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.add("a", 2)
+        index.add("b", 3)
+        assert len(index) == 2
+        assert index.entry_count == 3
+
+    def test_contains(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        assert "a" in index
+        assert "b" not in index
+
+    def test_terms_iteration(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.add("b", 2)
+        assert set(index.terms()) == {"a", "b"}
+
+    def test_clear(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.clear()
+        assert len(index) == 0
+        assert index.entry_count == 0
+
+
+class TestRemoval:
+    def test_eager_remove(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.add("a", 2)
+        assert index.remove("a", 1)
+        assert index.postings("a") == [2]
+        assert index.entry_count == 1
+
+    def test_remove_missing_posting(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        assert not index.remove("a", 99)
+        assert not index.remove("zzz", 1)
+
+    def test_remove_last_posting_drops_term(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.remove("a", 1)
+        assert "a" not in index
+
+    def test_purge_lazy_deletion(self):
+        index = InvertedIndex()
+        for posting in range(10):
+            index.add("term", posting)
+        removed = index.purge("term", lambda posting: posting % 2 == 0)
+        assert removed == 5
+        assert index.postings("term") == [1, 3, 5, 7, 9]
+        assert index.entry_count == 5
+
+    def test_purge_everything_drops_term(self):
+        index = InvertedIndex()
+        index.add("term", 1)
+        index.purge("term", lambda _: True)
+        assert "term" not in index
+
+    def test_purge_missing_term_is_noop(self):
+        index = InvertedIndex()
+        assert index.purge("missing", lambda _: True) == 0
+
+
+class TestMemoryEstimate:
+    def test_memory_grows_with_entries(self):
+        index = InvertedIndex()
+        empty = index.memory_bytes()
+        for posting in range(100):
+            index.add("t%d" % (posting % 5), posting)
+        assert index.memory_bytes() > empty

@@ -1,0 +1,152 @@
+"""Unit tests for the kdt-tree routing structure."""
+
+import pytest
+
+from repro.core import Point, Rect, STSQuery, SpatioTextualObject, TermStatistics
+from repro.indexes.kdt_tree import KdtNode, KdtTree
+
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def stats():
+    statistics = TermStatistics()
+    statistics.add_document(["kobe"] * 10 + ["retired"] * 2 + ["music"] * 8 + ["jazz"])
+    return statistics
+
+
+@pytest.fixture
+def tree(stats):
+    """Left half: space leaf -> worker 0.  Right half: text leaf kobe->1, music->2."""
+    return KdtTree.from_leaves(
+        BOUNDS,
+        [
+            (Rect(0, 0, 50, 100), None, 0),
+            (Rect(50, 0, 100, 100), {"kobe": 1, "retired": 1, "music": 2, "jazz": 2}, 1),
+        ],
+        stats,
+    )
+
+
+class TestStructure:
+    def test_leaves_preserved(self, tree):
+        leaves = tree.leaves()
+        assert len(leaves) == 2
+        assert {leaf.is_text_leaf for leaf in leaves} == {True, False}
+
+    def test_workers(self, tree):
+        assert tree.workers() == {0, 1, 2}
+
+    def test_height_at_least_two(self, tree):
+        assert tree.height >= 2
+
+    def test_memory_positive(self, tree):
+        assert tree.memory_bytes() > 0
+
+    def test_leaf_workers(self, tree):
+        for leaf in tree.leaves():
+            if leaf.is_text_leaf:
+                assert leaf.leaf_workers() == {1, 2}
+            else:
+                assert leaf.leaf_workers() == {0}
+
+    def test_leaf_workers_on_internal_node_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.root.leaf_workers() if not tree.root.is_leaf else None
+            if tree.root.is_leaf:
+                raise ValueError("fixture should have an internal root")
+
+
+class TestObjectRouting:
+    def test_space_leaf_routes_regardless_of_text(self, tree):
+        obj = SpatioTextualObject.create("anything at all", Point(10, 50))
+        assert tree.route_object(obj) == {0}
+
+    def test_text_leaf_routes_by_terms(self, tree):
+        obj = SpatioTextualObject.create("kobe retired", Point(80, 50))
+        assert tree.route_object(obj) == {1}
+        obj2 = SpatioTextualObject.create("music and jazz", Point(80, 50))
+        assert tree.route_object(obj2) == {2}
+
+    def test_text_leaf_object_with_terms_in_both_partitions(self, tree):
+        obj = SpatioTextualObject.create("kobe loves jazz", Point(80, 50))
+        assert tree.route_object(obj) == {1, 2}
+
+    def test_text_leaf_unknown_terms_dropped(self, tree):
+        obj = SpatioTextualObject.create("completely unknown words", Point(80, 50))
+        assert tree.route_object(obj) == set()
+
+
+class TestQueryRouting:
+    def test_query_in_space_leaf(self, tree):
+        query = STSQuery.create("whatever", Rect(5, 5, 20, 20))
+        assert tree.route_query(query) == {0}
+
+    def test_query_in_text_leaf_uses_posting_keyword(self, tree, stats):
+        query = STSQuery.create("kobe AND retired", Rect(60, 10, 70, 20))
+        # posting keyword = retired (less frequent), owned by worker 1
+        assert tree.route_query(query) == {1}
+
+    def test_query_spanning_both_leaves(self, tree):
+        query = STSQuery.create("music", Rect(40, 40, 60, 60))
+        assert tree.route_query(query) == {0, 2}
+
+    def test_query_with_unknown_keyword_falls_back_to_default(self, tree):
+        query = STSQuery.create("neverseen", Rect(60, 10, 70, 20))
+        assert tree.route_query(query) == {1}
+
+    def test_routing_consistency_objects_reach_query_workers(self, tree, stats):
+        """Any object matching a query must be routed to a worker holding it."""
+        queries = [
+            STSQuery.create("kobe AND retired", Rect(55, 5, 95, 95)),
+            STSQuery.create("music OR jazz", Rect(55, 5, 95, 95)),
+            STSQuery.create("kobe", Rect(5, 5, 45, 95)),
+        ]
+        objects = [
+            SpatioTextualObject.create("kobe retired today", Point(70, 50)),
+            SpatioTextualObject.create("jazz music night", Point(70, 50)),
+            SpatioTextualObject.create("kobe highlight", Point(20, 50)),
+        ]
+        for query in queries:
+            query_workers = tree.route_query(query)
+            for obj in objects:
+                if query.matches(obj):
+                    assert tree.route_object(obj) & query_workers
+
+
+class TestFromLeavesEdgeCases:
+    def test_single_leaf_tree(self, stats):
+        tree = KdtTree.from_leaves(BOUNDS, [(BOUNDS, None, 3)], stats)
+        obj = SpatioTextualObject.create("x", Point(1, 1))
+        assert tree.route_object(obj) == {3}
+
+    def test_overlapping_text_leaves_collapse(self, stats):
+        tree = KdtTree.from_leaves(
+            BOUNDS,
+            [
+                (BOUNDS, {"kobe": 1}, 1),
+                (BOUNDS, {"music": 2}, 2),
+            ],
+            stats,
+        )
+        obj = SpatioTextualObject.create("kobe music", Point(10, 10))
+        assert tree.route_object(obj) == {1, 2}
+
+    def test_four_quadrants(self, stats):
+        tree = KdtTree.from_leaves(
+            BOUNDS,
+            [
+                (Rect(0, 0, 50, 50), None, 0),
+                (Rect(50, 0, 100, 50), None, 1),
+                (Rect(0, 50, 50, 100), None, 2),
+                (Rect(50, 50, 100, 100), None, 3),
+            ],
+            stats,
+        )
+        assert tree.route_object(SpatioTextualObject.create("x", Point(10, 10))) == {0}
+        assert tree.route_object(SpatioTextualObject.create("x", Point(90, 10))) == {1}
+        assert tree.route_object(SpatioTextualObject.create("x", Point(10, 90))) == {2}
+        assert tree.route_object(SpatioTextualObject.create("x", Point(90, 90))) == {3}
+        query = STSQuery.create("x", Rect(40, 40, 60, 60))
+        assert tree.route_query(query) == {0, 1, 2, 3}

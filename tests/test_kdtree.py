@@ -1,0 +1,122 @@
+"""Unit tests for the kd-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+from repro.indexes.kdtree import KDTree, build_leaf_regions, median_split
+
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def random_points(count, seed=3):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(count)]
+
+
+class TestMedianSplit:
+    def test_odd_count(self):
+        points = [Point(1, 0), Point(5, 0), Point(9, 0)]
+        assert median_split(points, 0) == 5
+
+    def test_even_count(self):
+        points = [Point(1, 0), Point(3, 0), Point(7, 0), Point(9, 0)]
+        assert median_split(points, 0) == 5
+
+    def test_y_axis(self):
+        points = [Point(0, 2), Point(0, 8)]
+        assert median_split(points, 1) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_split([], 0)
+
+
+class TestBuildLeafRegions:
+    def test_requested_leaf_count(self):
+        regions = build_leaf_regions(random_points(500), 8, BOUNDS)
+        assert len(regions) == 8
+
+    def test_regions_tile_bounds(self):
+        regions = build_leaf_regions(random_points(300), 6, BOUNDS)
+        assert sum(region.area for region in regions) == pytest.approx(BOUNDS.area)
+
+    def test_every_point_covered_by_some_region(self):
+        points = random_points(200)
+        regions = build_leaf_regions(points, 10, BOUNDS)
+        for point in points:
+            assert any(region.contains_point(point) for region in regions)
+
+    def test_balanced_point_counts(self):
+        points = random_points(800)
+        regions = build_leaf_regions(points, 8, BOUNDS)
+        counts = []
+        for region in regions:
+            counts.append(sum(1 for point in points if region.contains_point(point)))
+        # Boundary points can be counted for two adjacent regions, so the
+        # total may slightly exceed the point count, but no region should be
+        # wildly above the fair share.
+        assert max(counts) <= 3 * (len(points) / len(regions))
+
+    def test_empty_point_set_still_partitions(self):
+        regions = build_leaf_regions([], 4, BOUNDS)
+        assert len(regions) == 4
+        assert sum(region.area for region in regions) == pytest.approx(BOUNDS.area)
+
+    def test_single_leaf(self):
+        regions = build_leaf_regions(random_points(10), 1, BOUNDS)
+        assert regions == [BOUNDS]
+
+    def test_invalid_leaf_count(self):
+        with pytest.raises(ValueError):
+            build_leaf_regions([], 0, BOUNDS)
+
+    def test_identical_points_do_not_crash(self):
+        points = [Point(50, 50)] * 64
+        regions = build_leaf_regions(points, 4, BOUNDS)
+        assert len(regions) == 4
+
+
+class TestKDTreeIndex:
+    def test_range_search_matches_bruteforce(self):
+        points = random_points(400, seed=11)
+        tree = KDTree(points, leaf_capacity=16, bounds=BOUNDS)
+        probe = Rect(20, 30, 60, 70)
+        expected = sorted(p.as_tuple() for p in points if probe.contains_point(p))
+        found = sorted(p.as_tuple() for p in tree.range_search(probe))
+        assert found == expected
+
+    def test_full_range_returns_everything(self):
+        points = random_points(100, seed=12)
+        tree = KDTree(points, leaf_capacity=8, bounds=BOUNDS)
+        assert len(tree.range_search(BOUNDS)) == len(points)
+
+    def test_empty_range(self):
+        tree = KDTree(random_points(50), leaf_capacity=8, bounds=BOUNDS)
+        assert tree.range_search(Rect(200, 200, 300, 300)) == []
+
+    def test_empty_tree(self):
+        tree = KDTree([], bounds=BOUNDS)
+        assert len(tree) == 0
+        assert tree.range_search(BOUNDS) == []
+
+    def test_leaf_capacity_respected(self):
+        tree = KDTree(random_points(500, seed=13), leaf_capacity=20, bounds=BOUNDS)
+        for leaf in tree.leaves():
+            assert len(leaf.points) <= 20
+
+    def test_height_grows_with_points(self):
+        small = KDTree(random_points(32, seed=1), leaf_capacity=4, bounds=BOUNDS)
+        large = KDTree(random_points(512, seed=1), leaf_capacity=4, bounds=BOUNDS)
+        assert large.height >= small.height
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KDTree([], leaf_capacity=0)
+
+    def test_duplicate_points_handled(self):
+        points = [Point(5, 5)] * 100
+        tree = KDTree(points, leaf_capacity=8, bounds=BOUNDS)
+        assert len(tree.range_search(Rect(0, 0, 10, 10))) == 100

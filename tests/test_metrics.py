@@ -1,0 +1,92 @@
+"""Unit tests for the run metrics (latency tracker, buckets, run report)."""
+
+import pytest
+
+from repro.runtime.metrics import LatencyTracker, RunReport, utilization_latency
+
+
+class TestLatencyTracker:
+    def test_mean(self):
+        tracker = LatencyTracker()
+        tracker.extend([10.0, 20.0, 30.0])
+        assert tracker.mean == pytest.approx(20.0)
+        assert len(tracker) == 3
+
+    def test_empty_tracker(self):
+        tracker = LatencyTracker()
+        assert tracker.mean == 0.0
+        assert tracker.percentile(95) == 0.0
+        buckets = tracker.buckets()
+        assert buckets.under_100ms == 1.0
+
+    def test_percentile(self):
+        tracker = LatencyTracker()
+        tracker.extend(float(value) for value in range(1, 101))
+        assert tracker.percentile(50) == pytest.approx(50.0)
+        assert tracker.percentile(95) == pytest.approx(95.0)
+        assert tracker.percentile(100) == pytest.approx(100.0)
+
+    def test_percentile_bounds_check(self):
+        tracker = LatencyTracker()
+        tracker.record(1.0)
+        with pytest.raises(ValueError):
+            tracker.percentile(150)
+
+    def test_buckets(self):
+        tracker = LatencyTracker()
+        tracker.extend([50.0] * 8 + [500.0] * 1 + [5000.0] * 1)
+        buckets = tracker.buckets()
+        assert buckets.under_100ms == pytest.approx(0.8)
+        assert buckets.between_100ms_and_1s == pytest.approx(0.1)
+        assert buckets.over_1s == pytest.approx(0.1)
+        assert sum(buckets.as_dict().values()) == pytest.approx(1.0)
+
+
+class TestUtilizationLatency:
+    def test_zero_utilization_returns_service_time(self):
+        assert utilization_latency(10.0, 0.0) == pytest.approx(10.0)
+
+    def test_latency_grows_with_utilization(self):
+        low = utilization_latency(10.0, 0.2)
+        high = utilization_latency(10.0, 0.9)
+        assert high > low > 10.0
+
+    def test_overload_is_clamped_and_capped(self):
+        # Utilisation is clamped just below 1, giving service / (1 - 0.995).
+        assert utilization_latency(10.0, 5.0) == pytest.approx(2000.0)
+        assert utilization_latency(10.0, 1.0, cap_ms=500.0) == 500.0
+        assert utilization_latency(1000.0, 0.999, cap_ms=10_000.0) == 10_000.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            utilization_latency(-1.0, 0.5)
+
+
+class TestRunReport:
+    def test_aggregate_properties(self):
+        report = RunReport(
+            tuples_processed=100,
+            worker_loads={0: 10.0, 1: 20.0},
+            dispatcher_memory={0: 1_000_000, 1: 3_000_000},
+            worker_memory={0: 2_000_000},
+        )
+        assert report.total_load == 30.0
+        assert report.load_imbalance == pytest.approx(2.0)
+        assert report.avg_dispatcher_memory_mb == pytest.approx(2.0)
+        assert report.avg_worker_memory_mb == pytest.approx(2.0)
+
+    def test_empty_report_defaults(self):
+        report = RunReport()
+        assert report.load_imbalance == 1.0
+        assert report.avg_dispatcher_memory_mb == 0.0
+        assert report.total_load == 0.0
+
+    def test_zero_min_load_imbalance(self):
+        report = RunReport(worker_loads={0: 0.0, 1: 1.0})
+        assert report.load_imbalance == float("inf")
+
+    def test_summary_keys(self):
+        report = RunReport(tuples_processed=10, throughput=5.0)
+        summary = report.summary()
+        for key in ("tuples", "throughput", "mean_latency_ms", "imbalance", "matches"):
+            assert key in summary

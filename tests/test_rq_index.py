@@ -1,0 +1,142 @@
+"""Unit tests for the RQ-index (alternative R-tree based worker index)."""
+
+import random
+
+import pytest
+
+from repro.core import Point, Rect, STSQuery, SpatioTextualObject, TermStatistics
+from repro.indexes.gi2 import GI2Index
+from repro.indexes.rq_index import RQIndex
+
+
+BOUNDS = Rect(0, 0, 100, 100)
+VOCAB = ["kobe", "lebron", "nba", "music", "jazz", "storm", "flood", "pizza"]
+
+
+@pytest.fixture
+def stats():
+    statistics = TermStatistics()
+    statistics.add_document(VOCAB * 3 + ["kobe"] * 10)
+    return statistics
+
+
+def random_query(rng, conjunctive=None):
+    keywords = rng.sample(VOCAB, rng.randint(1, 3))
+    if conjunctive is None:
+        conjunctive = rng.random() < 0.5
+    connector = " AND " if conjunctive else " OR "
+    center = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+    region = Rect.from_center(center, rng.uniform(2, 20), rng.uniform(2, 20))
+    return STSQuery.create(connector.join(keywords), region)
+
+
+def random_object(rng):
+    words = rng.sample(VOCAB, rng.randint(1, 4))
+    return SpatioTextualObject.create(" ".join(words), Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+
+
+class TestBasics:
+    def test_insert_and_match(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        query = STSQuery.create("kobe AND nba", Rect(0, 0, 50, 50))
+        index.insert(query)
+        outcome = index.match(SpatioTextualObject.create("kobe nba tonight", Point(10, 10)))
+        assert outcome.query_ids == (query.query_id,)
+        assert index.query_count == 1
+
+    def test_no_match_outside_region_or_keywords(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        query = STSQuery.create("kobe", Rect(0, 0, 20, 20))
+        index.insert(query)
+        assert index.match(SpatioTextualObject.create("kobe", Point(90, 90))).query_ids == ()
+        assert index.match(SpatioTextualObject.create("music", Point(10, 10))).query_ids == ()
+
+    def test_duplicate_insert_idempotent(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        query = STSQuery.create("kobe", Rect(0, 0, 20, 20))
+        assert index.insert(query) == 1
+        assert index.insert(query) == 0
+        assert index.query_count == 1
+
+    def test_lazy_delete(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        query = STSQuery.create("kobe", Rect(0, 0, 50, 50))
+        index.insert(query)
+        assert index.delete(query.query_id)
+        assert not index.delete(query.query_id)
+        assert query.query_id not in index
+        assert index.match(SpatioTextualObject.create("kobe", Point(10, 10))).query_ids == ()
+
+    def test_compaction_rebuilds(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        queries = [STSQuery.create("kobe", Rect(i, i, i + 5, i + 5)) for i in range(20)]
+        for query in queries:
+            index.insert(query)
+        for query in queries[:15]:
+            index.delete(query.query_id)
+        # The tombstone threshold forces a rebuild; survivors still match.
+        assert index.query_count == 5
+        survivor = queries[19]
+        obj = SpatioTextualObject.create("kobe", Point(21, 21))
+        assert survivor.query_id in index.match(obj).query_ids
+
+    def test_bulk_load(self, stats):
+        rng = random.Random(1)
+        queries = [random_query(rng) for _ in range(50)]
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        assert index.bulk_load(queries) == 50
+        assert index.query_count == 50
+
+    def test_memory_grows_with_queries(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        before = index.memory_bytes()
+        for i in range(30):
+            index.insert(STSQuery.create("kobe AND music", Rect(i, 0, i + 2, 2)))
+        assert index.memory_bytes() > before
+
+    def test_queries_listing_excludes_tombstones(self, stats):
+        index = RQIndex(BOUNDS, term_statistics=stats)
+        keep = STSQuery.create("kobe", Rect(0, 0, 10, 10))
+        drop = STSQuery.create("music", Rect(0, 0, 10, 10))
+        index.insert(keep)
+        index.insert(drop)
+        index.delete(drop.query_id)
+        assert index.queries() == [keep]
+
+
+class TestEquivalenceWithGI2:
+    """The two worker indexes must agree on every match."""
+
+    @pytest.mark.parametrize("seed", [3, 5, 7])
+    def test_same_matches_as_gi2(self, stats, seed):
+        rng = random.Random(seed)
+        queries = [random_query(rng) for _ in range(120)]
+        objects = [random_object(rng) for _ in range(150)]
+        gi2 = GI2Index(BOUNDS, granularity=16, term_statistics=stats)
+        rq = RQIndex(BOUNDS, term_statistics=stats)
+        for query in queries:
+            gi2.insert(query)
+            rq.insert(query)
+        # Delete a third of them from both.
+        for query in queries[::3]:
+            gi2.delete(query.query_id)
+            rq.delete(query.query_id)
+        for obj in objects:
+            assert gi2.match(obj).query_ids == rq.match(obj).query_ids
+
+    def test_same_matches_after_compaction(self, stats):
+        rng = random.Random(11)
+        queries = [random_query(rng) for _ in range(80)]
+        objects = [random_object(rng) for _ in range(80)]
+        gi2 = GI2Index(BOUNDS, granularity=16, term_statistics=stats)
+        rq = RQIndex(BOUNDS, term_statistics=stats)
+        for query in queries:
+            gi2.insert(query)
+            rq.insert(query)
+        for query in queries[:60]:
+            gi2.delete(query.query_id)
+            rq.delete(query.query_id)
+        gi2.compact()
+        rq.compact()
+        for obj in objects:
+            assert gi2.match(obj).query_ids == rq.match(obj).query_ids

@@ -1,0 +1,105 @@
+"""Unit tests for the R-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Point, Rect
+from repro.indexes.rtree import RTree, RTreeEntry, str_pack
+
+
+def random_rects(count, seed=7, size=5.0):
+    rng = random.Random(seed)
+    rects = []
+    for index in range(count):
+        x = rng.uniform(0, 95)
+        y = rng.uniform(0, 95)
+        rects.append(RTreeEntry(Rect(x, y, x + rng.uniform(0.1, size), y + rng.uniform(0.1, size)), index))
+    return rects
+
+
+class TestStrPack:
+    def test_groups_respect_capacity(self):
+        groups = str_pack(random_rects(100), capacity=8)
+        assert all(len(group) <= 8 for group in groups)
+        assert sum(len(group) for group in groups) == 100
+
+    def test_empty_input(self):
+        assert str_pack([], capacity=4) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            str_pack(random_rects(10), capacity=1)
+
+
+class TestBulkLoad:
+    def test_search_matches_bruteforce(self):
+        entries = random_rects(300, seed=5)
+        tree = RTree.bulk_load(entries, capacity=8)
+        probe = Rect(10, 20, 40, 60)
+        expected = sorted(entry.payload for entry in entries if entry.rect.intersects(probe))
+        found = sorted(entry.payload for entry in tree.search(probe))
+        assert found == expected
+
+    def test_search_point(self):
+        entries = random_rects(200, seed=6)
+        tree = RTree.bulk_load(entries, capacity=8)
+        probe = Point(50, 50)
+        expected = sorted(entry.payload for entry in entries if entry.rect.contains_point(probe))
+        found = sorted(entry.payload for entry in tree.search_point(probe))
+        assert found == expected
+
+    def test_empty_tree(self):
+        tree = RTree.bulk_load([], capacity=4)
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 100, 100)) == []
+
+    def test_len(self):
+        tree = RTree.bulk_load(random_rects(57), capacity=8)
+        assert len(tree) == 57
+
+    def test_leaf_rects_cover_all_entries(self):
+        entries = random_rects(150, seed=8)
+        tree = RTree.bulk_load(entries, capacity=8)
+        leaves = tree.leaf_rects()
+        assert leaves
+        for entry in entries:
+            assert any(leaf.contains_rect(entry.rect) for leaf in leaves)
+
+    def test_height_grows_with_size(self):
+        small = RTree.bulk_load(random_rects(10), capacity=4)
+        large = RTree.bulk_load(random_rects(500), capacity=4)
+        assert large.height > small.height
+
+
+class TestInsertion:
+    def test_insert_then_search(self):
+        tree = RTree(capacity=4)
+        entries = random_rects(120, seed=9)
+        for entry in entries:
+            tree.insert(entry.rect, entry.payload)
+        probe = Rect(30, 30, 70, 70)
+        expected = sorted(entry.payload for entry in entries if entry.rect.intersects(probe))
+        found = sorted(entry.payload for entry in tree.search(probe))
+        assert found == expected
+        assert len(tree) == 120
+
+    def test_insert_into_bulk_loaded_tree(self):
+        entries = random_rects(60, seed=10)
+        tree = RTree.bulk_load(entries, capacity=4)
+        extra = Rect(1, 1, 2, 2)
+        tree.insert(extra, "extra")
+        found = [entry.payload for entry in tree.search(Rect(0, 0, 3, 3))]
+        assert "extra" in found
+        assert len(tree) == 61
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RTree(capacity=1)
+
+    def test_many_identical_rects(self):
+        tree = RTree(capacity=4)
+        rect = Rect(5, 5, 6, 6)
+        for index in range(50):
+            tree.insert(rect, index)
+        assert len(tree.search(rect)) == 50

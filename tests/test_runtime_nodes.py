@@ -1,0 +1,191 @@
+"""Unit tests for the worker, dispatcher and merger process models."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    Point,
+    QueryDeletion,
+    QueryInsertion,
+    Rect,
+    STSQuery,
+    SpatioTextualObject,
+    StreamTuple,
+    TermStatistics,
+)
+from repro.core.objects import MatchResult
+from repro.indexes.gridt import GridTIndex
+from repro.runtime import DispatcherNode, MergerNode, WorkerNode
+
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def worker():
+    return WorkerNode(0, BOUNDS, granularity=16)
+
+
+class TestWorkerNode:
+    def test_insertion_and_match(self, worker):
+        query = STSQuery.create("kobe", Rect(0, 0, 50, 50))
+        worker.handle_insertion(QueryInsertion(query))
+        results = worker.handle_object(SpatioTextualObject.create("kobe scores", Point(10, 10)))
+        assert [result.query_id for result in results] == [query.query_id]
+        assert results[0].worker_id == 0
+
+    def test_deletion_stops_matching(self, worker):
+        query = STSQuery.create("kobe", Rect(0, 0, 50, 50))
+        worker.handle_insertion(QueryInsertion(query))
+        worker.handle_deletion(QueryDeletion(query))
+        assert worker.handle_object(SpatioTextualObject.create("kobe", Point(10, 10))) == []
+
+    def test_counters_and_load(self, worker):
+        query = STSQuery.create("kobe", Rect(0, 0, 50, 50))
+        worker.handle_insertion(QueryInsertion(query))
+        worker.handle_object(SpatioTextualObject.create("kobe", Point(10, 10)))
+        assert worker.counters.insertions == 1
+        assert worker.counters.objects == 1
+        assert worker.load() > 0
+        assert worker.busy_cost > 0
+
+    def test_reset_period(self, worker):
+        worker.handle_insertion(QueryInsertion(STSQuery.create("kobe", Rect(0, 0, 5, 5))))
+        worker.reset_period()
+        assert worker.load() == 0.0
+        assert worker.busy_cost == 0.0
+        # The query itself is still registered.
+        assert worker.query_count == 1
+
+    def test_match_results_carry_subscriber(self, worker):
+        query = STSQuery.create("kobe", Rect(0, 0, 50, 50), subscriber_id=77)
+        worker.handle_insertion(QueryInsertion(query))
+        results = worker.handle_object(SpatioTextualObject.create("kobe", Point(1, 1)))
+        assert results[0].subscriber_id == 77
+
+    def test_extract_and_install_cells(self, worker):
+        query = STSQuery.create("kobe", Rect(0, 0, 5, 5))
+        worker.handle_insertion(QueryInsertion(query))
+        cells = worker.index.cells_of_query(query.query_id)
+        moved = worker.extract_cells(cells)
+        assert moved == [query]
+        assert worker.query_count == 0
+        other = WorkerNode(1, BOUNDS, granularity=16)
+        assert other.install_queries(moved) == 1
+        assert other.handle_object(SpatioTextualObject.create("kobe", Point(1, 1)))
+
+    def test_memory_reflects_queries(self, worker):
+        empty = worker.memory_bytes()
+        for offset in range(20):
+            worker.handle_insertion(
+                QueryInsertion(STSQuery.create("kobe AND retired", Rect(offset, 0, offset + 3, 3)))
+            )
+        assert worker.memory_bytes() > empty
+
+    def test_last_tuple_cost_tracks_operation(self, worker):
+        model = worker.cost_model
+        worker.handle_insertion(QueryInsertion(STSQuery.create("kobe", Rect(0, 0, 5, 5))))
+        assert worker.last_tuple_cost == pytest.approx(model.insert_handling)
+        worker.handle_object(SpatioTextualObject.create("nothing", Point(50, 50)))
+        assert worker.last_tuple_cost == pytest.approx(model.object_handling)
+
+
+class TestDispatcherNode:
+    def _index(self):
+        stats = TermStatistics()
+        stats.add_document(["kobe", "kobe", "music"])
+        return GridTIndex.from_assignments(
+            BOUNDS,
+            [(Rect(0, 0, 50, 100), None, 0), (Rect(50, 0, 100, 100), None, 1)],
+            granularity=10,
+            term_statistics=stats,
+        )
+
+    def test_routes_objects_by_cell(self):
+        dispatcher = DispatcherNode(0, self._index())
+        decision = dispatcher.route(
+            StreamTuple.object(SpatioTextualObject.create("kobe", Point(10, 10)))
+        )
+        assert decision.workers == (0,)
+        assert not decision.discarded
+        assert dispatcher.objects_routed == 1
+
+    def test_routes_insertions_and_updates_h2(self):
+        index = self._index()
+        dispatcher = DispatcherNode(0, index)
+        query = STSQuery.create("kobe", Rect(60, 10, 70, 20))
+        decision = dispatcher.route(StreamTuple.insert(query))
+        assert decision.workers == (1,)
+        assert index.h2_entry_count() > 0
+        assert dispatcher.insertions_routed == 1
+
+    def test_routes_deletions(self):
+        index = self._index()
+        dispatcher = DispatcherNode(0, index)
+        query = STSQuery.create("kobe", Rect(60, 10, 70, 20))
+        dispatcher.route(StreamTuple.insert(query))
+        decision = dispatcher.route(StreamTuple.delete(query))
+        assert decision.workers == (1,)
+        assert index.h2_entry_count() == 0
+
+    def test_busy_cost_accumulates(self):
+        dispatcher = DispatcherNode(0, self._index())
+        before = dispatcher.busy_cost
+        dispatcher.route(StreamTuple.object(SpatioTextualObject.create("kobe", Point(10, 10))))
+        assert dispatcher.busy_cost > before
+
+    def test_reset_period(self):
+        dispatcher = DispatcherNode(0, self._index())
+        dispatcher.route(StreamTuple.object(SpatioTextualObject.create("kobe", Point(10, 10))))
+        dispatcher.reset_period()
+        assert dispatcher.busy_cost == 0.0
+        assert dispatcher.objects_routed == 0
+
+    def test_memory_is_routing_index_size(self):
+        index = self._index()
+        dispatcher = DispatcherNode(0, index)
+        assert dispatcher.memory_bytes() == index.memory_bytes()
+
+
+class TestMergerNode:
+    def test_deduplicates_matches(self):
+        merger = MergerNode(0)
+        result = MatchResult(query_id=1, object_id=2, subscriber_id=3)
+        duplicate = MatchResult(query_id=1, object_id=2, subscriber_id=3, worker_id=5)
+        assert merger.handle(result)
+        assert not merger.handle(duplicate)
+        assert merger.delivered == 1
+        assert merger.duplicates == 1
+        assert merger.received == 2
+
+    def test_different_pairs_both_delivered(self):
+        merger = MergerNode(0)
+        assert merger.handle(MatchResult(1, 2))
+        assert merger.handle(MatchResult(1, 3))
+        assert merger.handle(MatchResult(2, 2))
+        assert merger.delivered == 3
+
+    def test_handle_many(self):
+        merger = MergerNode(0)
+        results = [MatchResult(1, i) for i in range(5)] + [MatchResult(1, 0)]
+        assert merger.handle_many(results) == 5
+
+    def test_deliveries_per_subscriber(self):
+        merger = MergerNode(0)
+        merger.handle(MatchResult(1, 1, subscriber_id=9))
+        merger.handle(MatchResult(2, 1, subscriber_id=9))
+        assert merger.deliveries_for(9) == 2
+        assert merger.deliveries_for(1) == 0
+
+    def test_dedup_window_bounded(self):
+        merger = MergerNode(0, dedup_window=10)
+        for index in range(50):
+            merger.handle(MatchResult(1, index))
+        assert merger.memory_bytes() <= 48 * 10
+
+    def test_reset_period(self):
+        merger = MergerNode(0)
+        merger.handle(MatchResult(1, 1))
+        merger.reset_period()
+        assert merger.delivered == 0
+        assert merger.busy_cost == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for the space-partitioning baselines."""
+
+import pytest
+
+from repro.partitioning import (
+    GridSpacePartitioner,
+    KDTreeSpacePartitioner,
+    RTreeSpacePartitioner,
+    pack_weighted_items,
+)
+
+
+ALL_SPACE_PARTITIONERS = [
+    lambda: GridSpacePartitioner(granularity=16),
+    lambda: KDTreeSpacePartitioner(),
+    lambda: RTreeSpacePartitioner(),
+]
+
+
+class TestPackWeightedItems:
+    def test_every_item_assigned(self):
+        assignment = pack_weighted_items([3.0, 1.0, 2.0, 5.0], 2)
+        assert len(assignment) == 4
+        assert set(assignment) <= {0, 1}
+
+    def test_balances_loads(self):
+        weights = [float(index % 10 + 1) for index in range(100)]
+        assignment = pack_weighted_items(weights, 4)
+        loads = [0.0] * 4
+        for index, worker in enumerate(assignment):
+            loads[worker] += weights[index]
+        assert max(loads) <= 1.2 * (sum(loads) / 4)
+
+    def test_empty_items(self):
+        assert pack_weighted_items([], 3) == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            pack_weighted_items([1.0], 0)
+
+
+@pytest.mark.parametrize("factory", ALL_SPACE_PARTITIONERS)
+class TestSpacePartitionersCommon:
+    def test_all_workers_used(self, factory, toy_sample):
+        plan = factory().partition(toy_sample, 4)
+        assert {unit.worker_id for unit in plan.units} == {0, 1, 2, 3}
+
+    def test_units_are_space_only(self, factory, toy_sample):
+        plan = factory().partition(toy_sample, 4)
+        assert all(unit.terms is None or len(unit.terms) == 0 for unit in plan.units)
+
+    def test_every_object_routes_to_exactly_one_worker_mostly(self, factory, toy_sample):
+        plan = factory().partition(toy_sample, 4)
+        fanouts = [len(plan.route_object(obj)) for obj in toy_sample.objects[:100]]
+        # Space partitioning sends each object to at most a couple of
+        # workers (boundary/overlap effects); most go to exactly one.
+        assert all(fanout <= 2 for fanout in fanouts)
+        assert sum(1 for fanout in fanouts if fanout == 1) >= 90
+
+    def test_queries_route_somewhere(self, factory, toy_sample):
+        plan = factory().partition(toy_sample, 4)
+        for query in toy_sample.insertions[:50]:
+            assert plan.route_query(query)
+
+    def test_load_balance_on_driving_sample(self, factory, toy_sample):
+        plan = factory().partition(toy_sample, 4)
+        report = plan.worker_loads(toy_sample)
+        assert report.imbalance < 4.0
+
+    def test_single_worker(self, factory, toy_sample):
+        plan = factory().partition(toy_sample, 1)
+        assert plan.workers() == {0}
+
+    def test_baselines_do_not_enable_object_filtering(self, factory, toy_sample):
+        assert factory().partition(toy_sample, 4).object_filtering is False
+
+
+class TestGridSpacePartitioner:
+    def test_unit_count_equals_cell_count(self, toy_sample):
+        plan = GridSpacePartitioner(granularity=8).partition(toy_sample, 4)
+        assert len(plan.units) == 64
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            GridSpacePartitioner(granularity=0)
+
+    def test_cells_tile_bounds(self, toy_sample):
+        plan = GridSpacePartitioner(granularity=8).partition(toy_sample, 4)
+        area = sum(unit.region.area for unit in plan.units)
+        assert area == pytest.approx(toy_sample.bounds.area, rel=1e-6)
+
+
+class TestKDTreeSpacePartitioner:
+    def test_one_leaf_per_worker_by_default(self, toy_sample):
+        plan = KDTreeSpacePartitioner().partition(toy_sample, 6)
+        assert len(plan.units) == 6
+
+    def test_finer_leaves_option(self, toy_sample):
+        plan = KDTreeSpacePartitioner(leaves_per_worker=4).partition(toy_sample, 4)
+        assert len(plan.units) == 16
+        assert {unit.worker_id for unit in plan.units} == {0, 1, 2, 3}
+
+    def test_invalid_leaves_per_worker(self):
+        with pytest.raises(ValueError):
+            KDTreeSpacePartitioner(leaves_per_worker=0)
+
+    def test_object_balance(self, toy_sample):
+        plan = KDTreeSpacePartitioner().partition(toy_sample, 4)
+        counts = {worker: 0 for worker in range(4)}
+        for obj in toy_sample.objects:
+            for worker in plan.route_object(obj):
+                counts[worker] += 1
+        assert max(counts.values()) <= 2.5 * (len(toy_sample.objects) / 4)
+
+
+class TestRTreeSpacePartitioner:
+    def test_handles_empty_sample(self, bounds):
+        from repro.partitioning import WorkloadSample
+
+        sample = WorkloadSample(objects=[], insertions=[], bounds=bounds)
+        plan = RTreeSpacePartitioner().partition(sample, 4)
+        assert plan.workers() == {0, 1, 2, 3}
+
+    def test_invalid_leaves_per_worker(self):
+        with pytest.raises(ValueError):
+            RTreeSpacePartitioner(leaves_per_worker=0)
+
+    def test_leaf_regions_cover_sampled_objects(self, toy_sample):
+        plan = RTreeSpacePartitioner().partition(toy_sample, 4)
+        for obj in toy_sample.objects[:100]:
+            assert any(unit.region.contains_point(obj.location) for unit in plan.units)

@@ -1,0 +1,91 @@
+"""Unit tests for the mixed workload stream driver."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import TupleKind
+from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
+
+
+def make_stream(mu=100, group="Q1", objects_per_update=5, seed=21):
+    tweets = make_dataset("us", seed=seed)
+    queries = QueryGenerator(tweets, seed=seed + 1)
+    config = StreamConfig(mu=mu, group=group, objects_per_update=objects_per_update)
+    return WorkloadStream(tweets, queries, config, seed=seed + 2)
+
+
+class TestWarmup:
+    def test_warmup_size_equals_mu(self):
+        stream = make_stream(mu=50)
+        assert len(stream.warmup_queries()) == 50
+        assert stream.live_query_count == 50
+
+    def test_warmup_idempotent(self):
+        stream = make_stream(mu=30)
+        first = stream.warmup_queries()
+        second = stream.warmup_queries()
+        assert [q.query_id for q in first] == [q.query_id for q in second]
+
+    def test_partitioning_sample(self):
+        stream = make_stream(mu=40)
+        sample = stream.partitioning_sample(100)
+        assert len(sample.objects) == 100
+        assert len(sample.insertions) == 40
+
+
+class TestTupleStream:
+    def test_object_update_ratio(self):
+        stream = make_stream(mu=50, objects_per_update=5)
+        kinds = Counter(item.kind for item in stream.tuples(500, include_warmup=False))
+        assert kinds[TupleKind.OBJECT] == 500
+        updates = kinds[TupleKind.INSERT] + kinds[TupleKind.DELETE]
+        assert updates == pytest.approx(100, abs=2)
+
+    def test_insert_delete_rates_are_balanced(self):
+        stream = make_stream(mu=20, objects_per_update=5)
+        kinds = Counter(item.kind for item in stream.tuples(1000, include_warmup=False))
+        assert abs(kinds[TupleKind.INSERT] - kinds[TupleKind.DELETE]) <= 1
+
+    def test_warmup_included_by_default(self):
+        stream = make_stream(mu=30)
+        kinds = Counter(item.kind for item in stream.tuples(100))
+        assert kinds[TupleKind.INSERT] >= 30
+
+    def test_live_population_stays_near_mu(self):
+        stream = make_stream(mu=50, objects_per_update=2)
+        for _ in stream.tuples(2000):
+            pass
+        assert 25 <= stream.live_query_count <= 100
+
+    def test_arrival_times_monotonic(self):
+        stream = make_stream(mu=10)
+        times = [item.arrival_time for item in stream.tuples(200)]
+        assert times == sorted(times)
+
+    def test_deletions_reference_previously_inserted_queries(self):
+        stream = make_stream(mu=20)
+        inserted = set()
+        for item in stream.tuples(500):
+            if item.kind is TupleKind.INSERT:
+                inserted.add(item.payload.query_id)
+            elif item.kind is TupleKind.DELETE:
+                assert item.payload.query_id in inserted
+
+    def test_on_insert_callback(self):
+        stream = make_stream(mu=10)
+        seen = []
+        for _ in stream.tuples(100, include_warmup=False, on_insert=seen.append):
+            pass
+        assert seen == sorted(seen)
+        assert len(seen) >= 8
+
+    def test_q3_stream_produces_tuples(self):
+        stream = make_stream(mu=30, group="Q3")
+        kinds = Counter(item.kind for item in stream.tuples(100))
+        assert kinds[TupleKind.OBJECT] == 100
+
+    def test_deterministic_given_seed(self):
+        first = [item.kind for item in make_stream(seed=77).tuples(200)]
+        second = [item.kind for item in make_stream(seed=77).tuples(200)]
+        assert first == second

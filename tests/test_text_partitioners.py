@@ -1,0 +1,129 @@
+"""Unit tests for the text-partitioning baselines."""
+
+import pytest
+
+from repro.partitioning import (
+    FrequencyTextPartitioner,
+    HypergraphTextPartitioner,
+    MetricTextPartitioner,
+    balanced_term_assignment,
+)
+
+
+ALL_TEXT_PARTITIONERS = [
+    FrequencyTextPartitioner,
+    HypergraphTextPartitioner,
+    MetricTextPartitioner,
+]
+
+
+class TestBalancedTermAssignment:
+    def test_all_terms_assigned(self):
+        weights = {"t%d" % index: float(index + 1) for index in range(20)}
+        assignment = balanced_term_assignment(weights, 4)
+        assert set(assignment) == set(weights)
+        assert set(assignment.values()) <= {0, 1, 2, 3}
+
+    def test_single_worker(self):
+        assignment = balanced_term_assignment({"a": 1.0, "b": 2.0}, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_balances_equal_weights(self):
+        weights = {"t%d" % index: 1.0 for index in range(100)}
+        assignment = balanced_term_assignment(weights, 4)
+        counts = [list(assignment.values()).count(worker) for worker in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_weight_balance_within_factor(self):
+        weights = {"t%d" % index: float((index % 7) + 1) for index in range(200)}
+        assignment = balanced_term_assignment(weights, 5)
+        loads = [0.0] * 5
+        for term, worker in assignment.items():
+            loads[worker] += weights[term]
+        assert max(loads) <= 1.3 * (sum(loads) / 5)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            balanced_term_assignment({"a": 1.0}, 0)
+
+    def test_affinity_groups_terms_together(self):
+        weights = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+        affinity = {"b": {0: 5.0}, "c": {0: 5.0}}
+        assignment = balanced_term_assignment(
+            weights, 2, affinity=affinity, affinity_weight=1.0, imbalance_tolerance=10.0
+        )
+        assert assignment["b"] == assignment["c"] == 0
+
+    def test_deterministic(self):
+        weights = {"t%d" % index: float(index % 3 + 1) for index in range(50)}
+        assert balanced_term_assignment(weights, 4) == balanced_term_assignment(weights, 4)
+
+
+@pytest.mark.parametrize("partitioner_cls", ALL_TEXT_PARTITIONERS)
+class TestTextPartitionersCommon:
+    def test_produces_one_unit_per_worker(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 4)
+        assert plan.num_workers == 4
+        assert len(plan.units) == 4
+        assert {unit.worker_id for unit in plan.units} == {0, 1, 2, 3}
+
+    def test_units_cover_whole_space(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 4)
+        for unit in plan.units:
+            assert unit.region == toy_sample.bounds
+            assert unit.terms is not None
+
+    def test_term_sets_are_disjoint_and_cover_vocabulary(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 4)
+        seen = set()
+        for unit in plan.units:
+            assert not (seen & unit.terms), "term assigned to two workers"
+            seen |= unit.terms
+        assert toy_sample.vocabulary() <= seen
+
+    def test_every_object_routes_somewhere(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 4)
+        for obj in toy_sample.objects[:50]:
+            assert plan.route_object(obj), "object dropped by text partitioning"
+
+    def test_every_query_routes_somewhere(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 4)
+        for query in toy_sample.insertions[:50]:
+            assert plan.route_query(query), "query dropped by text partitioning"
+
+    def test_single_worker_plan(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 1)
+        assert len(plan.units) == 1
+        assert plan.units[0].worker_id == 0
+
+    def test_partitioner_name_recorded(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 2)
+        assert plan.partitioner_name == partitioner_cls.name
+
+    def test_baselines_do_not_enable_object_filtering(self, partitioner_cls, toy_sample):
+        plan = partitioner_cls().partition(toy_sample, 2)
+        assert plan.object_filtering is False
+
+
+class TestTextPartitionerBehaviour:
+    def test_frequency_balances_term_weight(self, toy_sample):
+        plan = FrequencyTextPartitioner().partition(toy_sample, 4)
+        stats = toy_sample.term_statistics
+        loads = []
+        for unit in plan.units:
+            loads.append(sum(stats.frequency(term) + 1.0 for term in unit.terms))
+        assert max(loads) <= 2.0 * (sum(loads) / len(loads))
+
+    def test_hypergraph_reduces_query_replication(self, toy_sample):
+        hyper = HypergraphTextPartitioner().partition(toy_sample, 4)
+        freq = FrequencyTextPartitioner().partition(toy_sample, 4)
+        assert hyper.replication_factor(toy_sample) <= freq.replication_factor(toy_sample) + 0.2
+
+    def test_metric_uses_query_information(self, toy_sample):
+        # Both must produce valid plans; the metric plan should not have a
+        # larger total load than the frequency plan on the driving sample.
+        metric = MetricTextPartitioner().partition(toy_sample, 4)
+        freq = FrequencyTextPartitioner().partition(toy_sample, 4)
+        metric_total = metric.worker_loads(toy_sample).total
+        freq_total = freq.worker_loads(toy_sample).total
+        assert metric_total <= freq_total * 1.5
