@@ -37,6 +37,12 @@ class ExperimentCache:
         return self._results[key]
 
 
+def pytest_collection_modifyitems(items):
+    """Every test collected under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def experiments() -> ExperimentCache:
     return ExperimentCache()

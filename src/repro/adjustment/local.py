@@ -145,6 +145,9 @@ class LocalLoadAdjuster:
             cluster.routing_index.split_cell_by_text(
                 cell_stat.cell, assignment, default_worker=source
             )
+            # The split changes H1, so routing decisions cached by the
+            # batched engine are no longer valid.
+            cluster.invalidate_routing_caches()
             moved_queries = self._migrate_split_queries(
                 cluster, source, target, cell_stat.cell, assignment
             )
@@ -245,7 +248,9 @@ class LocalLoadAdjuster:
             return
         record = cluster.migrate_cells(source, target, [cell.cell for cell in selected])
         report.records.append(record)
-        report.queries_moved += record.queries_moved
+        # The adjustment report tracks network shipments: copied queries
+        # cross the wire exactly like moved ones (paper migration cost).
+        report.queries_moved += record.queries_shipped
         report.bytes_moved += record.bytes_moved
         report.migration_seconds += record.seconds
         report.cells_moved += len(selected)

@@ -56,6 +56,13 @@ class MigrationExperimentResult:
     throughput_after: float
 
 
+def _run_stream(cluster: Cluster, tuples, batch_size: int):
+    """Replay ``tuples`` on the cluster via the configured execution path."""
+    if batch_size > 1:
+        return cluster.run_batched(tuples, batch_size=batch_size)
+    return cluster.run(tuples)
+
+
 def _build_imbalanced_cluster(
     mu: int,
     num_objects: int,
@@ -64,6 +71,7 @@ def _build_imbalanced_cluster(
     group: str = "Q1",
     num_workers: int = 8,
     seed: int = 3,
+    batch_size: int = 0,
 ) -> Tuple[Cluster, WorkloadStream]:
     """A deployment with a genuinely overloaded worker.
 
@@ -88,7 +96,7 @@ def _build_imbalanced_cluster(
         migration_fixed_seconds=0.15,
     )
     cluster = Cluster(plan, config)
-    cluster.run(stream.tuples(num_objects))
+    _run_stream(cluster, stream.tuples(num_objects), batch_size)
     return cluster, stream
 
 
@@ -99,10 +107,11 @@ def _buckets_during_migration(
     migration_seconds: float,
     num_objects: int,
     seed: int,
+    batch_size: int = 0,
 ) -> Tuple[LatencyBuckets, float]:
     """Latency buckets of the post-adjustment period, migration delay included."""
     cluster.reset_period()
-    cluster.run(stream.tuples(num_objects))
+    _run_stream(cluster, stream.tuples(num_objects), batch_size)
     report = cluster.report()
     tracker = cluster.latency_tracker()
     rng = random.Random(seed)
@@ -130,16 +139,20 @@ def run_migration_experiment(
     num_workers: int = 8,
     sigma: float = 1.3,
     seed: int = 3,
+    batch_size: int = 0,
 ) -> MigrationExperimentResult:
     """Trigger one local adjustment with ``selector_name`` and measure it."""
-    cluster, stream = _build_imbalanced_cluster(mu, num_objects, num_workers=num_workers, seed=seed)
+    cluster, stream = _build_imbalanced_cluster(
+        mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size
+    )
     adjuster = LocalLoadAdjuster(selector_by_name(selector_name, seed=seed), sigma=sigma)
     report = adjuster.adjust(cluster)
     affected = tuple(
         worker for worker in (report.source_worker, report.target_worker) if worker is not None
     )
     buckets, throughput = _buckets_during_migration(
-        cluster, stream, affected, report.migration_seconds, post_objects, seed
+        cluster, stream, affected, report.migration_seconds, post_objects, seed,
+        batch_size=batch_size,
     )
     return MigrationExperimentResult(
         selector=selector_name,
@@ -178,6 +191,7 @@ def run_drift_experiment(
     num_workers: int = 8,
     sigma: float = 1.5,
     seed: int = 5,
+    batch_size: int = 0,
 ) -> DriftExperimentResult:
     """Replay a drifting Q3 workload with or without dynamic adjustment.
 
@@ -196,7 +210,7 @@ def run_drift_experiment(
     sample = stream.partitioning_sample(max(1500, mu))
     plan = HybridPartitioner().partition(sample, num_workers)
     cluster = Cluster(plan, ClusterConfig(num_workers=num_workers))
-    cluster.run(stream.tuples(objects_per_phase))
+    _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
 
     adjuster = LocalLoadAdjuster(selector_by_name("GR", seed=seed), sigma=sigma)
     triggered = 0
@@ -205,7 +219,7 @@ def run_drift_experiment(
     drift_rng = random.Random(seed + 9)
     for _ in range(drift_phases):
         style_map.flip(flip_fraction, drift_rng)
-        cluster.run(stream.tuples(objects_per_phase))
+        _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
         if adjust:
             report = adjuster.adjust(cluster)
             if report.triggered:
@@ -215,7 +229,7 @@ def run_drift_experiment(
 
     # Final measurement period: throughput after all drift has happened.
     cluster.reset_period()
-    final = cluster.run(stream.tuples(objects_per_phase))
+    final = _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
     return DriftExperimentResult(
         adjusted=adjust,
         throughput=final.throughput,

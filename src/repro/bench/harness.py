@@ -96,6 +96,9 @@ class ExperimentConfig:
     granularity: int = 64
     seed: int = 1
     latency_load_fraction: float = 0.6
+    #: Tuples per execution window; 0 replays the stream tuple by tuple
+    #: (the reference path), >= 2 uses the batched engine.
+    batch_size: int = 0
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -122,6 +125,7 @@ class ExperimentConfig:
             config.num_dispatchers,
             config.granularity,
             config.seed,
+            config.batch_size,
             partitioner_name,
         )
 
@@ -173,7 +177,12 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
     cluster = Cluster(plan, cluster_config)
 
     started = time.perf_counter()
-    report = cluster.run(stream.tuples(scaled.num_objects))
+    if scaled.batch_size > 1:
+        report = cluster.run_batched(
+            stream.tuples(scaled.num_objects), batch_size=scaled.batch_size
+        )
+    else:
+        report = cluster.run(stream.tuples(scaled.num_objects))
     run_seconds = time.perf_counter() - started
 
     return ExperimentResult(

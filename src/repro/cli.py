@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--dispatchers", type=int, default=4,
                          help="number of dispatchers (default: 4)")
         sub.add_argument("--seed", type=int, default=1, help="workload seed (default: 1)")
+        sub.add_argument(
+            "--batch-size", type=int, default=0,
+            help="execution window of the batched engine; 0 = per-tuple "
+                 "reference path (default: 0)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -79,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="objects streamed before the adjustment (default: 2000)")
     adjust_parser.add_argument("--workers", type=int, default=8,
                                help="number of workers (default: 8)")
+    adjust_parser.add_argument(
+        "--batch-size", type=int, default=0,
+        help="execution window of the batched engine; 0 = per-tuple "
+             "reference path (default: 0)")
     return parser
 
 
@@ -92,6 +100,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         num_workers=args.workers,
         num_dispatchers=args.dispatchers,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
 
 
@@ -148,7 +157,8 @@ def _command_compare(args: argparse.Namespace, out) -> int:
 
 def _command_adjust(args: argparse.Namespace, out) -> int:
     result = run_migration_experiment(
-        args.selector, args.mu, num_objects=args.objects, num_workers=args.workers
+        args.selector, args.mu, num_objects=args.objects, num_workers=args.workers,
+        batch_size=args.batch_size,
     )
     buckets = result.latency_buckets
     rows = [

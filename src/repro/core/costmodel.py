@@ -96,6 +96,11 @@ class WorkerLoadCounters:
         self.match_checks += checks
         self.matches += matches
 
+    def record_object_batch(self, objects: int, checks: int = 0, matches: int = 0) -> None:
+        self.objects += objects
+        self.match_checks += checks
+        self.matches += matches
+
     def record_insertion(self, count: int = 1) -> None:
         self.insertions += count
 

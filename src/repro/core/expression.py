@@ -94,7 +94,13 @@ class BooleanExpression:
     def matches(self, terms: Iterable[str]) -> bool:
         """True when the term collection satisfies the expression."""
         term_set = terms if isinstance(terms, (set, frozenset)) else set(terms)
-        return any(clause <= term_set for clause in self.clauses)
+        clauses = self.clauses
+        if len(clauses) == 1:
+            return clauses[0] <= term_set
+        for clause in clauses:
+            if clause <= term_set:
+                return True
+        return False
 
     def keywords(self) -> Set[str]:
         """All distinct keywords mentioned anywhere in the expression."""
@@ -115,7 +121,16 @@ class BooleanExpression:
         ``statistics`` (Section IV-C / IV-D).  Without statistics the
         lexicographically smallest keyword is used, which is deterministic
         and still correct (any member of the clause is a valid posting key).
+
+        The term statistics are frozen at partitioning time, so the choice
+        is deterministic per statistics object; it is memoised on the
+        expression (the hot routing/indexing paths recompute it for every
+        insertion, deletion and posting otherwise).  Callers must treat the
+        returned set as read-only.
         """
+        cached = getattr(self, "_posting_cache", None)
+        if cached is not None and cached[0] is statistics:
+            return cached[1]
         keys: Set[str] = set()
         for clause in self.clauses:
             if statistics is not None:
@@ -124,6 +139,9 @@ class BooleanExpression:
                 chosen = min(clause)
             if chosen is not None:
                 keys.add(chosen)
+        # The dataclass is frozen; the memo is not a field, so equality and
+        # hashing are unaffected.
+        object.__setattr__(self, "_posting_cache", (statistics, keys))
         return keys
 
     # ------------------------------------------------------------------

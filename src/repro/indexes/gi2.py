@@ -120,27 +120,101 @@ class GI2Index:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert(self, query: STSQuery) -> int:
-        """Register a query; returns the number of postings created."""
+    def insert(
+        self,
+        query: STSQuery,
+        posting_plan: Optional[Mapping[str, Optional[Sequence[CellCoord]]]] = None,
+    ) -> int:
+        """Register a query; returns the number of postings created.
+
+        Without a ``posting_plan`` the query is posted under every posting
+        keyword in every cell overlapping its region.  With a plan — the
+        ``{posting keyword: cells}`` subset the dispatcher actually routed
+        to this worker — only those (cell, keyword) pairs are posted, so a
+        query replicated across several workers does not replicate its full
+        posting footprint on each of them.  A ``None`` cell list in the plan
+        means "every overlapping cell" (used when the dispatcher's routing
+        grid does not align with this index's grid).
+        """
         if query.query_id in self._queries and query.query_id not in self._pending_deletions:
             # Re-registration of a live query is a no-op (idempotent insert).
             return 0
         # A re-inserted query cancels a pending deletion.
         self._pending_deletions.discard(query.query_id)
-        posting_keys = query.expression.posting_keywords(self._statistics)
-        cells = self._grid.cells_overlapping(query.region)
+        if posting_plan is None:
+            posting_keys = query.expression.posting_keywords(self._statistics)
+            overlapping = self._grid.cells_overlapping(query.region)
+            plan: List[Tuple[str, Sequence[CellCoord]]] = [
+                (key, overlapping) for key in posting_keys
+            ]
+        else:
+            overlapping = None
+            plan = []
+            for key, key_cells in posting_plan.items():
+                if key_cells is None:
+                    if overlapping is None:
+                        overlapping = self._grid.cells_overlapping(query.region)
+                    key_cells = overlapping
+                plan.append((key, key_cells))
         created = 0
-        for cell in cells:
-            inverted = self._cells.get(cell)
-            if inverted is None:
-                inverted = InvertedIndex()
-                self._cells[cell] = inverted
-            for key in posting_keys:
+        used_cells: Set[CellCoord] = set()
+        cells_map = self._cells
+        for key, key_cells in plan:
+            for cell in key_cells:
+                inverted = cells_map.get(cell)
+                if inverted is None:
+                    inverted = InvertedIndex()
+                    cells_map[cell] = inverted
                 inverted.add(key, query.query_id)
                 created += 1
+                used_cells.add(cell)
+        for cell in used_cells:
             self._cell_query_counts[cell] += 1
         self._queries[query.query_id] = query
-        self._query_cells[query.query_id] = set(cells)
+        self._query_cells[query.query_id] = used_cells
+        return created
+
+    def insert_pairs(self, query: STSQuery, pairs: Sequence[Tuple[CellCoord, str]]) -> int:
+        """Register a query under explicit ``(cell, posting keyword)`` pairs.
+
+        The lean entry point of the batched engine: the dispatcher already
+        resolved exactly which (cell, keyword) postings this worker owns,
+        so no grid arithmetic happens here.  Consecutive pairs for the same
+        cell reuse the resolved inverted index.  Equivalent to
+        :meth:`insert` with the corresponding ``posting_plan``.
+        """
+        query_id = query.query_id
+        if query_id in self._queries and query_id not in self._pending_deletions:
+            return 0
+        self._pending_deletions.discard(query_id)
+        cells_map = self._cells
+        used_cells: Set[CellCoord] = set()
+        last_coord: Optional[CellCoord] = None
+        inverted: Optional[InvertedIndex] = None
+        postings: Optional[Dict[str, List[int]]] = None
+        run = 0
+        created = 0
+        for coord, key in pairs:
+            if coord != last_coord:
+                if run:
+                    inverted.note_appended(run)
+                    run = 0
+                inverted = cells_map.get(coord)
+                if inverted is None:
+                    inverted = InvertedIndex()
+                    cells_map[coord] = inverted
+                postings = inverted.postings_map()
+                last_coord = coord
+                used_cells.add(coord)
+            postings[key].append(query_id)
+            run += 1
+            created += 1
+        if run:
+            inverted.note_appended(run)
+        for cell in used_cells:
+            self._cell_query_counts[cell] += 1
+        self._queries[query_id] = query
+        self._query_cells[query_id] = used_cells
         return created
 
     def delete(self, query_id: int) -> bool:
@@ -214,6 +288,87 @@ class GI2Index:
                 if query.matches(obj):
                     matched.add(query_id)
         return MatchOutcome(tuple(sorted(matched)), checks)
+
+    def match_batch(
+        self,
+        objects: Sequence[SpatioTextualObject],
+        cells: Optional[Sequence[CellCoord]] = None,
+    ) -> List[MatchOutcome]:
+        """Match a batch of objects, amortising posting-list setup per cell.
+
+        Produces exactly the outcomes :meth:`match` would produce object by
+        object (no query updates happen inside a batch, so per-object
+        results are order-independent); stale postings of each probed
+        (cell, term) pair are purged once per batch instead of once per
+        object.  ``cells`` may carry precomputed grid cells (valid when the
+        caller's routing grid is aligned with this index's grid).
+        """
+        outcomes: List[Optional[MatchOutcome]] = [None] * len(objects)
+        by_cell: Dict[CellCoord, List[int]] = {}
+        cell_of = self._grid.cell_of
+        object_counts = self._cell_object_counts
+        for position, obj in enumerate(objects):
+            cell = cells[position] if cells is not None else cell_of(obj.location)
+            object_counts[cell] += 1
+            group = by_cell.get(cell)
+            if group is None:
+                by_cell[cell] = [position]
+            else:
+                group.append(position)
+        pending = self._pending_deletions
+        queries_get = self._queries.get
+        empty = MatchOutcome((), 0)
+        for cell, positions in by_cell.items():
+            inverted = self._cells.get(cell)
+            if inverted is None:
+                for position in positions:
+                    outcomes[position] = empty
+                continue
+            postings_map = inverted.postings_map()
+            purged: Set[str] = set()
+            for position in positions:
+                obj = objects[position]
+                # Intersect at C speed: only resident terms are probed, and
+                # each probed list is purged of stale postings once per batch.
+                hits = obj.terms & postings_map.keys()
+                if not hits:
+                    outcomes[position] = empty
+                    continue
+                if pending:
+                    for term in hits:
+                        if term not in purged:
+                            purged.add(term)
+                            inverted.purge(term, self._purge_posting)
+                    hits = obj.terms & postings_map.keys()
+                    if not hits:
+                        outcomes[position] = empty
+                        continue
+                matched: Set[int] = set()
+                matched_add = matched.add
+                checks = 0
+                location = obj.location
+                x = location.x
+                y = location.y
+                terms = obj.terms
+                for term in hits:
+                    for query_id in postings_map[term]:
+                        if query_id in matched:
+                            continue
+                        query = queries_get(query_id)
+                        if query is None:
+                            continue
+                        checks += 1
+                        # Inlined STSQuery.matches: region containment plus
+                        # boolean expression, with the point unpacked once.
+                        region = query.region
+                        if (
+                            region.min_x <= x <= region.max_x
+                            and region.min_y <= y <= region.max_y
+                            and query.expression.matches(terms)
+                        ):
+                            matched_add(query_id)
+                outcomes[position] = MatchOutcome(tuple(sorted(matched)), checks)
+        return outcomes  # type: ignore[return-value]
 
     def _purge_posting(self, query_id: int) -> bool:
         """Posting-list staleness check used during lazy deletion."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.geometry import Point, Rect
 from ..core.objects import SpatioTextualObject, STSQuery
@@ -47,6 +47,9 @@ class GridTCell:
     #: H2: posting keyword -> worker id -> number of live queries posted
     #: under that keyword for that worker in this cell.
     h2: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    #: Monotonic counter bumped whenever the routing state of the cell
+    #: changes; batched routing caches key their entries on it.
+    version: int = 0
 
     def lookup_h1(self, term: str) -> Optional[int]:
         """The worker owning ``term`` in this cell according to H1."""
@@ -70,6 +73,7 @@ class GridTCell:
     def add_posting(self, term: str, worker: int) -> None:
         owners = self.h2.setdefault(term, {})
         owners[worker] = owners.get(worker, 0) + 1
+        self.version += 1
 
     def remove_posting(self, term: str, worker: int) -> None:
         owners = self.h2.get(term)
@@ -82,6 +86,7 @@ class GridTCell:
                 self.h2.pop(term, None)
         else:
             owners[worker] = count - 1
+        self.version += 1
 
     def h2_entry_count(self) -> int:
         return sum(len(owners) for owners in self.h2.values())
@@ -89,6 +94,16 @@ class GridTCell:
 
 class GridTIndex:
     """Dispatcher-side routing index with per-cell H1/H2 hash maps."""
+
+    #: Cells whose H2 map has at least this many posting keywords are worth
+    #: memoising in the batched object router; below it the direct
+    #: intersection is cheaper than the cache bookkeeping.  Kept in sync
+    #: with the inlined copy in ``Cluster._process_batch_fast``.
+    ROUTE_CACHE_MIN_H2 = 16
+    #: Size bound of :attr:`route_cache`; the memo is flushed wholesale when
+    #: it grows past this (entries are cheap to recompute, and an unbounded
+    #: memo would dominate resident memory on long runs).
+    ROUTE_CACHE_LIMIT = 1 << 18
 
     def __init__(
         self,
@@ -112,6 +127,9 @@ class GridTIndex:
         self._cells: Dict[CellCoord, GridTCell] = {}
         self._statistics = term_statistics
         self.object_filtering = object_filtering
+        #: (cell, frozenset-of-terms) -> (cell version, worker tuple); the
+        #: batched object router memoises decisions here.
+        self._route_cache: Dict[Tuple[CellCoord, FrozenSet[str]], Tuple[int, Tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,6 +141,11 @@ class GridTIndex:
     @property
     def term_statistics(self) -> Optional[TermStatistics]:
         return self._statistics
+
+    @property
+    def route_cache(self) -> Dict[Tuple[CellCoord, FrozenSet[str]], Tuple[int, Tuple[int, ...]]]:
+        """The (cell, term set) -> (version, decision) object-routing memo."""
+        return self._route_cache
 
     def cell(self, coord: CellCoord) -> GridTCell:
         """The cell at ``coord``, created on demand."""
@@ -140,6 +163,7 @@ class GridTIndex:
         cell = self.cell(coord)
         cell.default_worker = worker_id
         cell.term_workers = None
+        cell.version += 1
 
     def set_cell_term_map(
         self,
@@ -159,6 +183,7 @@ class GridTIndex:
         cell = self.cell(coord)
         cell.term_workers = term_workers if share else dict(term_workers)
         cell.default_worker = default_worker
+        cell.version += 1
 
     @classmethod
     def from_assignments(
@@ -292,6 +317,85 @@ class GridTIndex:
             return workers
         return {cell.default_worker} if cell.default_worker is not None else set()
 
+    def route_object_batch(
+        self, objects: Sequence[SpatioTextualObject]
+    ) -> List[Tuple[int, ...]]:
+        """Route a window of objects in one pass (batched engine).
+
+        Returns one sorted worker tuple per object (empty tuple means
+        "discard").  Routing decisions are memoised per ``(cell, term set)``
+        in :attr:`route_cache`; every entry is stamped with the cell's
+        ``version`` counter so H2 updates between windows invalidate stale
+        entries lazily instead of flushing the whole cache.
+        """
+        grid = self._grid
+        bounds = grid.bounds
+        min_x = bounds.min_x
+        min_y = bounds.min_y
+        cell_w = grid.cell_width
+        cell_h = grid.cell_height
+        max_col = grid.columns - 1
+        max_row = grid.rows - 1
+        cells_get = self._cells.get
+        cache = self._route_cache
+        if len(cache) > self.ROUTE_CACHE_LIMIT:
+            cache.clear()
+        cache_min_h2 = self.ROUTE_CACHE_MIN_H2
+        filtering = self.object_filtering
+        decisions: List[Tuple[int, ...]] = []
+        append = decisions.append
+        for obj in objects:
+            location = obj.location
+            col = int((location.x - min_x) / cell_w)
+            row = int((location.y - min_y) / cell_h)
+            if col < 0:
+                col = 0
+            elif col > max_col:
+                col = max_col
+            if row < 0:
+                row = 0
+            elif row > max_row:
+                row = max_row
+            coord = (col, row)
+            cell = cells_get(coord)
+            if cell is None:
+                append(())
+                continue
+            if cell.term_workers is None and not filtering:
+                default = cell.default_worker
+                append((default,) if default is not None else ())
+                continue
+            h2 = cell.h2
+            if not h2:
+                append(())
+                continue
+            terms = obj.terms
+            # Memoising pays off only for cells with substantial H2 maps;
+            # for small cells the direct intersection is cheaper than the
+            # cache bookkeeping.
+            use_cache = len(h2) >= cache_min_h2
+            if use_cache:
+                cache_key = (coord, terms)
+                cached = cache.get(cache_key)
+                version = cell.version
+                if cached is not None and cached[0] == version:
+                    append(cached[1])
+                    continue
+            # The keys-view intersection runs at C speed; most objects hit
+            # no posting keyword at all and are discarded right here.
+            hits = terms & h2.keys()
+            if not hits:
+                decision: Tuple[int, ...] = ()
+            else:
+                workers: Set[int] = set()
+                for term in hits:
+                    workers.update(h2[term])
+                decision = tuple(sorted(workers))
+            if use_cache:
+                cache[cache_key] = (version, decision)
+            append(decision)
+        return decisions
+
     def _posting_assignments(self, query: STSQuery) -> List[Tuple[CellCoord, str, int]]:
         """The (cell, posting keyword, worker) triples for a query.
 
@@ -299,19 +403,164 @@ class GridTIndex:
         routing; determinism is guaranteed because the term statistics are
         frozen at partitioning time.
         """
+        return self.posting_assignments(query)[0]
+
+    def posting_assignments(
+        self,
+        query: STSQuery,
+        h1_memo: Optional[Dict[Tuple[CellCoord, str], int]] = None,
+    ) -> Tuple[List[Tuple[CellCoord, str, int]], int]:
+        """``(cell, posting keyword, worker)`` triples plus the probed cell count.
+
+        The cell count is the number of grid cells overlapping the query
+        region — the quantity the dispatcher cost model charges for.  An
+        optional ``h1_memo`` caches resolved ``(cell, keyword) -> worker``
+        H1 lookups across queries; it is only sound while H1 is static
+        (i.e. between migrations), which is how the batched engine uses it.
+        """
         assignments: List[Tuple[CellCoord, str, int]] = []
         posting_keys = query.expression.posting_keywords(self._statistics)
-        for coord in self._grid.cells_overlapping(query.region):
-            cell = self._cells.get(coord)
+        coords = self._grid.cells_overlapping(query.region)
+        cells_get = self._cells.get
+        for coord in coords:
+            cell = cells_get(coord)
             for key in posting_keys:
-                worker: Optional[int] = None
-                if cell is not None:
-                    worker = cell.lookup_h1(key)
-                if worker is None:
-                    worker = self._fallback_worker(key)
+                if h1_memo is not None:
+                    memo_key = (coord, key)
+                    worker = h1_memo.get(memo_key)
+                    if worker is None:
+                        worker = cell.lookup_h1(key) if cell is not None else None
+                        if worker is not None:
+                            h1_memo[memo_key] = worker
+                        else:
+                            # Fallback decisions depend on the mutable set of
+                            # known workers — never memoise them.
+                            worker = self._fallback_worker(key)
+                else:
+                    worker = cell.lookup_h1(key) if cell is not None else None
+                    if worker is None:
+                        worker = self._fallback_worker(key)
                 if worker is not None:
                     assignments.append((coord, key, worker))
-        return assignments
+        return assignments, len(coords)
+
+    def insertion_plan_apply(
+        self, query: STSQuery
+    ) -> Tuple[Dict[int, List[Tuple[CellCoord, str]]], int]:
+        """One-pass insertion routing fused with the H2 update (fast path).
+
+        Computes the per-worker ``(cell, posting keyword)`` plan and records
+        the H2 postings in the same cell scan; returns the plan plus the
+        overlapping-cell count the dispatcher cost model charges for.
+        Equivalent to :meth:`posting_assignments` + :meth:`apply_insertion`
+        with the assignments grouped by worker.
+        """
+        posting_keys = query.expression.posting_keywords(self._statistics)
+        grid = self._grid
+        bounds = grid.bounds
+        region = query.region
+        cell_w = grid.cell_width
+        cell_h = grid.cell_height
+        max_col = grid.columns - 1
+        max_row = grid.rows - 1
+        min_x = bounds.min_x
+        min_y = bounds.min_y
+        lo_col = int((region.min_x - min_x) / cell_w)
+        lo_row = int((region.min_y - min_y) / cell_h)
+        hi_col = int((region.max_x - min_x) / cell_w)
+        hi_row = int((region.max_y - min_y) / cell_h)
+        lo_col = 0 if lo_col < 0 else (max_col if lo_col > max_col else lo_col)
+        lo_row = 0 if lo_row < 0 else (max_row if lo_row > max_row else lo_row)
+        hi_col = 0 if hi_col < 0 else (max_col if hi_col > max_col else hi_col)
+        hi_row = 0 if hi_row < 0 else (max_row if hi_row > max_row else hi_row)
+        cells_map = self._cells
+        cells_get = cells_map.get
+        per_worker: Dict[int, List[Tuple[CellCoord, str]]] = {}
+        single_key = next(iter(posting_keys)) if len(posting_keys) == 1 else None
+        keys_tuple = (single_key,) if single_key is not None else tuple(posting_keys)
+        for row in range(lo_row, hi_row + 1):
+            for col in range(lo_col, hi_col + 1):
+                coord = (col, row)
+                cell = cells_get(coord)
+                posted = False
+                for key in keys_tuple:
+                    if cell is not None:
+                        term_workers = cell.term_workers
+                        worker = (
+                            term_workers.get(key) if term_workers is not None else None
+                        )
+                        if worker is None:
+                            worker = cell.default_worker
+                    else:
+                        worker = None
+                    if worker is None:
+                        worker = self._fallback_worker(key)
+                        if worker is None:
+                            continue
+                    if cell is None:
+                        cell = GridTCell()
+                        cells_map[coord] = cell
+                    owners = cell.h2.get(key)
+                    if owners is None:
+                        cell.h2[key] = {worker: 1}
+                    else:
+                        owners[worker] = owners.get(worker, 0) + 1
+                    posted = True
+                    pairs = per_worker.get(worker)
+                    if pairs is None:
+                        per_worker[worker] = [(coord, key)]
+                    else:
+                        pairs.append((coord, key))
+                if posted:
+                    cell.version += 1
+        cells = (hi_col - lo_col + 1) * (hi_row - lo_row + 1)
+        return per_worker, cells
+
+    def apply_deletion_pairs(
+        self, per_worker: Dict[int, List[Tuple[CellCoord, str]]]
+    ) -> None:
+        """Remove H2 postings for a per-worker plan (fast path).
+
+        Same effect as :meth:`GridTCell.remove_posting` per pair, with the
+        per-posting work inlined.
+        """
+        cells_get = self._cells.get
+        for worker, pairs in per_worker.items():
+            for coord, key in pairs:
+                cell = cells_get(coord)
+                if cell is None:
+                    continue
+                h2 = cell.h2
+                owners = h2.get(key)
+                if not owners:
+                    continue
+                count = owners.get(worker, 0)
+                if count <= 1:
+                    owners.pop(worker, None)
+                    if not owners:
+                        h2.pop(key, None)
+                else:
+                    owners[worker] = count - 1
+                cell.version += 1
+
+    def apply_insertion(self, assignments: Iterable[Tuple[CellCoord, str, int]]) -> Set[int]:
+        """Record H2 postings for precomputed assignments; returns the workers."""
+        workers: Set[int] = set()
+        for coord, key, worker in assignments:
+            self.cell(coord).add_posting(key, worker)
+            workers.add(worker)
+        return workers
+
+    def apply_deletion(self, assignments: Iterable[Tuple[CellCoord, str, int]]) -> Set[int]:
+        """Remove H2 postings for precomputed assignments; returns the workers."""
+        workers: Set[int] = set()
+        cells_get = self._cells.get
+        for coord, key, worker in assignments:
+            cell = cells_get(coord)
+            if cell is not None:
+                cell.remove_posting(key, worker)
+            workers.add(worker)
+        return workers
 
     def _fallback_worker(self, term: str) -> Optional[int]:
         """Deterministic destination for terms in uncovered cells.
@@ -326,21 +575,11 @@ class GridTIndex:
 
     def route_insertion(self, query: STSQuery) -> Set[int]:
         """Route a query insertion and update H2; returns target workers."""
-        workers: Set[int] = set()
-        for coord, key, worker in self._posting_assignments(query):
-            self.cell(coord).add_posting(key, worker)
-            workers.add(worker)
-        return workers
+        return self.apply_insertion(self._posting_assignments(query))
 
     def route_deletion(self, query: STSQuery) -> Set[int]:
         """Route a query deletion and update H2; returns target workers."""
-        workers: Set[int] = set()
-        for coord, key, worker in self._posting_assignments(query):
-            cell = self._cells.get(coord)
-            if cell is not None:
-                cell.remove_posting(key, worker)
-            workers.add(worker)
-        return workers
+        return self.apply_deletion(self._posting_assignments(query))
 
     # ------------------------------------------------------------------
     # Dynamic adjustment support (Section V)
@@ -361,6 +600,7 @@ class GridTIndex:
             if from_worker in owners:
                 count = owners.pop(from_worker)
                 owners[to_worker] = owners.get(to_worker, 0) + count
+        cell.version += 1
 
     def split_cell_by_text(
         self,
@@ -384,6 +624,7 @@ class GridTIndex:
                 continue
             total = sum(owners.values())
             cell.h2[term] = {target: total}
+        cell.version += 1
 
     # ------------------------------------------------------------------
     # Introspection

@@ -36,6 +36,15 @@ class InvertedIndex(Generic[T]):
         self._postings[term].append(posting)
         self._entry_count += 1
 
+    def note_appended(self, count: int) -> None:
+        """Fix the entry count after direct appends via :meth:`postings_map`.
+
+        The batched insertion path appends postings straight into the map
+        (skipping one method call per posting) and settles the count once
+        per run with this method.
+        """
+        self._entry_count += count
+
     def remove(self, term: str, posting: T) -> bool:
         """Eagerly remove one occurrence of ``posting`` from ``term``'s list.
 
@@ -83,6 +92,14 @@ class InvertedIndex(Generic[T]):
     def postings(self, term: str) -> List[T]:
         """The posting list of ``term`` (empty list when absent)."""
         return self._postings.get(term, [])
+
+    def postings_map(self) -> Dict[str, List[T]]:
+        """The internal term -> posting-list dict (read-only for callers).
+
+        Exposed so batched matching can intersect an object's terms with
+        the resident terms at C speed instead of probing term by term.
+        """
+        return self._postings
 
     def terms(self) -> Iterator[str]:
         return iter(self._postings)

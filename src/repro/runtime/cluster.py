@@ -13,11 +13,44 @@ derives
   queueing factor at a configurable input rate (Figure 8, 12(c), 15);
 * **memory**: analytic footprints of the dispatcher routing index and the
   worker GI2 indexes (Figures 9 and 10).
+
+Two execution paths replay a stream:
+
+* :meth:`Cluster.process` / :meth:`Cluster.run` — the per-tuple
+  *reference* path.  Every tuple goes through dispatcher routing, worker
+  handling and merger delivery one at a time; this is the implementation
+  the equivalence tests pin the semantics to.
+* :meth:`Cluster.process_batch` / :meth:`Cluster.run_batched` — the
+  *batched engine*.  The stream is consumed in windows (``--batch-size``
+  on the CLI); inside a window, runs of consecutive objects are routed in
+  one pass through :meth:`GridTIndex.route_object_batch` (which memoises
+  decisions per ``(cell, term set)`` with version-stamped entries), the
+  routed objects are grouped by destination worker and matched via
+  :meth:`GI2Index.match_batch` (amortising posting-list purge/setup per
+  cell), and match results are delivered to the mergers in bulk.  Query
+  insertions and deletions are barriers: they are applied in stream order
+  at their original position, so a batched run produces the same
+  throughput, worker loads, fanout and match counts as the per-tuple run
+  — batching changes wall-clock cost, never simulated semantics.
+  Deletion routing reuses the ``(cell, keyword, worker)`` assignments
+  remembered from the query's insertion (the keyword choice is
+  deterministic, Section IV-C); the caches are invalidated whenever a
+  migration or a routing-index swap changes H1.
+
+Both paths record per-tuple traces in compact parallel arrays
+(:class:`_TraceStore`) rather than one Python object per tuple, so latency
+reconstruction over a measurement period stays cheap at stream scale.
+Batching happens *within* a measurement period: :meth:`reset_period`
+starts a new period and a window never spans one, so the Section V
+adjustment machinery observes exactly the same period statistics under
+either execution path.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from itertools import cycle, islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.costmodel import CostModel, LoadReport
@@ -27,6 +60,7 @@ from ..indexes.gi2 import CellStats
 from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
 from ..partitioning.base import PartitionPlan
+from ..workload.stream import iter_windows
 from .dispatcher import DispatcherNode
 from .merger import MergerNode
 from .metrics import LatencyTracker, RunReport, utilization_latency
@@ -68,7 +102,15 @@ class ClusterConfig:
 
 @dataclass(frozen=True)
 class MigrationRecord:
-    """Outcome of one cell migration between two workers."""
+    """Outcome of one cell migration between two workers.
+
+    ``queries_moved`` counts queries whose postings live entirely inside
+    the migrated cells — they are removed from the source worker.
+    ``queries_copied`` counts queries that also overlap cells staying on
+    the source — they are *replicated* to the target so matching stays
+    correct.  Both kinds are shipped over the network, so the migration
+    cost of Section V (``bytes_moved``, ``seconds``) covers their sum.
+    """
 
     source_worker: int
     target_worker: int
@@ -76,15 +118,83 @@ class MigrationRecord:
     queries_moved: int
     bytes_moved: int
     seconds: float
+    queries_copied: int = 0
+
+    @property
+    def queries_shipped(self) -> int:
+        """Total queries transferred over the network (moved + copied)."""
+        return self.queries_moved + self.queries_copied
 
 
-@dataclass
-class _TupleTrace:
-    """Per-tuple record used to reconstruct latency after the run."""
+class _TraceStore:
+    """Compact per-period trace of dispatcher / worker costs.
 
-    dispatcher_id: int
-    dispatcher_cost: float
-    worker_costs: Dict[int, float]
+    Latency reconstruction needs, per tuple, the dispatcher that routed it
+    (id + charged cost) and the per-worker handling costs.  Holding one
+    Python object per tuple dominates memory at stream scale, so the store
+    keeps five parallel arrays instead: dispatcher ids/costs indexed by
+    tuple, and a flattened (worker id, worker cost) sequence sliced per
+    tuple through an offsets array.
+    """
+
+    __slots__ = (
+        "dispatcher_ids",
+        "dispatcher_costs",
+        "worker_offsets",
+        "worker_ids",
+        "worker_costs",
+    )
+
+    def __init__(self) -> None:
+        self.dispatcher_ids = array("i")
+        self.dispatcher_costs = array("d")
+        self.worker_offsets = array("l", [0])
+        self.worker_ids = array("i")
+        self.worker_costs = array("d")
+
+    def append(
+        self,
+        dispatcher_id: int,
+        dispatcher_cost: float,
+        worker_items: Iterable[Tuple[int, float]],
+    ) -> None:
+        self.dispatcher_ids.append(dispatcher_id)
+        self.dispatcher_costs.append(dispatcher_cost)
+        worker_ids = self.worker_ids
+        worker_costs = self.worker_costs
+        for worker, cost in worker_items:
+            worker_ids.append(worker)
+            worker_costs.append(cost)
+        self.worker_offsets.append(len(worker_ids))
+
+    def extend(
+        self,
+        dispatcher_ids: Iterable[int],
+        dispatcher_costs: Iterable[float],
+        worker_items_per_tuple: Iterable[Optional[Iterable[Tuple[int, float]]]],
+    ) -> None:
+        """Bulk-append one window of traces (batched engine)."""
+        self.dispatcher_ids.extend(dispatcher_ids)
+        self.dispatcher_costs.extend(dispatcher_costs)
+        worker_ids = self.worker_ids
+        worker_costs = self.worker_costs
+        offsets = self.worker_offsets
+        for items in worker_items_per_tuple:
+            if items:
+                for worker, cost in items:
+                    worker_ids.append(worker)
+                    worker_costs.append(cost)
+            offsets.append(len(worker_ids))
+
+    def __len__(self) -> int:
+        return len(self.dispatcher_ids)
+
+    def clear(self) -> None:
+        self.dispatcher_ids = array("i")
+        self.dispatcher_costs = array("d")
+        self.worker_offsets = array("l", [0])
+        self.worker_ids = array("i")
+        self.worker_costs = array("d")
 
 
 class Cluster:
@@ -114,7 +224,7 @@ class Cluster:
         self.mergers: List[MergerNode] = [
             MergerNode(index) for index in range(self.config.num_mergers)
         ]
-        self._traces: List[_TupleTrace] = []
+        self._traces = _TraceStore()
         self._next_dispatcher = 0
         self._tuples_processed = 0
         self._objects = 0
@@ -124,9 +234,43 @@ class Cluster:
         self._object_fanout_total = 0
         self._query_fanout_total = 0
         self.migrations: List[MigrationRecord] = []
+        # Batched-engine caches: resolved H1 lookups and per-query insertion
+        # plans (reused when the deletion arrives).  Both are only valid
+        # while H1 is static; invalidate_routing_caches() drops them.
+        self._h1_memo: Dict[Tuple[CellCoord, str], int] = {}
+        self._insertion_assignments: Dict[
+            int, Tuple[Dict[int, List[Tuple[CellCoord, str]]], int]
+        ] = {}
+        self._cells_aligned = self._compute_cells_aligned()
+
+    def _compute_cells_aligned(self) -> bool:
+        """True when the routing grid matches the workers' GI2 grids.
+
+        When aligned, the dispatcher's ``(cell, keyword)`` assignments can
+        be installed verbatim into a worker's GI2 index; otherwise workers
+        fall back to registering routed keywords in every overlapping cell
+        of their own grid.
+        """
+        grid = getattr(self.routing_index, "grid", None)
+        if grid is None:
+            return False
+        return all(worker.index.grid == grid for worker in self.workers.values())
+
+    def invalidate_routing_caches(self) -> None:
+        """Drop caches that assume a static H1 (call after H1 changes).
+
+        The gridt object-route memo is version-guarded (H2 changes never
+        serve stale entries), but its stale entries would linger as dead
+        memory, so it is flushed here as well.
+        """
+        self._h1_memo.clear()
+        self._insertion_assignments.clear()
+        cache = getattr(self.routing_index, "route_cache", None)
+        if cache is not None:
+            cache.clear()
 
     # ------------------------------------------------------------------
-    # Tuple processing
+    # Tuple processing (per-tuple reference path)
     # ------------------------------------------------------------------
     def process(self, item: StreamTuple, *, trace: bool = True) -> Set[int]:
         """Run one tuple through dispatcher, workers and mergers.
@@ -136,9 +280,10 @@ class Cluster:
         dispatcher = self.dispatchers[self._next_dispatcher]
         self._next_dispatcher = (self._next_dispatcher + 1) % len(self.dispatchers)
         decision = dispatcher.route(item)
-        worker_costs: Dict[int, float] = {}
+        worker_costs: List[Tuple[int, float]] = []
         handled: Set[int] = set()
         results: List[MatchResult] = []
+        assignments = decision.assignments
         for worker_id in decision.workers:
             worker = self.workers.get(worker_id)
             if worker is None:
@@ -147,10 +292,14 @@ class Cluster:
             if item.kind is TupleKind.OBJECT:
                 results.extend(worker.handle_object(item.payload))  # type: ignore[arg-type]
             elif item.kind is TupleKind.INSERT:
-                worker.handle_insertion(item.payload)  # type: ignore[arg-type]
+                worker.handle_insertion(
+                    item.payload,  # type: ignore[arg-type]
+                    assignments.get(worker_id) if assignments is not None else None,
+                    cells_aligned=self._cells_aligned,
+                )
             else:
                 worker.handle_deletion(item.payload)  # type: ignore[arg-type]
-            worker_costs[worker_id] = worker.last_tuple_cost
+            worker_costs.append((worker_id, worker.last_tuple_cost))
 
         if results:
             self._matches_produced += len(results)
@@ -168,20 +317,574 @@ class Cluster:
         else:
             self._deletions += 1
         if trace:
-            self._traces.append(
-                _TupleTrace(
-                    dispatcher_id=dispatcher.dispatcher_id,
-                    dispatcher_cost=decision.cost,
-                    worker_costs=worker_costs,
-                )
-            )
+            self._traces.append(dispatcher.dispatcher_id, decision.cost, worker_costs)
         return handled
 
     def run(self, tuples: Iterable[StreamTuple], *, trace: bool = True) -> RunReport:
-        """Process a tuple stream and return the run report."""
+        """Process a tuple stream one tuple at a time (reference path)."""
         for item in tuples:
             self.process(item, trace=trace)
         return self.report()
+
+    # ------------------------------------------------------------------
+    # Batched execution engine
+    # ------------------------------------------------------------------
+    def run_batched(
+        self,
+        tuples: Iterable[StreamTuple],
+        *,
+        batch_size: int = 256,
+        trace: bool = True,
+    ) -> RunReport:
+        """Process a tuple stream in windows of ``batch_size`` tuples.
+
+        Semantically equivalent to :meth:`run` (same throughput, loads,
+        fanout and match counts); see the module docstring for what the
+        batched engine amortises.
+        """
+        if batch_size <= 1:
+            return self.run(tuples, trace=trace)
+        for window in iter_windows(tuples, batch_size):
+            self.process_batch(window, trace=trace)
+        return self.report()
+
+    def process_batch(self, items: Sequence[StreamTuple], *, trace: bool = True) -> None:
+        """Process one window of tuples through the batched engine.
+
+        When the routing grid and the worker grids are aligned (the default
+        deployment), updates are *deferred* within the window: an update
+        only acts as a barrier for objects falling into a grid cell it
+        actually touches, because both its H2 effect and its worker-side
+        posting effect are confined to those cells.  Objects in untouched
+        cells keep accumulating, so the bulk-matching runs stay close to
+        window-sized despite the 5:1 object/update interleaving.  On other
+        deployments (unaligned grids, dual routing during a global
+        adjustment) every update is a strict barrier.
+        """
+        if self._cells_aligned and type(self.routing_index) is GridTIndex:
+            self._process_batch_fast(items, trace)
+            return
+        pending: List = []
+        object_kind = TupleKind.OBJECT
+        for item in items:
+            if item.kind is object_kind:
+                pending.append(item.payload)
+            else:
+                if pending:
+                    self._process_object_run(pending, trace)
+                    pending = []
+                self._process_update(item, trace)
+        if pending:
+            self._process_object_run(pending, trace)
+
+    def _process_batch_fast(self, items: Sequence[StreamTuple], trace: bool) -> None:
+        """Deferred-barrier window execution over an aligned gridt index.
+
+        Correctness argument: an update's observable effect — H2 postings
+        for routing, GI2 postings / pending deletions for matching — is
+        confined to the grid cells of its routing assignments.  An object
+        whose cell no pending update touches therefore sees the same state
+        whether it executes before or after them, so it is executed in the
+        current bulk run; an object whose cell *is* touched flushes the
+        window segment first (objects, then the deferred updates in stream
+        order).  Per-tuple dispatcher round-robin, costs, counters and
+        traces are all assigned by original stream position.
+        """
+        routing = self.routing_index
+        count = len(items)
+        dispatchers = self.dispatchers
+        num_dispatchers = len(dispatchers)
+        base = self._next_dispatcher
+        self._next_dispatcher = (base + count) % num_dispatchers
+
+        grid = routing.grid
+        bounds = grid.bounds
+        min_x = bounds.min_x
+        min_y = bounds.min_y
+        cell_w = grid.cell_width
+        cell_h = grid.cell_height
+        max_col = grid.columns - 1
+        max_row = grid.rows - 1
+
+        trace_costs: Optional[List[float]] = [0.0] * count if trace else None
+        trace_workers: Optional[List[Optional[List[Tuple[int, float]]]]] = (
+            [None] * count if trace else None
+        )
+        dispatcher_costs = [0.0] * num_dispatchers
+        dispatcher_objects = [0] * num_dispatchers
+        dispatcher_discarded = [0] * num_dispatchers
+        dispatcher_update_costs = [0.0] * num_dispatchers
+        dispatcher_insertions = [0] * num_dispatchers
+        dispatcher_deletions = [0] * num_dispatchers
+
+        pending_positions: List[int] = []
+        pending_objects: List = []
+        pending_coords: List[CellCoord] = []
+        pending_groups: Dict[int, List[int]] = {}
+        pending_updates: List[Tuple] = []
+        object_cells: Set[CellCoord] = set()
+        # ``touched`` is synchronised lazily from ``pending_updates``: pure
+        # update runs (e.g. the warm-up insertions) never pay for it.
+        touched: Set[CellCoord] = set()
+        touched_synced = 0
+
+        insertion_cache = self._insertion_assignments
+        object_kind = TupleKind.OBJECT
+        insert_kind = TupleKind.INSERT
+        tuple_cost = DispatcherNode.TUPLE_COST
+        probe_cost = DispatcherNode.PROBE_COST
+        workers_map = self.workers
+        cells_get = routing.cells().get
+        route_cache = routing.route_cache
+        if len(route_cache) > GridTIndex.ROUTE_CACHE_LIMIT:
+            route_cache.clear()
+        cache_min_h2 = GridTIndex.ROUTE_CACHE_MIN_H2
+        filtering = routing.object_filtering
+        window_objects = 0
+        window_fanout = 0
+
+        for position, item in enumerate(items):
+            if item.kind is object_kind:
+                obj = item.payload
+                location = obj.location
+                col = int((location.x - min_x) / cell_w)
+                row = int((location.y - min_y) / cell_h)
+                if col < 0:
+                    col = 0
+                elif col > max_col:
+                    col = max_col
+                if row < 0:
+                    row = 0
+                elif row > max_row:
+                    row = max_row
+                coord = (col, row)
+                window_objects += 1
+                # Routing and dispatcher accounting are fused into the
+                # arrival scan: H2 was already updated by every earlier
+                # update in the window, so the decision equals the
+                # sequential one.  Only *matched* objects need the
+                # worker-side barrier below; discarded objects never reach
+                # a worker and bypass the deferral machinery entirely.
+                # The decision rule below is an inlined copy of
+                # GridTIndex.route_object / route_object_batch — any change
+                # to the routing semantics must be mirrored in all three.
+                slot = (base + position) % num_dispatchers
+                terms = obj.terms
+                n_terms = len(terms)
+                cost = tuple_cost + probe_cost * (n_terms if n_terms > 1 else 1)
+                dispatcher_costs[slot] += cost
+                dispatcher_objects[slot] += 1
+                if trace_costs is not None:
+                    trace_costs[position] = cost
+                cell = cells_get(coord)
+                decision: Tuple[int, ...] = ()
+                if cell is None:
+                    pass
+                elif cell.term_workers is None and not filtering:
+                    default = cell.default_worker
+                    if default is not None:
+                        decision = (default,)
+                else:
+                    h2 = cell.h2
+                    if h2:
+                        use_cache = len(h2) >= cache_min_h2
+                        cached_decision = None
+                        if use_cache:
+                            cache_key = (coord, terms)
+                            entry = route_cache.get(cache_key)
+                            version = cell.version
+                            if entry is not None and entry[0] == version:
+                                cached_decision = entry[1]
+                        if cached_decision is not None:
+                            decision = cached_decision
+                        else:
+                            hits = terms & h2.keys()
+                            if hits:
+                                workers: Set[int] = set()
+                                for term in hits:
+                                    workers.update(h2[term])
+                                decision = tuple(sorted(workers))
+                            if use_cache:
+                                route_cache[cache_key] = (version, decision)
+                if not decision:
+                    dispatcher_discarded[slot] += 1
+                    continue
+                if touched_synced < len(pending_updates):
+                    touched_add = touched.add
+                    for update in pending_updates[touched_synced:]:
+                        for pairs in update[3].values():
+                            for pair in pairs:
+                                touched_add(pair[0])
+                    touched_synced = len(pending_updates)
+                if coord in touched:
+                    if touched.isdisjoint(object_cells):
+                        # No pending update touches any *pending object's*
+                        # cell, so the queued updates can apply now while
+                        # the object run keeps growing (every pending
+                        # object is unaffected either way).
+                        self._flush_fast(
+                            [], [], [], {}, pending_updates, base,
+                            dispatcher_update_costs,
+                            dispatcher_insertions, dispatcher_deletions,
+                            trace_costs, trace_workers,
+                        )
+                    else:
+                        self._flush_fast(
+                            pending_positions, pending_objects, pending_coords,
+                            pending_groups, pending_updates, base,
+                            dispatcher_update_costs, dispatcher_insertions,
+                            dispatcher_deletions, trace_costs, trace_workers,
+                        )
+                        pending_positions = []
+                        pending_objects = []
+                        pending_coords = []
+                        pending_groups = {}
+                        object_cells = set()
+                    pending_updates = []
+                    touched = set()
+                    touched_synced = 0
+                local = len(pending_objects)
+                pending_positions.append(position)
+                pending_objects.append(obj)
+                pending_coords.append(coord)
+                object_cells.add(coord)
+                for worker_id in decision:
+                    if worker_id in workers_map:
+                        window_fanout += 1
+                        group = pending_groups.get(worker_id)
+                        if group is None:
+                            pending_groups[worker_id] = [local]
+                        else:
+                            group.append(local)
+            else:
+                payload = item.payload
+                query = payload.query
+                # H2 applies immediately: pending objects were already
+                # routed at their arrival, and later objects must see the
+                # updated H2 — exactly the sequential routing order.  Only
+                # the worker-side (GI2) effect is deferred to the flush.
+                if item.kind is insert_kind:
+                    per_worker, cells = routing.insertion_plan_apply(query)
+                    insertion_cache[query.query_id] = (per_worker, cells)
+                    is_insert = True
+                else:
+                    cached = insertion_cache.pop(query.query_id, None)
+                    if cached is not None:
+                        per_worker, cells = cached
+                    else:
+                        triples, cells = routing.posting_assignments(query)
+                        per_worker = self._group_triples(triples)
+                    routing.apply_deletion_pairs(per_worker)
+                    is_insert = False
+                pending_updates.append((position, is_insert, payload, per_worker, cells))
+        self._flush_fast(
+            pending_positions, pending_objects, pending_coords, pending_groups,
+            pending_updates, base,
+            dispatcher_update_costs, dispatcher_insertions, dispatcher_deletions,
+            trace_costs, trace_workers,
+        )
+        self._objects += window_objects
+        self._tuples_processed += window_objects
+        self._object_fanout_total += window_fanout
+        for slot in range(num_dispatchers):
+            if dispatcher_objects[slot]:
+                dispatchers[slot].account_objects(
+                    dispatcher_objects[slot],
+                    dispatcher_discarded[slot],
+                    dispatcher_costs[slot],
+                )
+            if dispatcher_insertions[slot] or dispatcher_deletions[slot]:
+                dispatchers[slot].account_updates(
+                    dispatcher_insertions[slot],
+                    dispatcher_deletions[slot],
+                    dispatcher_update_costs[slot],
+                )
+        if trace:
+            assert trace_costs is not None and trace_workers is not None
+            # Dispatcher ids repeat cyclically from ``base``; emit the whole
+            # window's worth at C speed.
+            rotated = [
+                dispatchers[(base + offset) % num_dispatchers].dispatcher_id
+                for offset in range(num_dispatchers)
+            ]
+            self._traces.extend(
+                islice(cycle(rotated), count),
+                trace_costs,
+                trace_workers,
+            )
+
+    def _flush_fast(
+        self,
+        positions: List[int],
+        objects: List,
+        coords: List[CellCoord],
+        groups: Dict[int, List[int]],
+        updates: List[Tuple],
+        base: int,
+        dispatcher_update_costs: List[float],
+        dispatcher_insertions: List[int],
+        dispatcher_deletions: List[int],
+        trace_costs: Optional[List[float]],
+        trace_workers: Optional[List[Optional[List[Tuple[int, float]]]]],
+    ) -> None:
+        """Execute one deferred segment: bulk object matching, then updates.
+
+        Objects were already routed, charged to their dispatchers and
+        grouped per worker during the arrival scan; here each worker's
+        group is matched in one call and the queued updates are applied in
+        stream order.
+        """
+        routing = self.routing_index
+        workers_map = self.workers
+        num_dispatchers = len(self.dispatchers)
+        tuple_cost = DispatcherNode.TUPLE_COST
+        probe_cost = DispatcherNode.PROBE_COST
+
+        if groups:
+            all_results: List[MatchResult] = []
+            for worker_id, locals_ in groups.items():
+                worker = workers_map[worker_id]
+                results, costs = worker.handle_object_batch(
+                    [objects[local] for local in locals_],
+                    [coords[local] for local in locals_],
+                )
+                if results:
+                    all_results.extend(results)
+                if trace_workers is not None:
+                    for local, cost in zip(locals_, costs):
+                        position = positions[local]
+                        entry = trace_workers[position]
+                        if entry is None:
+                            trace_workers[position] = [(worker_id, cost)]
+                        else:
+                            entry.append((worker_id, cost))
+            if all_results:
+                self._matches_produced += len(all_results)
+                mergers = self.mergers
+                num_mergers = len(mergers)
+                per_merger: Dict[int, List[MatchResult]] = {}
+                for result in all_results:
+                    merger_id = result.query_id % num_mergers
+                    batch = per_merger.get(merger_id)
+                    if batch is None:
+                        per_merger[merger_id] = [result]
+                    else:
+                        batch.append(result)
+                for merger_id, batch in per_merger.items():
+                    mergers[merger_id].handle_many(batch)
+
+        cost_model = self.config.cost_model
+        insert_cost = cost_model.insert_handling
+        delete_cost = cost_model.delete_handling
+        for position, is_insert, payload, per_worker, cells in updates:
+            slot = (base + position) % num_dispatchers
+            cost = tuple_cost + probe_cost * (cells if cells > 1 else 1)
+            dispatcher_update_costs[slot] += cost
+            worker_items: Optional[List[Tuple[int, float]]] = (
+                [] if trace_workers is not None else None
+            )
+            handled = 0
+            if is_insert:
+                dispatcher_insertions[slot] += 1
+                query = payload.query
+                for worker_id, pairs in per_worker.items():
+                    worker = workers_map.get(worker_id)
+                    if worker is None:
+                        continue
+                    handled += 1
+                    # Inlined worker insertion handling (hot loop): register
+                    # the routed postings, count and charge the fixed cost.
+                    worker.index.insert_pairs(query, pairs)
+                    worker.counters.insertions += 1
+                    worker.busy_cost += insert_cost
+                    if worker_items is not None:
+                        worker_items.append((worker_id, insert_cost))
+                self._insertions += 1
+                self._query_fanout_total += handled
+            else:
+                dispatcher_deletions[slot] += 1
+                query_id = payload.query_id
+                for worker_id in per_worker:
+                    worker = workers_map.get(worker_id)
+                    if worker is None:
+                        continue
+                    # Inlined WorkerNode.handle_deletion (hot loop).
+                    worker.index.delete(query_id)
+                    worker.counters.deletions += 1
+                    worker.busy_cost += delete_cost
+                    if worker_items is not None:
+                        worker_items.append((worker_id, delete_cost))
+                self._deletions += 1
+            self._tuples_processed += 1
+            if trace_costs is not None:
+                trace_costs[position] = cost
+                assert trace_workers is not None
+                trace_workers[position] = worker_items
+
+    def _process_object_run(self, objects: Sequence, trace: bool) -> None:
+        """Route, match and merge a run of consecutive objects in bulk."""
+        routing = self.routing_index
+        route_batch = getattr(routing, "route_object_batch", None)
+        if route_batch is not None:
+            decisions = route_batch(objects)
+        else:
+            decisions = [tuple(sorted(routing.route_object(obj))) for obj in objects]
+
+        dispatchers = self.dispatchers
+        num_dispatchers = len(dispatchers)
+        start = self._next_dispatcher
+        count = len(objects)
+        tuple_cost = DispatcherNode.TUPLE_COST
+        probe_cost = DispatcherNode.PROBE_COST
+        dispatcher_costs = [0.0] * num_dispatchers
+        dispatcher_routed = [0] * num_dispatchers
+        dispatcher_discarded = [0] * num_dispatchers
+        object_costs: List[float] = []
+
+        workers_map = self.workers
+        groups: Dict[int, List[int]] = {}
+        valid_decisions: List[Tuple[int, ...]] = []
+        for position, (obj, decision) in enumerate(zip(objects, decisions)):
+            slot = (start + position) % num_dispatchers
+            terms = len(obj.terms)
+            cost = tuple_cost + probe_cost * (terms if terms > 1 else 1)
+            dispatcher_costs[slot] += cost
+            dispatcher_routed[slot] += 1
+            object_costs.append(cost)
+            if not decision:
+                dispatcher_discarded[slot] += 1
+                valid_decisions.append(())
+                continue
+            valid: List[int] = []
+            for worker_id in decision:
+                if worker_id in workers_map:
+                    valid.append(worker_id)
+                    group = groups.get(worker_id)
+                    if group is None:
+                        groups[worker_id] = [position]
+                    else:
+                        group.append(position)
+            valid_decisions.append(tuple(valid))
+        self._next_dispatcher = (start + count) % num_dispatchers
+        for slot in range(num_dispatchers):
+            if dispatcher_routed[slot]:
+                dispatchers[slot].account_objects(
+                    dispatcher_routed[slot], dispatcher_discarded[slot], dispatcher_costs[slot]
+                )
+
+        # Per-object worker costs, gathered from the per-worker group runs.
+        worker_cost_lists: List[List[Tuple[int, float]]] = [[] for _ in range(count)]
+        all_results: List[MatchResult] = []
+        for worker_id, positions in groups.items():
+            worker = workers_map[worker_id]
+            results, costs = worker.handle_object_batch([objects[p] for p in positions])
+            all_results.extend(results)
+            for position, cost in zip(positions, costs):
+                worker_cost_lists[position].append((worker_id, cost))
+
+        if all_results:
+            self._matches_produced += len(all_results)
+            mergers = self.mergers
+            num_mergers = len(mergers)
+            per_merger: Dict[int, List[MatchResult]] = {}
+            for result in all_results:
+                per_merger.setdefault(result.query_id % num_mergers, []).append(result)
+            for merger_id, batch in per_merger.items():
+                mergers[merger_id].handle_many(batch)
+
+        self._tuples_processed += count
+        self._objects += count
+        self._object_fanout_total += sum(len(decision) for decision in valid_decisions)
+        if trace:
+            traces = self._traces
+            for position in range(count):
+                traces.append(
+                    dispatchers[(start + position) % num_dispatchers].dispatcher_id,
+                    object_costs[position],
+                    worker_cost_lists[position],
+                )
+
+    @staticmethod
+    def _group_triples(
+        triples: List[Tuple[CellCoord, str, int]]
+    ) -> Dict[int, List[Tuple[CellCoord, str]]]:
+        """Group routing triples into the per-worker (cell, keyword) plan."""
+        per_worker: Dict[int, List[Tuple[CellCoord, str]]] = {}
+        for coord, key, worker in triples:
+            pairs = per_worker.get(worker)
+            if pairs is None:
+                per_worker[worker] = [(coord, key)]
+            else:
+                pairs.append((coord, key))
+        return per_worker
+
+    def _process_update(self, item: StreamTuple, trace: bool) -> None:
+        """Apply one insertion/deletion at its stream position (batched path).
+
+        Mirrors :meth:`process` for update tuples but reuses the cluster's
+        H1 memo and remembers insertion assignments so the matching
+        deletion routes without re-probing the grid.
+        """
+        dispatcher = self.dispatchers[self._next_dispatcher]
+        self._next_dispatcher = (self._next_dispatcher + 1) % len(self.dispatchers)
+        routing = self.routing_index
+        assignments_fn = getattr(routing, "posting_assignments", None)
+        if assignments_fn is None:
+            # Routing structures without the detailed surface: fall back to
+            # the reference per-tuple path for this update.
+            self._next_dispatcher = (
+                self._next_dispatcher - 1 + len(self.dispatchers)
+            ) % len(self.dispatchers)
+            self.process(item, trace=trace)
+            return
+
+        query = item.payload.query  # type: ignore[union-attr]
+        tuple_cost = DispatcherNode.TUPLE_COST
+        probe_cost = DispatcherNode.PROBE_COST
+        if item.kind is TupleKind.INSERT:
+            triples, cells = assignments_fn(query, self._h1_memo)
+            routing.apply_insertion(triples)
+            per_worker = self._group_triples(triples)
+            self._insertion_assignments[query.query_id] = (per_worker, cells)
+        else:
+            cached = self._insertion_assignments.pop(query.query_id, None)
+            if cached is not None:
+                per_worker, cells = cached
+            else:
+                triples, cells = assignments_fn(query, self._h1_memo)
+                per_worker = self._group_triples(triples)
+            routing.apply_deletion_pairs(per_worker)
+        cost = tuple_cost + probe_cost * (cells if cells > 1 else 1)
+
+        workers_map = self.workers
+        worker_costs: List[Tuple[int, float]] = []
+        handled = 0
+        cells_aligned = self._cells_aligned
+        if item.kind is TupleKind.INSERT:
+            dispatcher.account_insertion(cost)
+            for worker_id in sorted(per_worker):
+                worker = workers_map.get(worker_id)
+                if worker is None:
+                    continue
+                handled += 1
+                worker.handle_insertion(
+                    item.payload, per_worker[worker_id], cells_aligned=cells_aligned
+                )
+                worker_costs.append((worker_id, worker.last_tuple_cost))
+            self._insertions += 1
+            self._query_fanout_total += handled
+        else:
+            dispatcher.account_deletion(cost)
+            for worker_id in sorted(per_worker):
+                worker = workers_map.get(worker_id)
+                if worker is None:
+                    continue
+                worker.handle_deletion(item.payload)  # type: ignore[arg-type]
+                worker_costs.append((worker_id, worker.last_tuple_cost))
+            self._deletions += 1
+        self._tuples_processed += 1
+        if trace:
+            self._traces.append(dispatcher.dispatcher_id, cost, worker_costs)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -220,25 +923,37 @@ class Cluster:
         matching the paper's "moderate input speed" protocol for Figure 8.
         """
         tracker = LatencyTracker()
-        if not self._traces:
+        traces = self._traces
+        count = len(traces)
+        if count == 0:
             return tracker
         if input_rate is None:
             input_rate = self.config.latency_load_fraction * self.saturation_throughput()
         dispatcher_util, worker_util = self._process_utilizations(input_rate)
         unit_ms = self.config.cost_unit_seconds * 1000.0
         hop_ms = self.config.network_hop_ms
-        for trace in self._traces:
+        dispatcher_ids = traces.dispatcher_ids
+        dispatcher_costs = traces.dispatcher_costs
+        offsets = traces.worker_offsets
+        worker_ids = traces.worker_ids
+        worker_costs = traces.worker_costs
+        dispatcher_util_get = dispatcher_util.get
+        worker_util_get = worker_util.get
+        record = tracker.record
+        for index in range(count):
             dispatcher_ms = utilization_latency(
-                hop_ms + trace.dispatcher_cost * unit_ms,
-                dispatcher_util.get(trace.dispatcher_id, 0.0),
+                hop_ms + dispatcher_costs[index] * unit_ms,
+                dispatcher_util_get(dispatcher_ids[index], 0.0),
             )
             worker_ms = 0.0
-            for worker_id, cost in trace.worker_costs.items():
+            for slot in range(offsets[index], offsets[index + 1]):
                 candidate = utilization_latency(
-                    hop_ms + cost * unit_ms, worker_util.get(worker_id, 0.0)
+                    hop_ms + worker_costs[slot] * unit_ms,
+                    worker_util_get(worker_ids[slot], 0.0),
                 )
-                worker_ms = max(worker_ms, candidate)
-            tracker.record(dispatcher_ms + worker_ms)
+                if candidate > worker_ms:
+                    worker_ms = candidate
+            record(dispatcher_ms + worker_ms)
         return tracker
 
     def worker_load_report(self) -> LoadReport:
@@ -284,11 +999,14 @@ class Cluster:
     ) -> MigrationRecord:
         """Move the queries of ``cells`` from one worker to another.
 
-        Queries that also overlap cells staying on the source worker are
-        *copied* rather than moved, so matching correctness is preserved.
-        The dispatcher routing index is updated to point the migrated cells
-        at the target worker.  The returned record carries the migration
-        cost (bytes shipped) and the simulated migration time.
+        Queries registered only in the migrated cells are *moved* (removed
+        from the source); queries that also overlap cells staying on the
+        source are *copied* so matching correctness is preserved.  Both are
+        shipped over the network, so the Section V migration cost
+        (``bytes_moved``, ``seconds``) charges for moved and copied queries
+        alike, while the record distinguishes the two counts.  The
+        dispatcher routing index is updated to point the migrated cells at
+        the target worker.
         """
         source = self.workers[source_worker]
         target = self.workers[target_worker]
@@ -307,6 +1025,7 @@ class Cluster:
         target.install_queries(shipped)  # type: ignore[arg-type]
         for cell in moving:
             self.routing_index.migrate_cell(cell, source_worker, target_worker)
+        self.invalidate_routing_caches()
         bytes_moved = sum(query.size_bytes() for query in shipped)  # type: ignore[attr-defined]
         seconds = (
             self.config.migration_fixed_seconds
@@ -317,9 +1036,10 @@ class Cluster:
             source_worker=source_worker,
             target_worker=target_worker,
             cells=tuple(moving),
-            queries_moved=len(shipped),
+            queries_moved=len(removable),
             bytes_moved=bytes_moved,
             seconds=seconds,
+            queries_copied=len(shipped) - len(removable),
         )
         self.migrations.append(record)
         return record
@@ -329,6 +1049,8 @@ class Cluster:
         self.routing_index = routing_index
         for dispatcher in self.dispatchers:
             dispatcher.routing_index = routing_index
+        self.invalidate_routing_caches()
+        self._cells_aligned = self._compute_cells_aligned()
 
     def reset_period(self) -> None:
         """Start a new measurement period on every process."""

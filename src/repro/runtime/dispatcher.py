@@ -20,6 +20,7 @@ from ..core.objects import (
     StreamTuple,
     TupleKind,
 )
+from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
 
 __all__ = ["DispatcherNode", "RoutingDecision"]
@@ -27,11 +28,19 @@ __all__ = ["DispatcherNode", "RoutingDecision"]
 
 @dataclass(frozen=True)
 class RoutingDecision:
-    """Outcome of routing one tuple: destination workers plus charged cost."""
+    """Outcome of routing one tuple: destination workers plus charged cost.
+
+    For query insertions ``assignments`` carries the per-worker
+    ``(cell, posting keyword)`` pairs the routing index chose, so workers
+    can register only the postings actually routed to them (Section IV-C/D
+    — each conjunctive clause lives on the worker owning its posting
+    keyword, not on every replica).
+    """
 
     workers: Tuple[int, ...]
     cost: float
     discarded: bool = False
+    assignments: Optional[Dict[int, List[Tuple[CellCoord, str]]]] = None
 
 
 class DispatcherNode:
@@ -79,23 +88,70 @@ class DispatcherNode:
 
     def _route_insertion(self, insertion: QueryInsertion) -> RoutingDecision:
         query = insertion.query
-        workers = self.routing_index.route_insertion(query)
-        cells = len(self.routing_index.grid.cells_overlapping(query.region))
+        index = self.routing_index
+        assignments_fn = getattr(index, "posting_assignments", None)
+        if assignments_fn is None:
+            # Routing structures without the detailed surface (e.g. the
+            # DualRoutingIndex used during a global adjustment) fall back to
+            # plain routing; workers then register the full posting plan.
+            workers = index.route_insertion(query)
+            cells = len(index.grid.cells_overlapping(query.region))
+            per_worker = None
+        else:
+            triples, cells = assignments_fn(query)
+            index.apply_insertion(triples)
+            per_worker = {}
+            for coord, key, worker in triples:
+                per_worker.setdefault(worker, []).append((coord, key))
+            workers = per_worker.keys()
         cost = self.TUPLE_COST + self.PROBE_COST * max(1, cells)
         self.busy_cost += cost
         self._last_tuple_cost = cost
         self.insertions_routed += 1
-        return RoutingDecision(workers=tuple(sorted(workers)), cost=cost)
+        return RoutingDecision(
+            workers=tuple(sorted(workers)), cost=cost, assignments=per_worker
+        )
 
     def _route_deletion(self, deletion: QueryDeletion) -> RoutingDecision:
         query = deletion.query
-        workers = self.routing_index.route_deletion(query)
-        cells = len(self.routing_index.grid.cells_overlapping(query.region))
+        index = self.routing_index
+        assignments_fn = getattr(index, "posting_assignments", None)
+        if assignments_fn is None:
+            workers = index.route_deletion(query)
+            cells = len(index.grid.cells_overlapping(query.region))
+        else:
+            triples, cells = assignments_fn(query)
+            workers = index.apply_deletion(triples)
         cost = self.TUPLE_COST + self.PROBE_COST * max(1, cells)
         self.busy_cost += cost
         self._last_tuple_cost = cost
         self.deletions_routed += 1
         return RoutingDecision(workers=tuple(sorted(workers)), cost=cost)
+
+    # ------------------------------------------------------------------
+    # Batched accounting (used by Cluster.process_batch)
+    # ------------------------------------------------------------------
+    def account_objects(self, routed: int, discarded: int, total_cost: float) -> None:
+        """Charge a batch of object routing decisions in one call."""
+        self.busy_cost += total_cost
+        self.objects_routed += routed
+        self.objects_discarded += discarded
+
+    def account_insertion(self, cost: float) -> None:
+        self.busy_cost += cost
+        self._last_tuple_cost = cost
+        self.insertions_routed += 1
+
+    def account_deletion(self, cost: float) -> None:
+        self.busy_cost += cost
+        self._last_tuple_cost = cost
+        self.deletions_routed += 1
+
+    def account_updates(self, insertions: int, deletions: int, total_cost: float) -> None:
+        """Charge a window's worth of update routing decisions in one call."""
+        self.busy_cost += total_cost
+        self.insertions_routed += insertions
+        self.deletions_routed += deletions
 
     @property
     def last_tuple_cost(self) -> float:

@@ -44,9 +44,37 @@ class WorkerNode:
     # ------------------------------------------------------------------
     # Operations (Section III-B, worker responsibilities)
     # ------------------------------------------------------------------
-    def handle_insertion(self, insertion: QueryInsertion) -> None:
-        """(1) Query insertion: add the STS query to the in-memory index."""
-        self.index.insert(insertion.query)
+    def handle_insertion(
+        self,
+        insertion: QueryInsertion,
+        assignment: Optional[Sequence[Tuple[CellCoord, str]]] = None,
+        *,
+        cells_aligned: bool = False,
+    ) -> None:
+        """(1) Query insertion: add the STS query to the in-memory index.
+
+        ``assignment`` is the list of ``(routing cell, posting keyword)``
+        pairs the dispatcher routed to this worker.  When given, the query
+        is registered only under those posting keywords — and, when
+        ``cells_aligned`` says the routing grid matches this worker's GI2
+        grid, only in those cells — instead of replicating its complete
+        posting footprint on every worker holding it.
+        """
+        if assignment is None:
+            self.index.insert(insertion.query)
+        else:
+            plan: Dict[str, Optional[List[CellCoord]]] = {}
+            if cells_aligned:
+                for coord, key in assignment:
+                    cells = plan.get(key)
+                    if cells is None:
+                        plan[key] = [coord]
+                    else:
+                        cells.append(coord)
+            else:
+                for _, key in assignment:
+                    plan[key] = None
+            self.index.insert(insertion.query, posting_plan=plan)
         self.counters.record_insertion()
         cost = self.cost_model.insert_handling
         self.busy_cost += cost
@@ -80,6 +108,57 @@ class WorkerNode:
                 )
             )
         return results
+
+    def handle_object_batch(
+        self,
+        objects: Sequence[SpatioTextualObject],
+        cells: Optional[Sequence[CellCoord]] = None,
+    ) -> Tuple[List[MatchResult], List[float]]:
+        """Match a batch of objects in one call (batched engine).
+
+        Equivalent to calling :meth:`handle_object` per object — identical
+        per-object costs and match results — but amortises posting-list
+        setup through :meth:`GI2Index.match_batch` and accounts the load
+        counters in bulk.  ``cells`` may carry the objects' precomputed
+        grid cells when the caller's grid is aligned with this index's.
+        """
+        outcomes = self.index.match_batch(objects, cells)
+        results: List[MatchResult] = []
+        costs: List[float] = []
+        model = self.cost_model
+        object_handling = model.object_handling
+        match_check = model.match_check
+        worker_id = self.worker_id
+        get_query = self.index.get_query
+        total_cost = 0.0
+        total_checks = 0
+        total_matches = 0
+        results_append = results.append
+        for obj, outcome in zip(objects, outcomes):
+            checks = outcome.checks
+            query_ids = outcome.query_ids
+            total_checks += checks
+            total_matches += len(query_ids)
+            cost = object_handling + match_check * checks
+            total_cost += cost
+            costs.append(cost)
+            object_id = obj.object_id
+            for query_id in query_ids:
+                query = get_query(query_id)
+                subscriber = query.subscriber_id if query is not None else 0
+                results_append(
+                    MatchResult(
+                        query_id=query_id,
+                        object_id=object_id,
+                        subscriber_id=subscriber,
+                        worker_id=worker_id,
+                    )
+                )
+        self.counters.record_object_batch(len(objects), total_checks, total_matches)
+        self.busy_cost += total_cost
+        if costs:
+            self._last_tuple_cost = costs[-1]
+        return results, costs
 
     @property
     def last_tuple_cost(self) -> float:

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.core import TupleKind
+from repro.core import Point, Rect, STSQuery, StreamTuple, TupleKind
 from repro.partitioning import HybridPartitioner, KDTreeSpacePartitioner
+from repro.partitioning.base import PartitionPlan, PartitionUnit
 from repro.runtime import Cluster, ClusterConfig
 
 
@@ -140,6 +141,45 @@ class TestMigration:
         # the target already held it) but never lost.
         assert ids_before <= ids_after
         assert cluster.migrations == [record]
+
+    def test_moved_vs_copied_queries_accounted_separately(self):
+        """Regression: copied queries are not counted as moved.
+
+        A query overlapping only migrated cells is *moved* (removed from the
+        source); a query that also overlaps cells staying behind is *copied*
+        (replicated to the target).  Both ship over the network, so the
+        paper's migration cost (bytes, seconds) covers the sum, but the
+        record must distinguish the two counts.
+        """
+        bounds = Rect(0.0, 0.0, 100.0, 100.0)
+        plan = PartitionPlan(
+            units=[PartitionUnit(region=bounds, terms=None, worker_id=0)],
+            num_workers=2,
+            bounds=bounds,
+        )
+        config = ClusterConfig(
+            num_dispatchers=1, num_workers=2, gi2_granularity=8, gridt_granularity=8
+        )
+        cluster = Cluster(plan, config)
+        # Cell width is 12.5: `inside` lives entirely in cell (0, 0) while
+        # `spanning` also overlaps cell (1, 0), which stays on the source.
+        inside = STSQuery.create("alpha", Rect(1.0, 1.0, 5.0, 5.0))
+        spanning = STSQuery.create("beta", Rect(1.0, 1.0, 20.0, 5.0))
+        cluster.process(StreamTuple.insert(inside))
+        cluster.process(StreamTuple.insert(spanning))
+
+        record = cluster.migrate_cells(0, 1, [(0, 0)])
+
+        assert record.queries_moved == 1
+        assert record.queries_copied == 1
+        assert record.queries_shipped == 2
+        # The migration cost covers every shipped query, copies included.
+        assert record.bytes_moved == inside.size_bytes() + spanning.size_bytes()
+        assert record.seconds > 0
+        source_ids = {q.query_id for q in cluster.workers[0].index.queries()}
+        target_ids = {q.query_id for q in cluster.workers[1].index.queries()}
+        assert source_ids == {spanning.query_id}
+        assert target_ids == {inside.query_id, spanning.query_id}
 
     def test_processing_continues_after_migration(self, small_stream):
         cluster = build_cluster(small_stream, num_workers=4)
