@@ -21,9 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.objects import SpatioTextualObject, STSQuery
+from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
 from ..partitioning.base import PartitionPlan, Partitioner, WorkloadSample
 from ..runtime.cluster import Cluster, MigrationRecord
+from ..runtime.worker import QueryAssignment
 
 __all__ = ["DualRoutingIndex", "GlobalAdjuster", "RepartitionReport"]
 
@@ -50,6 +52,22 @@ class DualRoutingIndex:
         """New queries are placed exclusively by the new strategy."""
         return self.new_index.route_insertion(query)
 
+    def insertion_assignments(
+        self, query: STSQuery, h1_memo=None
+    ) -> Tuple[List[Tuple[CellCoord, str, int]], int]:
+        """Per-pair insertion placement, through the new strategy only.
+
+        Exposing this keeps insertions assignment-aware while the old
+        strategy drains: workers register only their routed ``(cell,
+        keyword)`` pairs instead of full posting footprints.  The caller's
+        H1 memo is ignored — H1 is not static across the strategy pair.
+        """
+        return self.new_index.posting_assignments(query)
+
+    def apply_insertion(self, triples) -> Set[int]:
+        """Record H2 postings for an insertion plan (new strategy only)."""
+        return self.new_index.apply_insertion(triples)
+
     def route_deletion(self, query: STSQuery) -> Set[int]:
         """A deletion may concern an old or a new query; notify both."""
         return self.old_index.route_deletion(query) | self.new_index.route_deletion(query)
@@ -67,11 +85,32 @@ class DualRoutingIndex:
         return self.new_index.cells()
 
     def migrate_cell(self, coord, from_worker: int, to_worker: int) -> None:
-        self.new_index.migrate_cell(coord, from_worker, to_worker)
-        self.old_index.migrate_cell(coord, from_worker, to_worker)
+        """A migration during a drain must repoint *both* strategies."""
+        self.migrate_cells((coord,), from_worker, to_worker)
+
+    def migrate_cells(self, coords, from_worker: int, to_worker: int) -> None:
+        """Bulk variant of :meth:`migrate_cell` (same both-strategies rule)."""
+        coords = tuple(coords)
+        self.new_index.migrate_cells(coords, from_worker, to_worker)
+        self.old_index.migrate_cells(coords, from_worker, to_worker)
+        self.clear_route_caches()
 
     def split_cell_by_text(self, coord, term_assignment, default_worker=None) -> None:
+        """A Phase I split during a drain must hit both structures.
+
+        Objects consult both H2 maps (:meth:`route_object`), so leaving the
+        old strategy unsplit would keep routing the split cell's objects to
+        the old owner while the worker-side postings moved — old-strategy
+        queries in the cell would silently stop matching.
+        """
         self.new_index.split_cell_by_text(coord, term_assignment, default_worker)
+        self.old_index.split_cell_by_text(coord, term_assignment, default_worker)
+        self.clear_route_caches()
+
+    def clear_route_caches(self) -> None:
+        """Flush both structures' object-routing memos (invalidation contract)."""
+        self.old_index.clear_route_caches()
+        self.new_index.clear_route_caches()
 
     def workers(self) -> Set[int]:
         return self.old_index.workers() | self.new_index.workers()
@@ -149,10 +188,17 @@ class GlobalAdjuster:
         self.pending_plan = new_plan
 
     def finalize(self, cluster: Cluster) -> RepartitionReport:
-        """Migrate the remaining old queries and drop the old strategy.
+        """Re-home the surviving queries under the new strategy and drop the old.
 
         Called once the old query population has become small (the paper
-        waits for the natural insert/delete churn to shrink it).
+        waits for the natural insert/delete churn to shrink it).  Every
+        live query ends up registered under exactly the ``(cell, posting
+        keyword)`` pairs the new strategy assigns per worker: stale pairs
+        are shed, missing pairs are shipped (only those pairs, never a
+        full footprint), and the new index's H2 is rebuilt explicitly from
+        the surviving assignments — registration is an explicit step here,
+        not a ``route_insertion`` side effect, so H2 reference counts are
+        exact whichever strategy originally placed each query.
         """
         report = RepartitionReport(checked=True)
         routing = cluster.routing_index
@@ -160,33 +206,107 @@ class GlobalAdjuster:
             self.history.append(report)
             return report
         new_index = routing.new_index
-        plan = self.pending_plan
-        # Re-home every resident query that the new plan maps elsewhere.
-        for worker in list(cluster.workers.values()):
-            stale: List[STSQuery] = []
+        # 1. The new strategy's assignment of every live query, computed
+        #    once per query, plus the workers currently holding a replica.
+        plans: Dict[
+            int,
+            Tuple[STSQuery, List[Tuple[CellCoord, str, int]], Dict[int, List[Tuple[CellCoord, str]]]],
+        ] = {}
+        holders: Dict[int, List[int]] = {}
+        for worker in cluster.workers.values():
             for query in worker.index.queries():
-                targets = plan.route_query(query)
-                if targets and worker.worker_id not in targets:
-                    stale.append(query)
-            if not stale:
-                continue
-            worker.index.remove_queries([query.query_id for query in stale])
-            for query in stale:
-                targets = plan.route_query(query)
-                for target in targets:
-                    cluster.workers[target].install_queries([query])
-                new_index.route_insertion(query)
-            bytes_moved = sum(query.size_bytes() for query in stale)
-            seconds = (
-                cluster.config.migration_fixed_seconds
-                + bytes_moved / cluster.config.migration_bandwidth_bytes_per_sec
+                holders.setdefault(query.query_id, []).append(worker.worker_id)
+                if query.query_id not in plans:
+                    triples, _ = new_index.posting_assignments(query)
+                    per_worker: Dict[int, List[Tuple[CellCoord, str]]] = {}
+                    for coord, key, target in triples:
+                        per_worker.setdefault(target, []).append((coord, key))
+                    plans[query.query_id] = (query, triples, per_worker)
+        # 2. Rebuild the new index's H2 from scratch out of those plans.
+        new_index.clear_h2()
+        for _, triples, _ in plans.values():
+            new_index.apply_insertion(triples)
+        # 3. Reconcile every replica to exactly its per-worker pairs, and
+        #    ship the pairs of workers that gained the query.  The pair
+        #    coordinates live on the *routing* grid: they are installed
+        #    verbatim only into grid-aligned workers; an unaligned worker
+        #    re-registers at keyword granularity on its own grid (the same
+        #    fallback the dispatcher path uses when cells are unaligned).
+        new_grid = new_index.grid
+        shipped_bytes = 0
+        shipped_count = 0
+        rehomed_queries = 0
+        for query_id, (query, _, per_worker) in plans.items():
+            holding = holders.get(query_id, [])
+            for worker_id in holding:
+                worker = cluster.workers[worker_id]
+                expected = per_worker.get(worker_id)
+                if expected is None:
+                    worker.index.remove_queries([query_id])
+                    continue
+                if worker.index.grid != new_grid:
+                    worker.index.remove_queries([query_id])
+                    worker.index.insert(
+                        query, posting_plan={key: None for _, key in expected}
+                    )
+                    continue
+                actual = worker.index.posting_pairs_of_query(query_id)
+                expected_set = set(expected)
+                actual_set = set(actual)
+                stale_pairs = actual_set - expected_set
+                if stale_pairs:
+                    worker.index.remove_pairs(query_id, stale_pairs)
+                missing = expected_set - actual_set
+                if missing:
+                    worker.index.add_pairs(query, sorted(missing))
+            holding_set = set(holding)
+            gained = False
+            for worker_id, pairs in per_worker.items():
+                if worker_id in holding_set:
+                    continue
+                worker = cluster.workers[worker_id]
+                if worker.index.grid != new_grid:
+                    worker.index.insert(
+                        query, posting_plan={key: None for _, key in pairs}
+                    )
+                else:
+                    worker.install_queries(
+                        [QueryAssignment(query, tuple(sorted(pairs)), True)]
+                    )
+                shipped_bytes += query.size_bytes()
+                shipped_count += 1
+                gained = True
+            if gained:
+                rehomed_queries += 1
+        if shipped_count:
+            report.queries_migrated = rehomed_queries
+            report.bytes_migrated = shipped_bytes
+            report.migration_seconds = cluster.migration_seconds(
+                shipped_bytes, shipped_count
             )
-            report.queries_migrated += len(stale)
-            report.bytes_migrated += bytes_moved
-            report.migration_seconds += seconds
         cluster.replace_routing_index(new_index)
         report.finalized = True
         report.repartitioned = True
         self.pending_plan = None
         self.history.append(report)
         return report
+
+    def adjust(
+        self, cluster: Cluster, sample: Optional[WorkloadSample] = None
+    ) -> RepartitionReport:
+        """Closed-loop entry point (one call per window barrier).
+
+        A pending repartition is finalised — the previous period was its
+        drain window — otherwise the period's workload sample is checked
+        for a beneficial repartitioning.  Without a sample the round is a
+        no-op (recorded in the history).
+        """
+        if self.pending_plan is not None and isinstance(
+            cluster.routing_index, DualRoutingIndex
+        ):
+            return self.finalize(cluster)
+        if sample is None or len(sample) == 0:
+            report = RepartitionReport()
+            self.history.append(report)
+            return report
+        return self.check(cluster, sample)

@@ -21,7 +21,7 @@ cell-selection time — the three quantities Figures 12, 13 and 14 plot.
 from __future__ import annotations
 
 import time
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -99,12 +99,17 @@ class LocalLoadAdjuster:
         report.source_worker = source
         report.target_worker = target
 
+        # Definition-3 cell statistics of the overloaded worker, shared by
+        # both phases; recomputed only when Phase I actually moved postings.
+        stats = sorted(cluster.worker_cell_stats(source), key=lambda s: -s.load)
         if self.enable_phase1:
-            report.phase1_splits = self._phase_one(cluster, source, target, report)
+            report.phase1_splits = self._phase_one(cluster, source, target, report, stats)
+            if report.phase1_splits:
+                stats = sorted(cluster.worker_cell_stats(source), key=lambda s: -s.load)
 
         loads = cluster.worker_load_report()
         if self._violated(loads):
-            self._phase_two(cluster, source, target, loads, report)
+            self._phase_two(cluster, source, target, loads, report, stats)
 
         report.imbalance_after = cluster.worker_load_report().imbalance
         self.history.append(report)
@@ -122,16 +127,19 @@ class LocalLoadAdjuster:
         source: int,
         target: int,
         report: AdjustmentReport,
+        stats: List[CellStats],
     ) -> int:
         """Split the hottest cells of the source worker by text.
 
         For each of the ``p`` most loaded cells that is not yet
         text-partitioned, half of the cell's query load (grouped by posting
         keyword) is reassigned to the target worker when this lowers the
-        source's load without inflating the total.  Returns the number of
+        source's load without inflating the total.  The shipped queries are
+        accounted in the report exactly like Phase II records — Phase I
+        traffic crosses the same network.  ``stats`` is the source worker's
+        cell statistics, sorted by descending load.  Returns the number of
         cells split.
         """
-        stats = sorted(cluster.worker_cell_stats(source), key=lambda s: -s.load)
         splits = 0
         for cell_stat in stats[: self.hot_cells]:
             cell = cluster.routing_index.cells().get(cell_stat.cell)
@@ -148,11 +156,19 @@ class LocalLoadAdjuster:
             # The split changes H1, so routing decisions cached by the
             # batched engine are no longer valid.
             cluster.invalidate_routing_caches()
-            moved_queries = self._migrate_split_queries(
-                cluster, source, target, cell_stat.cell, assignment
+            moved_keywords = [
+                keyword for keyword, owner in assignment.items() if owner == target
+            ]
+            record = cluster.migrate_keywords(
+                source, target, cell_stat.cell, moved_keywords
             )
-            if moved_queries:
-                splits += 1
+            if record is None:
+                continue
+            splits += 1
+            report.records.append(record)
+            report.queries_moved += record.queries_shipped
+            report.bytes_moved += record.bytes_moved
+            report.migration_seconds += record.seconds
         return splits
 
     def _split_cell_terms(
@@ -164,19 +180,21 @@ class LocalLoadAdjuster:
     ) -> Dict[str, int]:
         """Partition the posting keywords of a cell between the two workers.
 
-        Keywords are weighted by the number of queries posted under them in
-        the cell and split so the target receives roughly half of the
-        query load (the lighter half, to keep the migration small).
+        Keywords are weighted by the number of postings actually registered
+        under them in the cell (the worker's live ``(cell, keyword)``
+        assignment, so the split decision and the shipped postings always
+        agree) and split so the target receives roughly half of the query
+        load (the lighter half, to keep the migration small).
         """
-        worker = cluster.workers[source]
-        queries = worker.index.queries_in_cell(cell)
+        index = cluster.workers[source].index
+        queries = index.queries_in_cell(cell)
         if len(queries) < 2:
             return {}
-        statistics = cluster.routing_index.term_statistics
         keyword_load: Counter = Counter()
         for query in queries:
-            for key in query.expression.posting_keywords(statistics):
-                keyword_load[key] += 1
+            for coord, key in index.posting_pairs_of_query(query.query_id):
+                if coord == cell:
+                    keyword_load[key] += 1
         if len(keyword_load) < 2:
             return {}
         assignment: Dict[str, int] = {}
@@ -193,33 +211,6 @@ class LocalLoadAdjuster:
             return {}
         return assignment
 
-    def _migrate_split_queries(
-        self,
-        cluster: Cluster,
-        source: int,
-        target: int,
-        cell: CellCoord,
-        assignment: Dict[str, int],
-    ) -> int:
-        """Ship the queries whose posting keyword moved to the target worker."""
-        worker = cluster.workers[source]
-        statistics = cluster.routing_index.term_statistics
-        moving = []
-        for query in worker.index.queries_in_cell(cell):
-            keys = query.expression.posting_keywords(statistics)
-            if any(assignment.get(key) == target for key in keys):
-                moving.append(query)
-        if not moving:
-            return 0
-        cluster.workers[target].install_queries(moving)
-        removable = [
-            query.query_id
-            for query in moving
-            if worker.index.cells_of_query(query.query_id) <= {cell}
-        ]
-        worker.index.remove_queries(removable)
-        return len(moving)
-
     # ------------------------------------------------------------------
     # Phase II: Minimum Cost Migration
     # ------------------------------------------------------------------
@@ -230,8 +221,8 @@ class LocalLoadAdjuster:
         target: int,
         loads: LoadReport,
         report: AdjustmentReport,
+        stats: List[CellStats],
     ) -> None:
-        stats = cluster.worker_cell_stats(source)
         if not stats:
             return
         source_load = loads.worker_loads.get(source, 0.0)

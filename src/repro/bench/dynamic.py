@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..adjustment import LocalLoadAdjuster, selector_by_name
+from ..adjustment import AdjustmentReport, LocalLoadAdjuster, selector_by_name
 from ..partitioning import HybridPartitioner, MetricTextPartitioner
 from ..runtime import Cluster, ClusterConfig, LatencyBuckets, LatencyTracker
 from ..workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
@@ -56,11 +56,66 @@ class MigrationExperimentResult:
     throughput_after: float
 
 
-def _run_stream(cluster: Cluster, tuples, batch_size: int):
-    """Replay ``tuples`` on the cluster via the configured execution path."""
+def _run_stream(
+    cluster: Cluster,
+    tuples,
+    batch_size: int,
+    *,
+    adjust_every: int = 0,
+    local_adjuster=None,
+    global_adjuster=None,
+):
+    """Replay ``tuples`` on the cluster via the configured execution path.
+
+    With ``adjust_every > 0`` the closed-loop driver runs the attached
+    adjusters at window barriers (identically on either path).
+    """
     if batch_size > 1:
-        return cluster.run_batched(tuples, batch_size=batch_size)
-    return cluster.run(tuples)
+        return cluster.run_batched(
+            tuples,
+            batch_size=batch_size,
+            adjust_every=adjust_every,
+            local_adjuster=local_adjuster,
+            global_adjuster=global_adjuster,
+        )
+    return cluster.run(
+        tuples,
+        adjust_every=adjust_every,
+        local_adjuster=local_adjuster,
+        global_adjuster=global_adjuster,
+    )
+
+
+def _merge_adjustment_reports(history) -> AdjustmentReport:
+    """Aggregate the triggered rounds of a closed-loop run into one report.
+
+    The Figure 12–14 axes (selection time, queries/bytes shipped, migration
+    seconds) sum over rounds; imbalance spans from the first triggered
+    round's "before" to the last round's "after".
+    """
+    merged = AdjustmentReport()
+    for report in history:
+        if not report.triggered:
+            continue
+        if not merged.triggered:
+            merged.triggered = True
+            merged.source_worker = report.source_worker
+            merged.target_worker = report.target_worker
+            merged.imbalance_before = report.imbalance_before
+        merged.imbalance_after = report.imbalance_after
+        merged.selection_time_ms += report.selection_time_ms
+        merged.queries_moved += report.queries_moved
+        merged.bytes_moved += report.bytes_moved
+        merged.migration_seconds += report.migration_seconds
+        merged.cells_moved += report.cells_moved
+        merged.phase1_splits += report.phase1_splits
+        merged.records.extend(report.records)
+    if not merged.triggered and history:
+        # No round fired: still report the measured imbalance (every round
+        # records it), matching what a single post-replay round reports.
+        merged.imbalance_before = history[0].imbalance_before
+        merged.imbalance_after = history[-1].imbalance_after
+    return merged
 
 
 def _build_imbalanced_cluster(
@@ -72,13 +127,16 @@ def _build_imbalanced_cluster(
     num_workers: int = 8,
     seed: int = 3,
     batch_size: int = 0,
+    adjust_every: int = 0,
+    local_adjuster=None,
 ) -> Tuple[Cluster, WorkloadStream]:
     """A deployment with a genuinely overloaded worker.
 
     Metric-based text partitioning on a Q1-style workload concentrates the
     posting keywords of frequent terms on few workers, which is the easiest
     reproducible way to obtain the imbalance the local adjuster is meant to
-    repair.
+    repair.  With ``adjust_every > 0`` the warm-up replay itself runs the
+    closed loop, so the adjuster fires at window barriers mid-stream.
     """
     tweets = make_dataset(dataset, seed=seed)
     queries = QueryGenerator(tweets, seed=seed + 1)
@@ -96,7 +154,13 @@ def _build_imbalanced_cluster(
         migration_fixed_seconds=0.15,
     )
     cluster = Cluster(plan, config)
-    _run_stream(cluster, stream.tuples(num_objects), batch_size)
+    _run_stream(
+        cluster,
+        stream.tuples(num_objects),
+        batch_size,
+        adjust_every=adjust_every,
+        local_adjuster=local_adjuster,
+    )
     return cluster, stream
 
 
@@ -140,13 +204,32 @@ def run_migration_experiment(
     sigma: float = 1.3,
     seed: int = 3,
     batch_size: int = 0,
+    adjust_every: int = 0,
 ) -> MigrationExperimentResult:
-    """Trigger one local adjustment with ``selector_name`` and measure it."""
-    cluster, stream = _build_imbalanced_cluster(
-        mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size
-    )
+    """Trigger a local adjustment with ``selector_name`` and measure it.
+
+    By default one adjustment round runs after the warm-up replay (the
+    paper's protocol for Figures 12–14).  With ``adjust_every > 0`` the
+    closed-loop driver fires rounds at window barriers during the replay
+    instead, and the triggered rounds are aggregated into one report.
+    """
     adjuster = LocalLoadAdjuster(selector_by_name(selector_name, seed=seed), sigma=sigma)
-    report = adjuster.adjust(cluster)
+    if adjust_every > 0:
+        cluster, stream = _build_imbalanced_cluster(
+            mu,
+            num_objects,
+            num_workers=num_workers,
+            seed=seed,
+            batch_size=batch_size,
+            adjust_every=adjust_every,
+            local_adjuster=adjuster,
+        )
+        report = _merge_adjustment_reports(adjuster.history)
+    else:
+        cluster, stream = _build_imbalanced_cluster(
+            mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size
+        )
+        report = adjuster.adjust(cluster)
     affected = tuple(
         worker for worker in (report.source_worker, report.target_worker) if worker is not None
     )
@@ -192,14 +275,17 @@ def run_drift_experiment(
     sigma: float = 1.5,
     seed: int = 5,
     batch_size: int = 0,
+    adjust_every: int = 0,
 ) -> DriftExperimentResult:
     """Replay a drifting Q3 workload with or without dynamic adjustment.
 
     The regional style map flips ``flip_fraction`` of its regions between
     the Q1 and Q2 recipes before every phase (the paper flips 10% of the
     regions every 10M queries).  With ``adjust=True`` a GR-based local
-    adjustment runs after every phase.  Throughput is measured over the
-    final phase only, after the drift has accumulated.
+    adjustment runs after every phase — or, when ``adjust_every > 0``, at
+    closed-loop window barriers every that many tuples *during* each
+    phase.  Throughput is measured over the final phase only, after the
+    drift has accumulated.
     """
     tweets = make_dataset("us", seed=seed)
     queries = QueryGenerator(tweets, seed=seed + 1)
@@ -219,9 +305,20 @@ def run_drift_experiment(
     drift_rng = random.Random(seed + 9)
     for _ in range(drift_phases):
         style_map.flip(flip_fraction, drift_rng)
-        _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
-        if adjust:
-            report = adjuster.adjust(cluster)
+        if adjust and adjust_every > 0:
+            seen = len(adjuster.history)
+            _run_stream(
+                cluster,
+                stream.tuples(objects_per_phase),
+                batch_size,
+                adjust_every=adjust_every,
+                local_adjuster=adjuster,
+            )
+            new_reports = adjuster.history[seen:]
+        else:
+            _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
+            new_reports = [adjuster.adjust(cluster)] if adjust else []
+        for report in new_reports:
             if report.triggered:
                 triggered += 1
                 migrated += report.queries_moved

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..adjustment import GlobalAdjuster, GreedySelector, LocalLoadAdjuster
 from ..core.costmodel import CostModel
 from ..partitioning import (
     FrequencyTextPartitioner,
@@ -99,6 +100,11 @@ class ExperimentConfig:
     #: Tuples per execution window; 0 replays the stream tuple by tuple
     #: (the reference path), >= 2 uses the batched engine.
     batch_size: int = 0
+    #: Tuples between closed-loop adjustment rounds (Section V); 0 runs the
+    #: stream without any dynamic adjustment.
+    adjust_every: int = 0
+    #: Which adjusters the closed loop drives: "local", "global" or "both".
+    adjuster: str = "local"
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -126,6 +132,8 @@ class ExperimentConfig:
             config.granularity,
             config.seed,
             config.batch_size,
+            config.adjust_every,
+            config.adjuster,
             partitioner_name,
         )
 
@@ -176,13 +184,31 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
     )
     cluster = Cluster(plan, cluster_config)
 
+    local_adjuster = global_adjuster = None
+    if scaled.adjust_every > 0:
+        if scaled.adjuster not in ("local", "global", "both"):
+            raise ValueError("unknown adjuster %r" % scaled.adjuster)
+        if scaled.adjuster in ("local", "both"):
+            local_adjuster = LocalLoadAdjuster(GreedySelector())
+        if scaled.adjuster in ("global", "both"):
+            global_adjuster = GlobalAdjuster(HybridPartitioner())
+
     started = time.perf_counter()
     if scaled.batch_size > 1:
         report = cluster.run_batched(
-            stream.tuples(scaled.num_objects), batch_size=scaled.batch_size
+            stream.tuples(scaled.num_objects),
+            batch_size=scaled.batch_size,
+            adjust_every=scaled.adjust_every,
+            local_adjuster=local_adjuster,
+            global_adjuster=global_adjuster,
         )
     else:
-        report = cluster.run(stream.tuples(scaled.num_objects))
+        report = cluster.run(
+            stream.tuples(scaled.num_objects),
+            adjust_every=scaled.adjust_every,
+            local_adjuster=local_adjuster,
+            global_adjuster=global_adjuster,
+        )
     run_seconds = time.perf_counter() - started
 
     return ExperimentResult(

@@ -61,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--batch-size", type=int, default=0,
             help="execution window of the batched engine; 0 = per-tuple "
                  "reference path (default: 0)")
+        sub.add_argument(
+            "--adjust-every", type=int, default=0,
+            help="tuples between closed-loop dynamic-adjustment rounds "
+                 "(Section V); 0 disables adjustment (default: 0)")
+        sub.add_argument(
+            "--adjuster", choices=["local", "global", "both"], default="local",
+            help="which adjusters the closed loop drives when --adjust-every "
+                 "is set (default: local)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -87,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=0,
         help="execution window of the batched engine; 0 = per-tuple "
              "reference path (default: 0)")
+    adjust_parser.add_argument(
+        "--adjust-every", type=int, default=0,
+        help="run the adjustment closed-loop every this many tuples during "
+             "the replay instead of once afterwards (default: 0)")
     return parser
 
 
@@ -101,6 +113,8 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         num_dispatchers=args.dispatchers,
         seed=args.seed,
         batch_size=args.batch_size,
+        adjust_every=args.adjust_every,
+        adjuster=args.adjuster,
     )
 
 
@@ -158,7 +172,7 @@ def _command_compare(args: argparse.Namespace, out) -> int:
 def _command_adjust(args: argparse.Namespace, out) -> int:
     result = run_migration_experiment(
         args.selector, args.mu, num_objects=args.objects, num_workers=args.workers,
-        batch_size=args.batch_size,
+        batch_size=args.batch_size, adjust_every=args.adjust_every,
     )
     buckets = result.latency_buckets
     rows = [

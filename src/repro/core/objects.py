@@ -125,10 +125,19 @@ class STSQuery:
 
         The estimate covers the rectangle (4 doubles), identifiers and the
         keyword payload; it only needs to be *consistent* across queries so
-        that relative migration costs are meaningful.
+        that relative migration costs are meaningful.  The query is
+        immutable, so the value is memoised (the adjusters recompute cell
+        sizes every measurement period).
         """
+        cached = getattr(self, "_size_cache", None)
+        if cached is not None:
+            return cached
         keyword_bytes = sum(len(keyword) for keyword in self.keywords())
-        return 48 + 8 * self.expression.clause_count() + 2 * keyword_bytes
+        size = 48 + 8 * self.expression.clause_count() + 2 * keyword_bytes
+        # Frozen dataclass; the memo is not a field, so equality and
+        # hashing are unaffected.
+        object.__setattr__(self, "_size_cache", size)
+        return size
 
 
 class TupleKind(Enum):

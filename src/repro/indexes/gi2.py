@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.costmodel import cell_load
 from ..core.geometry import Point, Rect
@@ -80,6 +80,11 @@ class GI2Index:
         self._cells: Dict[CellCoord, InvertedIndex[int]] = {}
         self._queries: Dict[int, STSQuery] = {}
         self._query_cells: Dict[int, Set[CellCoord]] = {}
+        #: Exact ``(cell, posting keyword)`` registrations per query — the
+        #: assignment the dispatcher (or a migration) shipped to this
+        #: worker.  The migration machinery reads and moves postings at
+        #: this granularity instead of re-deriving full query footprints.
+        self._query_postings: Dict[int, List[Tuple[CellCoord, str]]] = {}
         self._pending_deletions: Set[int] = set()
         self._statistics = term_statistics
         self._cell_query_counts: Counter = Counter()
@@ -158,6 +163,7 @@ class GI2Index:
                 plan.append((key, key_cells))
         created = 0
         used_cells: Set[CellCoord] = set()
+        recorded: List[Tuple[CellCoord, str]] = []
         cells_map = self._cells
         for key, key_cells in plan:
             for cell in key_cells:
@@ -166,12 +172,14 @@ class GI2Index:
                     inverted = InvertedIndex()
                     cells_map[cell] = inverted
                 inverted.add(key, query.query_id)
+                recorded.append((cell, key))
                 created += 1
                 used_cells.add(cell)
         for cell in used_cells:
             self._cell_query_counts[cell] += 1
         self._queries[query.query_id] = query
         self._query_cells[query.query_id] = used_cells
+        self._query_postings[query.query_id] = recorded
         return created
 
     def insert_pairs(self, query: STSQuery, pairs: Sequence[Tuple[CellCoord, str]]) -> int:
@@ -215,7 +223,93 @@ class GI2Index:
             self._cell_query_counts[cell] += 1
         self._queries[query_id] = query
         self._query_cells[query_id] = used_cells
+        self._query_postings[query_id] = list(pairs)
         return created
+
+    def add_pairs(self, query: STSQuery, pairs: Sequence[Tuple[CellCoord, str]]) -> int:
+        """Merge ``(cell, posting keyword)`` registrations into the index.
+
+        The migration entry point: unlike :meth:`insert_pairs` (a no-op on a
+        live query, mirroring the idempotent :meth:`insert`), this *extends*
+        an existing registration — a worker that already holds a query in
+        some cells gains the shipped pairs on top.  The caller guarantees
+        the pairs are not yet registered here, which holds by construction
+        because every ``(cell, keyword)`` pair is assigned to exactly one
+        worker.  Returns the number of postings created.
+        """
+        query_id = query.query_id
+        if query_id in self._pending_deletions:
+            # A lazily deleted copy still has physical postings; drop them
+            # so the shipped registration starts from a clean slate.
+            self.remove_queries([query_id])
+        if query_id not in self._queries:
+            return self.insert_pairs(query, pairs)
+        recorded = self._query_postings.setdefault(query_id, [])
+        cells = self._query_cells.setdefault(query_id, set())
+        cells_map = self._cells
+        created = 0
+        for coord, key in pairs:
+            inverted = cells_map.get(coord)
+            if inverted is None:
+                inverted = InvertedIndex()
+                cells_map[coord] = inverted
+            inverted.add(key, query_id)
+            recorded.append((coord, key))
+            if coord not in cells:
+                cells.add(coord)
+                self._cell_query_counts[coord] += 1
+            created += 1
+        return created
+
+    def remove_pairs(
+        self, query_id: int, pairs: Iterable[Tuple[CellCoord, str]]
+    ) -> bool:
+        """Drop specific ``(cell, posting keyword)`` registrations of a query.
+
+        The inverse of :meth:`add_pairs`: the source side of a migration
+        sheds exactly the pairs it shipped.  When the query's last posting
+        goes, the query itself is removed from the index.  Returns ``True``
+        when the query left this index entirely.
+        """
+        recorded = self._query_postings.get(query_id)
+        if not recorded:
+            return False
+        remove_set = set(pairs)
+        if not remove_set:
+            return False
+        pending = query_id in self._pending_deletions
+        kept: List[Tuple[CellCoord, str]] = []
+        touched_cells: Set[CellCoord] = set()
+        cells_get = self._cells.get
+        for pair in recorded:
+            if pair in remove_set:
+                coord, key = pair
+                inverted = cells_get(coord)
+                if inverted is not None:
+                    inverted.remove(key, query_id)
+                touched_cells.add(coord)
+            else:
+                kept.append(pair)
+        if len(kept) == len(recorded):
+            return False
+        if kept:
+            remaining_cells = {coord for coord, _ in kept}
+            for coord in touched_cells - remaining_cells:
+                if coord in self._query_cells.get(query_id, ()):
+                    self._query_cells[query_id].discard(coord)
+                    if not pending and self._cell_query_counts[coord] > 0:
+                        self._cell_query_counts[coord] -= 1
+            self._query_postings[query_id] = kept
+            self._drop_cells_if_empty(touched_cells)
+            return False
+        for coord in self._query_cells.pop(query_id, set()):
+            if not pending and self._cell_query_counts[coord] > 0:
+                self._cell_query_counts[coord] -= 1
+        del self._query_postings[query_id]
+        self._queries.pop(query_id, None)
+        self._pending_deletions.discard(query_id)
+        self._drop_cells_if_empty(touched_cells)
+        return True
 
     def delete(self, query_id: int) -> bool:
         """Lazily delete a query; returns ``True`` when the query was live."""
@@ -244,15 +338,50 @@ class GI2Index:
             if query_id in self._queries:
                 del self._queries[query_id]
                 self._query_cells.pop(query_id, None)
+                self._query_postings.pop(query_id, None)
                 removed += 1
         self._pending_deletions.clear()
         self._drop_empty_cells()
         return removed
 
+    def purge_cells(self, cells: Iterable[CellCoord]) -> int:
+        """Physically drop pending deletions' postings from ``cells`` only.
+
+        The migration paths call this on the cells about to be handed over
+        so that only live postings ship, without paying :meth:`compact`'s
+        full-index sweep on every adjustment round.  Returns the number of
+        pending queries touched.
+        """
+        if not self._pending_deletions:
+            return 0
+        moving = set(cells)
+        touched = 0
+        for query_id in list(self._pending_deletions):
+            recorded = self._query_postings.get(query_id)
+            if not recorded:
+                continue
+            pairs = [pair for pair in recorded if pair[0] in moving]
+            if pairs:
+                self.remove_pairs(query_id, pairs)
+                touched += 1
+        return touched
+
     def _drop_empty_cells(self) -> None:
         empty = [cell for cell, inverted in self._cells.items() if inverted.entry_count == 0]
         for cell in empty:
             del self._cells[cell]
+
+    def _drop_cells_if_empty(self, cells: Iterable[CellCoord]) -> None:
+        """Drop the given cells when emptied — O(touched), not O(all cells).
+
+        :meth:`remove_pairs` runs once per query during a migration, so the
+        full-index sweep of :meth:`_drop_empty_cells` would make adjustment
+        rounds quadratic.
+        """
+        for cell in cells:
+            inverted = self._cells.get(cell)
+            if inverted is not None and inverted.entry_count == 0:
+                del self._cells[cell]
 
     # ------------------------------------------------------------------
     # Matching
@@ -387,36 +516,77 @@ class GI2Index:
         self._cell_object_counts.clear()
 
     def cell_stats(self) -> List[CellStats]:
-        """Per-cell statistics over the current measurement period."""
+        """Per-cell statistics over the current measurement period.
+
+        Sizes are accumulated in one pass over the live queries (each
+        contributes to every cell it is posted in) rather than one scan of
+        the query table per cell — the closed-loop adjuster reads these
+        statistics every measurement period, so this path must stay cheap.
+        """
+        sizes: Dict[CellCoord, int] = {}
+        pending = self._pending_deletions
+        queries_get = self._queries.get
+        for query_id, cells in self._query_cells.items():
+            if query_id in pending:
+                continue
+            query = queries_get(query_id)
+            if query is None:
+                continue
+            size = query.size_bytes()
+            for cell in cells:
+                sizes[cell] = sizes.get(cell, 0) + size
         stats: List[CellStats] = []
         cells = set(self._cell_query_counts) | set(self._cell_object_counts)
         for cell in cells:
             query_count = self._cell_query_counts.get(cell, 0)
             if query_count <= 0 and self._cell_object_counts.get(cell, 0) <= 0:
                 continue
-            size = self._cell_size_bytes(cell)
             stats.append(
                 CellStats(
                     cell=cell,
                     object_count=self._cell_object_counts.get(cell, 0),
                     query_count=query_count,
-                    size_bytes=size,
+                    size_bytes=sizes.get(cell, 0),
                 )
             )
         return stats
 
-    def _cell_size_bytes(self, cell: CellCoord) -> int:
-        total = 0
-        for query_id, cells in self._query_cells.items():
-            if cell in cells and query_id not in self._pending_deletions:
-                query = self._queries.get(query_id)
-                if query is not None:
-                    total += query.size_bytes()
-        return total
-
     def cells_of_query(self, query_id: int) -> Set[CellCoord]:
         """The grid cells a registered query is posted in (empty when unknown)."""
         return set(self._query_cells.get(query_id, set()))
+
+    def posting_pairs_of_query(self, query_id: int) -> List[Tuple[CellCoord, str]]:
+        """The exact ``(cell, posting keyword)`` registrations of a query.
+
+        This is the worker-side assignment the dispatcher (or a migration)
+        shipped here; the migration machinery and the parity regression
+        tests read footprints at this granularity.
+        """
+        return list(self._query_postings.get(query_id, ()))
+
+    def extract_cell_assignments(
+        self, cells: Iterable[CellCoord]
+    ) -> List[Tuple[STSQuery, List[Tuple[CellCoord, str]]]]:
+        """Live queries with postings in ``cells``, plus those postings.
+
+        Read-only companion of :meth:`remove_pairs`: the migration source
+        computes what ships — each query registered in the handed-over
+        cells together with exactly the ``(cell, posting keyword)`` pairs it
+        owns there — without mutating the index.
+        """
+        moving = set(cells)
+        result: List[Tuple[STSQuery, List[Tuple[CellCoord, str]]]] = []
+        pending = self._pending_deletions
+        for query_id, recorded in self._query_postings.items():
+            if query_id in pending:
+                continue
+            pairs = [pair for pair in recorded if pair[0] in moving]
+            if not pairs:
+                continue
+            query = self._queries.get(query_id)
+            if query is not None:
+                result.append((query, pairs))
+        return result
 
     def queries_in_cell(self, cell: CellCoord) -> List[STSQuery]:
         """Live queries registered in ``cell`` (used for migration)."""
@@ -446,11 +616,20 @@ class GI2Index:
             was_pending = query_id in self._pending_deletions
             self._pending_deletions.discard(query_id)
             cells = self._query_cells.pop(query_id, set())
+            recorded = self._query_postings.pop(query_id, None)
+            if recorded is not None:
+                # The exact registrations are known: remove precisely them.
+                for cell, key in recorded:
+                    inverted = self._cells.get(cell)
+                    if inverted is not None:
+                        inverted.remove(key, query_id)
+            else:
+                for cell in cells:
+                    inverted = self._cells.get(cell)
+                    if inverted is not None:
+                        for term in list(inverted.terms()):
+                            inverted.remove(term, query_id)
             for cell in cells:
-                inverted = self._cells.get(cell)
-                if inverted is not None:
-                    for term in list(inverted.terms()):
-                        inverted.remove(term, query_id)
                 if not was_pending and self._cell_query_counts[cell] > 0:
                     self._cell_query_counts[cell] -= 1
             if not was_pending:

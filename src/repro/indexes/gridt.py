@@ -35,6 +35,9 @@ from .kdt_tree import KdtTree
 
 __all__ = ["GridTIndex", "GridTCell"]
 
+#: Sentinel distinguishing "not computed yet" from "no rewrite needed".
+_UNSET = object()
+
 
 @dataclass
 class GridTCell:
@@ -146,6 +149,16 @@ class GridTIndex:
     def route_cache(self) -> Dict[Tuple[CellCoord, FrozenSet[str]], Tuple[int, Tuple[int, ...]]]:
         """The (cell, term set) -> (version, decision) object-routing memo."""
         return self._route_cache
+
+    def clear_route_caches(self) -> None:
+        """Flush the object-routing memo (part of the invalidation contract).
+
+        Version stamps already keep stale entries from being *served*; the
+        explicit flush after an H1 mutation stops them from lingering as
+        dead memory.  :meth:`Cluster.invalidate_routing_caches` calls this
+        on whatever routing structure is installed.
+        """
+        self._route_cache.clear()
 
     def cell(self, coord: CellCoord) -> GridTCell:
         """The cell at ``coord``, created on demand."""
@@ -444,6 +457,21 @@ class GridTIndex:
                     assignments.append((coord, key, worker))
         return assignments, len(coords)
 
+    def insertion_assignments(
+        self,
+        query: STSQuery,
+        h1_memo: Optional[Dict[Tuple[CellCoord, str], int]] = None,
+    ) -> Tuple[List[Tuple[CellCoord, str, int]], int]:
+        """The insertion-routing surface: where a *new* query is placed.
+
+        On a plain gridt index this is :meth:`posting_assignments`; the
+        :class:`~repro.adjustment.global_adjust.DualRoutingIndex` overrides
+        it to place insertions exclusively through the new strategy while
+        deletions (which still go through :meth:`posting_assignments` /
+        ``route_deletion``) consult both.
+        """
+        return self.posting_assignments(query, h1_memo)
+
     def insertion_plan_apply(
         self, query: STSQuery
     ) -> Tuple[Dict[int, List[Tuple[CellCoord, str]]], int]:
@@ -586,21 +614,53 @@ class GridTIndex:
     # ------------------------------------------------------------------
     def migrate_cell(self, coord: CellCoord, from_worker: int, to_worker: int) -> None:
         """Repoint every reference to ``from_worker`` in a cell to ``to_worker``."""
-        cell = self._cells.get(coord)
-        if cell is None:
-            return
-        if cell.default_worker == from_worker:
-            cell.default_worker = to_worker
-        if cell.term_workers is not None:
-            cell.term_workers = {
-                term: (to_worker if worker == from_worker else worker)
-                for term, worker in cell.term_workers.items()
-            }
-        for term, owners in list(cell.h2.items()):
-            if from_worker in owners:
-                count = owners.pop(from_worker)
-                owners[to_worker] = owners.get(to_worker, 0) + count
-        cell.version += 1
+        self.migrate_cells((coord,), from_worker, to_worker)
+
+    def migrate_cells(
+        self, coords: Iterable[CellCoord], from_worker: int, to_worker: int
+    ) -> None:
+        """Repoint a batch of cells from one worker to another (Section V).
+
+        The H1 rewrite is shared per distinct term map: cells of a text
+        partition usually alias one map (``share_term_maps``), so the
+        rewritten copy is computed once and re-shared by every migrated
+        cell instead of privatising one copy per cell — both faster and
+        memory-preserving under the dispatcher's shared-map accounting.
+        """
+        rewritten: Dict[int, Optional[Dict[str, int]]] = {}
+        cells_get = self._cells.get
+        for coord in coords:
+            cell = cells_get(coord)
+            if cell is None:
+                continue
+            if cell.default_worker == from_worker:
+                cell.default_worker = to_worker
+            term_workers = cell.term_workers
+            if term_workers is not None:
+                key = id(term_workers)
+                copied = rewritten.get(key, _UNSET)
+                if copied is _UNSET:
+                    moved_terms = [
+                        term
+                        for term, worker in term_workers.items()
+                        if worker == from_worker
+                    ]
+                    if moved_terms:
+                        # Copy-on-migrate: a plain C-speed copy plus point
+                        # updates beats a conditional comprehension.
+                        copied = dict(term_workers)
+                        for term in moved_terms:
+                            copied[term] = to_worker
+                    else:
+                        copied = None
+                    rewritten[key] = copied
+                if copied is not None:
+                    cell.term_workers = copied
+            for term, owners in list(cell.h2.items()):
+                if from_worker in owners:
+                    count = owners.pop(from_worker)
+                    owners[to_worker] = owners.get(to_worker, 0) + count
+            cell.version += 1
 
     def split_cell_by_text(
         self,
@@ -625,6 +685,20 @@ class GridTIndex:
             total = sum(owners.values())
             cell.h2[term] = {target: total}
         cell.version += 1
+
+    def clear_h2(self) -> None:
+        """Drop every H2 posting (all cells), bumping cell versions.
+
+        Used when the global adjuster finalises a repartition: the new
+        index's H2 is rebuilt from scratch out of the surviving queries'
+        assignments, so its reference counts are exact regardless of which
+        strategy originally routed each query.
+        """
+        for cell in self._cells.values():
+            if cell.h2:
+                cell.h2 = {}
+                cell.version += 1
+        self._route_cache.clear()
 
     # ------------------------------------------------------------------
     # Introspection

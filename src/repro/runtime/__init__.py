@@ -6,11 +6,11 @@ GI2 indexes, mergers deduplicate results, and the cost model converts the
 executed work into throughput, latency and memory reports.
 """
 
-from .cluster import Cluster, ClusterConfig, MigrationRecord
+from .cluster import Cluster, ClusterConfig, MigrationRecord, PeriodSampleCollector
 from .dispatcher import DispatcherNode, RoutingDecision
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
-from .worker import WorkerNode
+from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
     "Cluster",
@@ -20,6 +20,8 @@ __all__ = [
     "LatencyTracker",
     "MergerNode",
     "MigrationRecord",
+    "PeriodSampleCollector",
+    "QueryAssignment",
     "RoutingDecision",
     "RunReport",
     "WorkerNode",

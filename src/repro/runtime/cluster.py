@@ -59,14 +59,19 @@ from ..core.objects import MatchResult, StreamTuple, TupleKind
 from ..indexes.gi2 import CellStats
 from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
-from ..partitioning.base import PartitionPlan
+from ..partitioning.base import PartitionPlan, WorkloadSample
 from ..workload.stream import iter_windows
 from .dispatcher import DispatcherNode
 from .merger import MergerNode
 from .metrics import LatencyTracker, RunReport, utilization_latency
-from .worker import WorkerNode
+from .worker import QueryAssignment, WorkerNode
 
-__all__ = ["Cluster", "ClusterConfig", "MigrationRecord"]
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "MigrationRecord",
+    "PeriodSampleCollector",
+]
 
 
 @dataclass(frozen=True)
@@ -102,14 +107,15 @@ class ClusterConfig:
 
 @dataclass(frozen=True)
 class MigrationRecord:
-    """Outcome of one cell migration between two workers.
+    """Outcome of one cell (or keyword) migration between two workers.
 
-    ``queries_moved`` counts queries whose postings live entirely inside
-    the migrated cells — they are removed from the source worker.
-    ``queries_copied`` counts queries that also overlap cells staying on
-    the source — they are *replicated* to the target so matching stays
-    correct.  Both kinds are shipped over the network, so the migration
-    cost of Section V (``bytes_moved``, ``seconds``) covers their sum.
+    ``queries_moved`` counts queries whose postings lived entirely inside
+    the shipped ``(cell, posting keyword)`` pairs — they leave the source
+    worker.  ``queries_copied`` counts queries that keep a remainder on
+    the source (postings in cells/keywords that stay); the target receives
+    only their shipped pairs, never the full footprint.  Both kinds cross
+    the network once, so the migration cost of Section V (``bytes_moved``,
+    ``seconds``) covers their sum.
     """
 
     source_worker: int
@@ -197,6 +203,62 @@ class _TraceStore:
         self.worker_costs = array("d")
 
 
+class PeriodSampleCollector:
+    """Workload sample of the current measurement period (closed loop).
+
+    The global adjuster re-runs the partitioning algorithm on "a recent
+    sample" (Section V-B).  When a global adjuster is attached to the
+    closed-loop driver, the cluster collects the period's traffic here —
+    capped so a long period cannot balloon — and hands a
+    :class:`~repro.partitioning.base.WorkloadSample` to the adjuster at
+    every window barrier, then starts over for the next period.
+    """
+
+    __slots__ = ("bounds", "max_objects", "max_queries", "_objects", "_insertions", "_deletions")
+
+    def __init__(self, bounds: Rect, *, max_objects: int = 2000, max_queries: int = 1000) -> None:
+        self.bounds = bounds
+        self.max_objects = max_objects
+        self.max_queries = max_queries
+        self._objects: List = []
+        self._insertions: List = []
+        self._deletions: List = []
+
+    def observe(self, items: Iterable[StreamTuple]) -> None:
+        """Record one window of tuples (first-N per kind per period)."""
+        objects = self._objects
+        insertions = self._insertions
+        deletions = self._deletions
+        max_objects = self.max_objects
+        max_queries = self.max_queries
+        for item in items:
+            if item.kind is TupleKind.OBJECT:
+                if len(objects) < max_objects:
+                    objects.append(item.payload)
+            elif item.kind is TupleKind.INSERT:
+                if len(insertions) < max_queries:
+                    insertions.append(item.payload.query)
+            elif len(deletions) < max_queries:
+                deletions.append(item.payload.query)
+
+    def sample(self) -> Optional[WorkloadSample]:
+        """The period's sample, or ``None`` when nothing was observed."""
+        if not self._objects and not self._insertions:
+            return None
+        return WorkloadSample(
+            objects=list(self._objects),
+            insertions=list(self._insertions),
+            deletions=list(self._deletions),
+            bounds=self.bounds,
+        )
+
+    def reset(self) -> None:
+        """Forget the period (called after each adjustment barrier)."""
+        self._objects = []
+        self._insertions = []
+        self._deletions = []
+
+
 class Cluster:
     """A PS2Stream deployment over simulated processes."""
 
@@ -265,9 +327,13 @@ class Cluster:
         """
         self._h1_memo.clear()
         self._insertion_assignments.clear()
-        cache = getattr(self.routing_index, "route_cache", None)
-        if cache is not None:
-            cache.clear()
+        clear = getattr(self.routing_index, "clear_route_caches", None)
+        if clear is not None:
+            clear()
+        else:
+            cache = getattr(self.routing_index, "route_cache", None)
+            if cache is not None:
+                cache.clear()
 
     # ------------------------------------------------------------------
     # Tuple processing (per-tuple reference path)
@@ -320,8 +386,32 @@ class Cluster:
             self._traces.append(dispatcher.dispatcher_id, decision.cost, worker_costs)
         return handled
 
-    def run(self, tuples: Iterable[StreamTuple], *, trace: bool = True) -> RunReport:
-        """Process a tuple stream one tuple at a time (reference path)."""
+    def run(
+        self,
+        tuples: Iterable[StreamTuple],
+        *,
+        trace: bool = True,
+        adjust_every: int = 0,
+        local_adjuster=None,
+        global_adjuster=None,
+    ) -> RunReport:
+        """Process a tuple stream one tuple at a time (reference path).
+
+        With ``adjust_every > 0`` the stream runs through the closed-loop
+        driver: after every ``adjust_every`` tuples the attached adjusters
+        run one Section V round (see :meth:`run_adjustment`).  This is the
+        per-tuple reference the batched closed loop is equivalence-tested
+        against.
+        """
+        if adjust_every > 0:
+            return self._run_with_adjustment(
+                tuples,
+                batch_size=1,
+                trace=trace,
+                adjust_every=adjust_every,
+                local_adjuster=local_adjuster,
+                global_adjuster=global_adjuster,
+            )
         for item in tuples:
             self.process(item, trace=trace)
         return self.report()
@@ -335,18 +425,122 @@ class Cluster:
         *,
         batch_size: int = 256,
         trace: bool = True,
+        adjust_every: int = 0,
+        local_adjuster=None,
+        global_adjuster=None,
     ) -> RunReport:
         """Process a tuple stream in windows of ``batch_size`` tuples.
 
         Semantically equivalent to :meth:`run` (same throughput, loads,
         fanout and match counts); see the module docstring for what the
-        batched engine amortises.
+        batched engine amortises.  With ``adjust_every > 0`` the closed
+        loop runs Section V adjustment rounds at window barriers: windows
+        are clipped so none spans an adjustment point, hence the schedule
+        — and every simulated outcome — matches the per-tuple path with
+        the same ``adjust_every``.
         """
+        if adjust_every > 0:
+            return self._run_with_adjustment(
+                tuples,
+                batch_size=batch_size,
+                trace=trace,
+                adjust_every=adjust_every,
+                local_adjuster=local_adjuster,
+                global_adjuster=global_adjuster,
+            )
         if batch_size <= 1:
             return self.run(tuples, trace=trace)
         for window in iter_windows(tuples, batch_size):
             self.process_batch(window, trace=trace)
         return self.report()
+
+    # ------------------------------------------------------------------
+    # Closed-loop dynamic adjustment driver (Section V)
+    # ------------------------------------------------------------------
+    def _run_with_adjustment(
+        self,
+        tuples: Iterable[StreamTuple],
+        *,
+        batch_size: int,
+        trace: bool,
+        adjust_every: int,
+        local_adjuster,
+        global_adjuster,
+    ) -> RunReport:
+        """Replay the stream with adjustment rounds every ``adjust_every`` tuples.
+
+        Both execution paths share this driver: ``batch_size <= 1`` steps
+        tuple by tuple, larger sizes use :meth:`process_batch` with windows
+        clipped at the adjustment boundary, so an adjustment round always
+        sits on a window barrier and fires at the exact same stream
+        position under either engine.
+        """
+        if adjust_every <= 0:
+            raise ValueError("adjust_every must be positive")
+        collector = (
+            PeriodSampleCollector(self.bounds) if global_adjuster is not None else None
+        )
+        iterator = iter(tuples)
+        batched = batch_size > 1
+        since_adjustment = 0
+        while True:
+            if batched:
+                take = adjust_every - since_adjustment
+                window: Sequence[StreamTuple] = list(
+                    islice(iterator, take if take < batch_size else batch_size)
+                )
+                if not window:
+                    break
+                self.process_batch(window, trace=trace)
+            else:
+                item = next(iterator, None)
+                if item is None:
+                    break
+                self.process(item, trace=trace)
+                window = (item,)
+            if collector is not None:
+                collector.observe(window)
+            since_adjustment += len(window)
+            if since_adjustment >= adjust_every:
+                self.run_adjustment(
+                    local_adjuster=local_adjuster,
+                    global_adjuster=global_adjuster,
+                    sample=collector.sample() if collector is not None else None,
+                )
+                if collector is not None:
+                    collector.reset()
+                since_adjustment = 0
+        return self.report()
+
+    def run_adjustment(
+        self,
+        *,
+        local_adjuster=None,
+        global_adjuster=None,
+        sample: Optional[WorkloadSample] = None,
+        reset_loads: bool = True,
+    ) -> None:
+        """One Section V adjustment round at a window barrier.
+
+        Runs the local adjuster (``adjust(cluster)``) and/or the global
+        adjuster (``adjust(cluster, sample)`` — a pending repartition is
+        finalised, otherwise the period sample is checked), then starts a
+        new load-measurement period so the next round observes only
+        post-adjustment traffic.  The cache-invalidation contract is
+        enforced by the mutators themselves: every H1 mutation the
+        adjusters can perform (``migrate_cells``, ``migrate_keywords``,
+        ``replace_routing_index``, a Phase I split) flushes the routing
+        caches, so an untriggered round leaves the batched engine's memos
+        warm.  Run-level accounting (busy time, traces, match counts) is
+        *not* cleared — the RunReport of a closed-loop run covers the
+        whole stream; use :meth:`reset_period` for a full reset.
+        """
+        if local_adjuster is not None:
+            local_adjuster.adjust(self)
+        if global_adjuster is not None:
+            global_adjuster.adjust(self, sample)
+        if reset_loads:
+            self.reset_load_measurement()
 
     def process_batch(self, items: Sequence[StreamTuple], *, trace: bool = True) -> None:
         """Process one window of tuples through the batched engine.
@@ -991,58 +1185,108 @@ class Cluster:
     def worker_cell_stats(self, worker_id: int) -> List[CellStats]:
         return self.workers[worker_id].cell_stats()
 
+    def migration_seconds(self, bytes_moved: int, queries_shipped: int) -> float:
+        """Simulated wall-clock cost of one migration (Section V)."""
+        return (
+            self.config.migration_fixed_seconds
+            + bytes_moved / self.config.migration_bandwidth_bytes_per_sec
+            + queries_shipped
+            * self.config.cost_model.insert_handling
+            * self.config.cost_unit_seconds
+        )
+
+    def _record_migration(
+        self,
+        source_worker: int,
+        target_worker: int,
+        cells: Tuple[CellCoord, ...],
+        shipped: List[QueryAssignment],
+    ) -> MigrationRecord:
+        """Account one shipment of query assignments as a migration."""
+        moved = sum(1 for assignment in shipped if assignment.moved)
+        bytes_moved = sum(assignment.query.size_bytes() for assignment in shipped)
+        record = MigrationRecord(
+            source_worker=source_worker,
+            target_worker=target_worker,
+            cells=cells,
+            queries_moved=moved,
+            bytes_moved=bytes_moved,
+            seconds=self.migration_seconds(bytes_moved, len(shipped)),
+            queries_copied=len(shipped) - moved,
+        )
+        self.migrations.append(record)
+        return record
+
     def migrate_cells(
         self,
         source_worker: int,
         target_worker: int,
         cells: Sequence[CellCoord],
     ) -> MigrationRecord:
-        """Move the queries of ``cells`` from one worker to another.
+        """Move the query assignments of ``cells`` from one worker to another.
 
-        Queries registered only in the migrated cells are *moved* (removed
-        from the source); queries that also overlap cells staying on the
-        source are *copied* so matching correctness is preserved.  Both are
-        shipped over the network, so the Section V migration cost
-        (``bytes_moved``, ``seconds``) charges for moved and copied queries
-        alike, while the record distinguishes the two counts.  The
-        dispatcher routing index is updated to point the migrated cells at
-        the target worker.
+        For every live query registered in the migrated cells, exactly the
+        ``(cell, posting keyword)`` pairs it owns there are extracted from
+        the source and re-registered on the target — the same
+        posting-plan mechanism the dispatcher uses at insertion time, so
+        worker memory stays flat across adjustment rounds.  Queries whose
+        postings lived entirely in the migrated cells leave the source
+        (*moved*); queries that also overlap cells staying behind keep
+        their remaining pairs on the source (*copied*).  The dispatcher
+        routing index is updated to point the migrated cells at the target
+        worker, and the batched engine's routing caches are invalidated.
         """
         source = self.workers[source_worker]
         target = self.workers[target_worker]
         moving = set(cells)
-        unique: Dict[int, object] = {}
-        for cell in moving:
-            for query in source.index.queries_in_cell(cell):
-                unique[query.query_id] = query
-        removable: List[int] = []
-        for query_id in unique:
-            owned_cells = source.index.cells_of_query(query_id)
-            if owned_cells and owned_cells <= moving:
-                removable.append(query_id)
-        shipped = list(unique.values())
-        source.index.remove_queries(removable)
-        target.install_queries(shipped)  # type: ignore[arg-type]
-        for cell in moving:
-            self.routing_index.migrate_cell(cell, source_worker, target_worker)
+        # Only live queries ship: drop lazily deleted postings from the
+        # handed-over cells first (targeted, not a full compact).
+        source.index.purge_cells(moving)
+        shipped = source.extract_cells(moving)
+        target.install_queries(shipped)
+        migrate_bulk = getattr(self.routing_index, "migrate_cells", None)
+        if migrate_bulk is not None:
+            migrate_bulk(moving, source_worker, target_worker)
+        else:
+            for cell in moving:
+                self.routing_index.migrate_cell(cell, source_worker, target_worker)
         self.invalidate_routing_caches()
-        bytes_moved = sum(query.size_bytes() for query in shipped)  # type: ignore[attr-defined]
-        seconds = (
-            self.config.migration_fixed_seconds
-            + bytes_moved / self.config.migration_bandwidth_bytes_per_sec
-            + len(shipped) * self.config.cost_model.insert_handling * self.config.cost_unit_seconds
+        return self._record_migration(
+            source_worker, target_worker, tuple(moving), shipped
         )
-        record = MigrationRecord(
-            source_worker=source_worker,
-            target_worker=target_worker,
-            cells=tuple(moving),
-            queries_moved=len(removable),
-            bytes_moved=bytes_moved,
-            seconds=seconds,
-            queries_copied=len(shipped) - len(removable),
-        )
-        self.migrations.append(record)
-        return record
+
+    def migrate_keywords(
+        self,
+        source_worker: int,
+        target_worker: int,
+        cell: CellCoord,
+        keywords: Iterable[str],
+    ) -> Optional[MigrationRecord]:
+        """Ship one cell's postings for ``keywords`` to the target worker.
+
+        The worker-side half of a Phase I text split
+        (:meth:`GridTIndex.split_cell_by_text` is the routing half, applied
+        by the caller): every live query posted in ``cell`` under one of
+        the reassigned keywords hands exactly those ``(cell, keyword)``
+        pairs to the target.  Returns the migration record, or ``None``
+        when no posting matched (the split moved no resident queries).
+        """
+        source = self.workers[source_worker]
+        target = self.workers[target_worker]
+        wanted = set(keywords)
+        source.index.purge_cells((cell,))
+        shipped: List[QueryAssignment] = []
+        for query, pairs in source.index.extract_cell_assignments((cell,)):
+            moving_pairs = [pair for pair in pairs if pair[1] in wanted]
+            if not moving_pairs:
+                continue
+            removed = source.index.remove_pairs(query.query_id, moving_pairs)
+            shipped.append(QueryAssignment(query, tuple(moving_pairs), removed))
+        self.invalidate_routing_caches()
+        if not shipped:
+            return None
+        target.install_queries(shipped)
+        return self._record_migration(source_worker, target_worker, (cell,), shipped)
 
     def replace_routing_index(self, routing_index: GridTIndex) -> None:
         """Swap in a new routing structure (global load adjustment)."""
@@ -1051,6 +1295,19 @@ class Cluster:
             dispatcher.routing_index = routing_index
         self.invalidate_routing_caches()
         self._cells_aligned = self._compute_cells_aligned()
+
+    def reset_load_measurement(self) -> None:
+        """Start a new Section V measurement period, keeping run totals.
+
+        Resets exactly what the adjusters observe — the Definition-1
+        worker load counters and the Definition-3 per-cell object counts —
+        while busy time, traces, match counts and merger state keep
+        accumulating, so a closed-loop run's report still covers the whole
+        stream.
+        """
+        for worker in self.workers.values():
+            worker.counters.reset()
+            worker.index.reset_object_counts()
 
     def reset_period(self) -> None:
         """Start a new measurement period on every process."""

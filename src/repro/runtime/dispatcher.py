@@ -89,10 +89,16 @@ class DispatcherNode:
     def _route_insertion(self, insertion: QueryInsertion) -> RoutingDecision:
         query = insertion.query
         index = self.routing_index
-        assignments_fn = getattr(index, "posting_assignments", None)
+        # ``insertion_assignments`` is the insertion-placement surface; the
+        # DualRoutingIndex used during a global adjustment implements it by
+        # delegating to the new strategy, so workers receive per-worker
+        # (cell, keyword) plans — never full posting footprints — even
+        # while the old strategy drains.
+        assignments_fn = getattr(index, "insertion_assignments", None)
         if assignments_fn is None:
-            # Routing structures without the detailed surface (e.g. the
-            # DualRoutingIndex used during a global adjustment) fall back to
+            assignments_fn = getattr(index, "posting_assignments", None)
+        if assignments_fn is None:
+            # Routing structures without the detailed surface fall back to
             # plain routing; workers then register the full posting plan.
             workers = index.route_insertion(query)
             cells = len(index.grid.cells_overlapping(query.region))

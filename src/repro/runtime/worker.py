@@ -9,7 +9,7 @@ cluster simulator can derive saturation throughput and latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.costmodel import CostModel, WorkerLoadCounters
 from ..core.geometry import Rect
@@ -18,7 +18,25 @@ from ..core.text import TermStatistics
 from ..indexes.gi2 import CellStats, GI2Index
 from ..indexes.grid import CellCoord
 
-__all__ = ["WorkerNode"]
+__all__ = ["QueryAssignment", "WorkerNode"]
+
+
+@dataclass(frozen=True)
+class QueryAssignment:
+    """One migrated query plus the ``(cell, posting keyword)`` pairs shipped.
+
+    The unit of the Section V migration protocol: the source worker hands
+    over exactly the posting pairs that move (the pairs the routing index
+    will point at the target after the adjustment), never the query's full
+    footprint.  ``moved`` records whether the query left the source
+    entirely (its last postings were in the shipped pairs) or a remainder
+    stayed behind — the moved/copied distinction of
+    :class:`~repro.runtime.cluster.MigrationRecord`.
+    """
+
+    query: STSQuery
+    pairs: Tuple[Tuple[CellCoord, str], ...]
+    moved: bool = True
 
 
 class WorkerNode:
@@ -182,23 +200,35 @@ class WorkerNode:
         """Per-cell loads and sizes (Definition 3), for the load adjusters."""
         return self.index.cell_stats()
 
-    def extract_cells(self, cells: Iterable[CellCoord]) -> List[STSQuery]:
-        """Remove and return the live queries registered in ``cells``.
+    def extract_cells(self, cells: Iterable[CellCoord]) -> List[QueryAssignment]:
+        """Remove and return the per-query assignments registered in ``cells``.
 
-        The migration machinery ships the returned queries to the target
-        worker, which re-registers them via :meth:`install_queries`.
+        Each returned :class:`QueryAssignment` carries a live query plus
+        exactly the ``(cell, posting keyword)`` pairs it owned in the
+        handed-over cells; those pairs are dropped from this worker (a
+        query also posted in cells that stay keeps its remaining pairs
+        here).  The migration machinery ships the assignments to the
+        target worker, which re-registers them via
+        :meth:`install_queries`.
         """
-        query_ids: Set[int] = set()
-        for cell in cells:
-            for query in self.index.queries_in_cell(cell):
-                query_ids.add(query.query_id)
-        return self.index.remove_queries(query_ids)
+        assignments: List[QueryAssignment] = []
+        for query, pairs in self.index.extract_cell_assignments(cells):
+            removed = self.index.remove_pairs(query.query_id, pairs)
+            assignments.append(QueryAssignment(query, tuple(pairs), removed))
+        return assignments
 
-    def install_queries(self, queries: Iterable[STSQuery]) -> int:
-        """Register migrated queries; returns how many were installed."""
+    def install_queries(self, assignments: Iterable[QueryAssignment]) -> int:
+        """Register migrated queries under exactly their shipped pairs.
+
+        Returns how many queries were installed.  A query this worker
+        already holds (replicated across cells) gains the shipped pairs on
+        top of its existing registration instead of being re-registered
+        with its full posting footprint — the Figure 10 memory shape
+        survives any number of adjustment rounds.
+        """
         installed = 0
-        for query in queries:
-            self.index.insert(query)
+        for assignment in assignments:
+            self.index.add_pairs(assignment.query, assignment.pairs)
             installed += 1
         return installed
 

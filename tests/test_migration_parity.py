@@ -1,0 +1,349 @@
+"""Migration-parity regression tests (assignment-aware adjustment).
+
+Every migration path — cell migration, Phase I text splits, global
+finalisation — must re-register queries under exactly the ``(cell,
+posting keyword)`` pairs shipped to the target, the same posting-plan
+mechanism the dispatcher uses at insertion time.  These tests pin down
+
+* memory parity: a worker's GI2 footprint for a query is identical
+  whether the query arrived by dispatch or by migration;
+* posting parity: after any adjustment round, no worker's GI2 posting
+  entries exceed the ``(cell, posting keyword)`` pairs the routing index
+  currently assigns to it;
+* closed-loop equivalence: ``run_batched`` with ``adjust_every`` produces
+  the same simulated results as the per-tuple ``run`` under the same
+  adjustment schedule.
+"""
+
+import pytest
+
+from repro.adjustment import GlobalAdjuster, GreedySelector, LocalLoadAdjuster
+from repro.core import (
+    Point,
+    QueryInsertion,
+    Rect,
+    SpatioTextualObject,
+    STSQuery,
+    StreamTuple,
+    TermStatistics,
+    TupleKind,
+)
+from repro.partitioning import (
+    HybridPartitioner,
+    MetricTextPartitioner,
+    PartitionPlan,
+    PartitionUnit,
+)
+from repro.runtime import Cluster, ClusterConfig, QueryAssignment, WorkerNode
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def expected_assignments(cluster):
+    """Per-(worker, query) posting pairs implied by the current routing index."""
+    routing = cluster.routing_index
+    queries = {}
+    for worker in cluster.workers.values():
+        for query in worker.index.queries():
+            queries[query.query_id] = query
+    expected = {}
+    for query in queries.values():
+        triples, _ = routing.posting_assignments(query)
+        for coord, key, worker_id in triples:
+            expected.setdefault((worker_id, query.query_id), set()).add((coord, key))
+    return expected
+
+
+def posting_parity_violations(cluster):
+    """(worker, query, extra pairs) registrations the routing index does not assign."""
+    expected = expected_assignments(cluster)
+    violations = []
+    for worker in cluster.workers.values():
+        for query in worker.index.queries():
+            actual = set(worker.index.posting_pairs_of_query(query.query_id))
+            allowed = expected.get((worker.worker_id, query.query_id), set())
+            extra = actual - allowed
+            if extra:
+                violations.append((worker.worker_id, query.query_id, sorted(extra)))
+    return violations
+
+
+def build_imbalanced_cluster(stream, num_workers=4):
+    sample = stream.partitioning_sample(600)
+    plan = MetricTextPartitioner().partition(sample, num_workers)
+    cluster = Cluster(plan, ClusterConfig(num_dispatchers=2, num_workers=num_workers))
+    cluster.run(stream.tuples(800))
+    return cluster
+
+
+def total_postings(cluster):
+    """Cluster-wide live postings (compacted, so lazy deletions don't skew)."""
+    for worker in cluster.workers.values():
+        worker.index.compact()
+    return sum(worker.index.posting_count for worker in cluster.workers.values())
+
+
+class TestDispatchVsMigrationMemory:
+    """A query's worker-side footprint is the same however it arrived."""
+
+    def _queries(self):
+        return [
+            STSQuery.create("kobe AND music", Rect(5, 5, 30, 20)),
+            STSQuery.create("jazz OR concert", Rect(10, 0, 60, 40)),
+            STSQuery.create("city", Rect(0, 0, 12, 12)),
+        ]
+
+    def test_install_matches_dispatch_footprint(self):
+        dispatched = WorkerNode(0, BOUNDS, granularity=16)
+        migrated = WorkerNode(1, BOUNDS, granularity=16)
+        queries = self._queries()
+        for query in queries:
+            dispatched.handle_insertion(QueryInsertion(query))
+            pairs = tuple(dispatched.index.posting_pairs_of_query(query.query_id))
+            migrated.install_queries([QueryAssignment(query, pairs, True)])
+        assert migrated.memory_bytes() == dispatched.memory_bytes()
+        assert migrated.index.posting_count == dispatched.index.posting_count
+
+    def test_extract_then_install_roundtrip_preserves_memory(self):
+        reference = WorkerNode(0, BOUNDS, granularity=16)
+        roundtrip = WorkerNode(1, BOUNDS, granularity=16)
+        target = WorkerNode(2, BOUNDS, granularity=16)
+        queries = self._queries()
+        for query in queries:
+            reference.handle_insertion(QueryInsertion(query))
+            roundtrip.handle_insertion(QueryInsertion(query))
+        cells = set()
+        for query in queries:
+            cells |= roundtrip.index.cells_of_query(query.query_id)
+        shipped = roundtrip.extract_cells(cells)
+        target.install_queries(shipped)
+        assert roundtrip.index.posting_count == 0
+        assert target.memory_bytes() == reference.memory_bytes()
+        assert target.index.posting_count == reference.index.posting_count
+
+
+class TestAdjustmentPostingParity:
+    def test_cell_migration_stays_within_assignment(self, small_stream):
+        cluster = build_imbalanced_cluster(small_stream)
+        before = total_postings(cluster)
+        loads = cluster.worker_load_report()
+        source = loads.most_loaded()
+        target = loads.least_loaded()
+        cells = [stat.cell for stat in cluster.worker_cell_stats(source)[:5]]
+        record = cluster.migrate_cells(source, target, cells)
+        assert record.queries_shipped > 0
+        # Pairs are conserved 1:1 — migration never inflates posting lists.
+        assert total_postings(cluster) == before
+        assert posting_parity_violations(cluster) == []
+
+    def test_phase1_split_stays_within_assignment(self, small_stream):
+        cluster = build_imbalanced_cluster(small_stream)
+        adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.2, hot_cells=8)
+        before = total_postings(cluster)
+        report = adjuster.adjust(cluster)
+        assert report.triggered
+        assert total_postings(cluster) == before
+        assert posting_parity_violations(cluster) == []
+
+    def _hot_cell_cluster(self):
+        """Two workers; everything lands in one space-partitioned hot cell."""
+        stats = TermStatistics()
+        keywords = ["kobe", "music", "jazz", "rock", "city", "photo"]
+        for keyword in keywords:
+            stats.add_document([keyword])
+        plan = PartitionPlan(
+            units=[
+                PartitionUnit(region=Rect(0, 0, 90, 100), terms=None, worker_id=0),
+                PartitionUnit(region=Rect(90, 0, 100, 100), terms=None, worker_id=1),
+            ],
+            num_workers=2,
+            bounds=BOUNDS,
+            statistics=stats,
+            object_filtering=True,
+        )
+        cluster = Cluster(plan, ClusterConfig(num_dispatchers=1, num_workers=2))
+        tuples = [
+            StreamTuple.insert(STSQuery.create(keyword, Rect(1, 1, 2, 2)))
+            for keyword in keywords
+        ]
+        tuples += [
+            StreamTuple.object(
+                SpatioTextualObject.create(keywords[index % len(keywords)], Point(1.5, 1.5))
+            )
+            for index in range(30)
+        ]
+        cluster.run(tuples)
+        return cluster
+
+    def test_phase1_traffic_is_accounted(self):
+        """Regression: Phase I shipments count toward the migration cost."""
+        cluster = self._hot_cell_cluster()
+        adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.1)
+        report = adjuster.adjust(cluster)
+        assert report.triggered
+        assert report.phase1_splits >= 1
+        phase1_records = report.records[: report.phase1_splits]
+        shipped = sum(record.queries_shipped for record in phase1_records)
+        assert shipped > 0
+        assert report.queries_moved >= shipped
+        assert report.bytes_moved >= sum(r.bytes_moved for r in phase1_records) > 0
+        assert report.migration_seconds >= sum(r.seconds for r in phase1_records) > 0
+        assert posting_parity_violations(cluster) == []
+
+    def test_global_finalize_stays_within_assignment(self, q3_stream):
+        sample = q3_stream.partitioning_sample(600)
+        poor_plan = MetricTextPartitioner().partition(sample, 4)
+        cluster = Cluster(poor_plan, ClusterConfig(num_dispatchers=2, num_workers=4))
+        cluster.run(q3_stream.tuples(300))
+        adjuster = GlobalAdjuster(HybridPartitioner(), improvement_threshold=0.0)
+        check = adjuster.check(cluster, sample)
+        if not check.repartitioned:
+            pytest.skip("repartitioning not deemed beneficial on this sample")
+        cluster.run(q3_stream.tuples(200))
+        final = adjuster.finalize(cluster)
+        assert final.finalized
+        assert posting_parity_violations(cluster) == []
+
+
+class TestClosedLoopEquivalence:
+    def _build_pair(self, stream, num_objects=900, num_workers=4):
+        sample = stream.partitioning_sample(600)
+        plan = MetricTextPartitioner().partition(sample, num_workers)
+        config = ClusterConfig(num_dispatchers=2, num_workers=num_workers)
+        tuples = list(stream.tuples(num_objects))
+        return Cluster(plan, config), Cluster(plan, config), tuples
+
+    def _assert_reports_equal(self, reference, batched):
+        for field in (
+            "tuples_processed",
+            "objects_processed",
+            "insertions_processed",
+            "deletions_processed",
+            "matches_produced",
+            "matches_delivered",
+            "object_fanout",
+            "query_fanout",
+        ):
+            assert getattr(reference, field) == getattr(batched, field), field
+        assert batched.throughput == pytest.approx(reference.throughput, rel=1e-9)
+        assert batched.worker_memory == reference.worker_memory
+        assert batched.dispatcher_memory == reference.dispatcher_memory
+        for worker, load in reference.worker_loads.items():
+            assert batched.worker_loads[worker] == pytest.approx(load, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("batch_size", [64, 256])
+    def test_batched_closed_loop_matches_per_tuple(self, small_stream, batch_size):
+        reference, batched, tuples = self._build_pair(small_stream)
+        ref_adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.2)
+        bat_adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.2)
+        ref_report = reference.run(tuples, adjust_every=250, local_adjuster=ref_adjuster)
+        bat_report = batched.run_batched(
+            tuples, batch_size=batch_size, adjust_every=250, local_adjuster=bat_adjuster
+        )
+        # The adjustment schedule fired identically...
+        assert len(ref_adjuster.history) == len(bat_adjuster.history)
+        assert [r.triggered for r in ref_adjuster.history] == [
+            r.triggered for r in bat_adjuster.history
+        ]
+        assert any(r.triggered for r in ref_adjuster.history), "schedule must trigger"
+        assert len(reference.migrations) == len(batched.migrations)
+        for ref_record, bat_record in zip(reference.migrations, batched.migrations):
+            assert set(ref_record.cells) == set(bat_record.cells)
+            assert ref_record.queries_moved == bat_record.queries_moved
+            assert ref_record.queries_copied == bat_record.queries_copied
+            assert ref_record.bytes_moved == bat_record.bytes_moved
+        # ...and every simulated outcome matches.
+        self._assert_reports_equal(ref_report, bat_report)
+        assert posting_parity_violations(batched) == []
+
+    def test_closed_loop_states_converge(self, small_stream):
+        """After a closed-loop run both engines keep producing equal results."""
+        reference, batched, tuples = self._build_pair(small_stream, num_objects=700)
+        reference.run(
+            tuples, adjust_every=200,
+            local_adjuster=LocalLoadAdjuster(GreedySelector(), sigma=1.2),
+        )
+        batched.run_batched(
+            tuples, batch_size=128, adjust_every=200,
+            local_adjuster=LocalLoadAdjuster(GreedySelector(), sigma=1.2),
+        )
+        more = list(small_stream.tuples(300))
+        ref_before = sum(m.delivered for m in reference.mergers)
+        bat_before = sum(m.delivered for m in batched.mergers)
+        reference.run(more)
+        batched.run_batched(more, batch_size=128)
+        ref_delta = sum(m.delivered for m in reference.mergers) - ref_before
+        bat_delta = sum(m.delivered for m in batched.mergers) - bat_before
+        assert ref_delta == bat_delta
+
+    def test_closed_loop_report_covers_whole_stream(self, small_stream):
+        """Regression: barrier resets must not truncate the run report."""
+        plain, adjusted, tuples = self._build_pair(small_stream, num_objects=700)
+        plain_report = plain.run(tuples)
+        adjusted_report = adjusted.run(
+            tuples, adjust_every=200,
+            local_adjuster=LocalLoadAdjuster(GreedySelector(), sigma=1.2),
+        )
+        assert adjusted_report.tuples_processed == plain_report.tuples_processed
+        assert adjusted_report.objects_processed == plain_report.objects_processed
+        # Migrations preserve matching, so the whole-stream delivery count
+        # must equal the unadjusted run's.
+        assert adjusted_report.matches_delivered == plain_report.matches_delivered
+        assert adjusted_report.throughput > 0
+
+    def test_global_finalize_on_unaligned_grids_preserves_matching(self, q3_stream):
+        """Regression: finalize must not install routing-grid pairs into a
+        differently-grained worker GI2 index."""
+        sample = q3_stream.partitioning_sample(600)
+        poor_plan = MetricTextPartitioner().partition(sample, 4)
+        cluster = Cluster(
+            poor_plan,
+            ClusterConfig(
+                num_dispatchers=2, num_workers=4,
+                gi2_granularity=32, gridt_granularity=64,
+            ),
+        )
+        cluster.run(q3_stream.tuples(300))
+        adjuster = GlobalAdjuster(HybridPartitioner(), improvement_threshold=0.0)
+        check = adjuster.check(cluster, sample)
+        if not check.repartitioned:
+            pytest.skip("repartitioning not deemed beneficial on this sample")
+        cluster.run(q3_stream.tuples(200))
+        final = adjuster.finalize(cluster)
+        assert final.finalized
+        # Brute-force ground truth over a post-finalize continuation.
+        live = {
+            query.query_id: query
+            for worker in cluster.workers.values()
+            for query in worker.index.queries()
+        }
+        tuples = list(q3_stream.tuples(200))
+        expected = 0
+        for item in tuples:
+            if item.kind is TupleKind.INSERT:
+                live[item.payload.query_id] = item.payload.query
+            elif item.kind is TupleKind.DELETE:
+                live.pop(item.payload.query_id, None)
+            else:
+                expected += sum(1 for q in live.values() if q.matches(item.payload))
+        before = sum(m.delivered for m in cluster.mergers)
+        cluster.run(tuples)
+        after = sum(m.delivered for m in cluster.mergers)
+        assert after - before == expected
+
+    def test_closed_loop_with_global_adjuster_runs(self, q3_stream):
+        """The global adjuster participates in the closed loop end to end."""
+        sample = q3_stream.partitioning_sample(600)
+        plan = MetricTextPartitioner().partition(sample, 4)
+        cluster = Cluster(plan, ClusterConfig(num_dispatchers=2, num_workers=4))
+        adjuster = GlobalAdjuster(HybridPartitioner(), improvement_threshold=0.0)
+        cluster.run_batched(
+            q3_stream.tuples(900), batch_size=128,
+            adjust_every=300, global_adjuster=adjuster,
+        )
+        assert adjuster.history, "the closed loop must drive the global adjuster"
+        finalized = [r for r in adjuster.history if r.finalized]
+        if finalized:
+            # Once finalised, routing is single-strategy and parity holds.
+            assert posting_parity_violations(cluster) == []
+        assert adjuster.pending_plan is None or finalized == []

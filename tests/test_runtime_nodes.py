@@ -67,12 +67,33 @@ class TestWorkerNode:
         query = STSQuery.create("kobe", Rect(0, 0, 5, 5))
         worker.handle_insertion(QueryInsertion(query))
         cells = worker.index.cells_of_query(query.query_id)
+        pairs_before = sorted(worker.index.posting_pairs_of_query(query.query_id))
         moved = worker.extract_cells(cells)
-        assert moved == [query]
+        assert [assignment.query for assignment in moved] == [query]
+        assert all(assignment.moved for assignment in moved)
+        assert sorted(moved[0].pairs) == pairs_before
         assert worker.query_count == 0
         other = WorkerNode(1, BOUNDS, granularity=16)
         assert other.install_queries(moved) == 1
+        assert sorted(other.index.posting_pairs_of_query(query.query_id)) == pairs_before
         assert other.handle_object(SpatioTextualObject.create("kobe", Point(1, 1)))
+
+    def test_partial_extract_keeps_remainder(self, worker):
+        """A query spanning kept and migrated cells ships only the migrated pairs."""
+        query = STSQuery.create("kobe", Rect(0, 0, 40, 5))
+        worker.handle_insertion(QueryInsertion(query))
+        cells = sorted(worker.index.cells_of_query(query.query_id))
+        assert len(cells) > 1
+        migrated = cells[: len(cells) // 2]
+        moved = worker.extract_cells(migrated)
+        assert len(moved) == 1
+        assignment = moved[0]
+        assert not assignment.moved
+        assert {coord for coord, _ in assignment.pairs} == set(migrated)
+        # The source keeps exactly the pairs of the cells that stayed.
+        remaining = worker.index.posting_pairs_of_query(query.query_id)
+        assert {coord for coord, _ in remaining} == set(cells) - set(migrated)
+        assert worker.query_count == 1
 
     def test_memory_reflects_queries(self, worker):
         empty = worker.memory_bytes()
