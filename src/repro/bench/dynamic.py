@@ -129,6 +129,7 @@ def _build_imbalanced_cluster(
     batch_size: int = 0,
     adjust_every: int = 0,
     local_adjuster=None,
+    backend: str = "inprocess",
 ) -> Tuple[Cluster, WorkloadStream]:
     """A deployment with a genuinely overloaded worker.
 
@@ -152,15 +153,21 @@ def _build_imbalanced_cluster(
         num_workers=num_workers,
         migration_bandwidth_bytes_per_sec=5_000.0,
         migration_fixed_seconds=0.15,
+        backend=backend,
     )
     cluster = Cluster(plan, config)
-    _run_stream(
-        cluster,
-        stream.tuples(num_objects),
-        batch_size,
-        adjust_every=adjust_every,
-        local_adjuster=local_adjuster,
-    )
+    try:
+        _run_stream(
+            cluster,
+            stream.tuples(num_objects),
+            batch_size,
+            adjust_every=adjust_every,
+            local_adjuster=local_adjuster,
+        )
+    except BaseException:
+        # A failed warm-up must not leak multiprocess worker processes.
+        cluster.close()
+        raise
     return cluster, stream
 
 
@@ -205,6 +212,7 @@ def run_migration_experiment(
     seed: int = 3,
     batch_size: int = 0,
     adjust_every: int = 0,
+    backend: str = "inprocess",
 ) -> MigrationExperimentResult:
     """Trigger a local adjustment with ``selector_name`` and measure it.
 
@@ -223,20 +231,27 @@ def run_migration_experiment(
             batch_size=batch_size,
             adjust_every=adjust_every,
             local_adjuster=adjuster,
+            backend=backend,
         )
-        report = _merge_adjustment_reports(adjuster.history)
     else:
         cluster, stream = _build_imbalanced_cluster(
-            mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size
+            mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size,
+            backend=backend,
         )
-        report = adjuster.adjust(cluster)
-    affected = tuple(
-        worker for worker in (report.source_worker, report.target_worker) if worker is not None
-    )
-    buckets, throughput = _buckets_during_migration(
-        cluster, stream, affected, report.migration_seconds, post_objects, seed,
-        batch_size=batch_size,
-    )
+    with cluster:
+        if adjust_every > 0:
+            report = _merge_adjustment_reports(adjuster.history)
+        else:
+            report = adjuster.adjust(cluster)
+        affected = tuple(
+            worker
+            for worker in (report.source_worker, report.target_worker)
+            if worker is not None
+        )
+        buckets, throughput = _buckets_during_migration(
+            cluster, stream, affected, report.migration_seconds, post_objects, seed,
+            batch_size=batch_size,
+        )
     return MigrationExperimentResult(
         selector=selector_name,
         mu=mu,
@@ -276,6 +291,7 @@ def run_drift_experiment(
     seed: int = 5,
     batch_size: int = 0,
     adjust_every: int = 0,
+    backend: str = "inprocess",
 ) -> DriftExperimentResult:
     """Replay a drifting Q3 workload with or without dynamic adjustment.
 
@@ -295,38 +311,38 @@ def run_drift_experiment(
     )
     sample = stream.partitioning_sample(max(1500, mu))
     plan = HybridPartitioner().partition(sample, num_workers)
-    cluster = Cluster(plan, ClusterConfig(num_workers=num_workers))
-    _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
+    with Cluster(plan, ClusterConfig(num_workers=num_workers, backend=backend)) as cluster:
+        _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
 
-    adjuster = LocalLoadAdjuster(selector_by_name("GR", seed=seed), sigma=sigma)
-    triggered = 0
-    migrated = 0
-    cost_mb = 0.0
-    drift_rng = random.Random(seed + 9)
-    for _ in range(drift_phases):
-        style_map.flip(flip_fraction, drift_rng)
-        if adjust and adjust_every > 0:
-            seen = len(adjuster.history)
-            _run_stream(
-                cluster,
-                stream.tuples(objects_per_phase),
-                batch_size,
-                adjust_every=adjust_every,
-                local_adjuster=adjuster,
-            )
-            new_reports = adjuster.history[seen:]
-        else:
-            _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
-            new_reports = [adjuster.adjust(cluster)] if adjust else []
-        for report in new_reports:
-            if report.triggered:
-                triggered += 1
-                migrated += report.queries_moved
-                cost_mb += report.migration_cost_mb
+        adjuster = LocalLoadAdjuster(selector_by_name("GR", seed=seed), sigma=sigma)
+        triggered = 0
+        migrated = 0
+        cost_mb = 0.0
+        drift_rng = random.Random(seed + 9)
+        for _ in range(drift_phases):
+            style_map.flip(flip_fraction, drift_rng)
+            if adjust and adjust_every > 0:
+                seen = len(adjuster.history)
+                _run_stream(
+                    cluster,
+                    stream.tuples(objects_per_phase),
+                    batch_size,
+                    adjust_every=adjust_every,
+                    local_adjuster=adjuster,
+                )
+                new_reports = adjuster.history[seen:]
+            else:
+                _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
+                new_reports = [adjuster.adjust(cluster)] if adjust else []
+            for report in new_reports:
+                if report.triggered:
+                    triggered += 1
+                    migrated += report.queries_moved
+                    cost_mb += report.migration_cost_mb
 
-    # Final measurement period: throughput after all drift has happened.
-    cluster.reset_period()
-    final = _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
+        # Final measurement period: throughput after all drift has happened.
+        cluster.reset_period()
+        final = _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
     return DriftExperimentResult(
         adjusted=adjust,
         throughput=final.throughput,

@@ -105,6 +105,9 @@ class ExperimentConfig:
     adjust_every: int = 0
     #: Which adjusters the closed loop drives: "local", "global" or "both".
     adjuster: str = "local"
+    #: Worker transport backend: "inprocess" (reference) or "multiprocess"
+    #: (one OS process per worker; real multi-core matching).
+    backend: str = "inprocess"
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -134,6 +137,7 @@ class ExperimentConfig:
             config.batch_size,
             config.adjust_every,
             config.adjuster,
+            config.backend,
             partitioner_name,
         )
 
@@ -153,6 +157,10 @@ class ExperimentResult:
     def report_at(self, input_rate: Optional[float]) -> RunReport:
         """Recompute the report at a specific input rate (shared latency axis)."""
         return self.cluster.report(input_rate=input_rate)
+
+    def close(self) -> None:
+        """Release the cluster's worker backend (multiprocess workers)."""
+        self.cluster.close()
 
 
 def make_stream(config: ExperimentConfig) -> WorkloadStream:
@@ -181,6 +189,7 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
         gi2_granularity=scaled.granularity,
         gridt_granularity=scaled.granularity,
         latency_load_fraction=scaled.latency_load_fraction,
+        backend=scaled.backend,
     )
     cluster = Cluster(plan, cluster_config)
 
@@ -194,21 +203,27 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
             global_adjuster = GlobalAdjuster(HybridPartitioner())
 
     started = time.perf_counter()
-    if scaled.batch_size > 1:
-        report = cluster.run_batched(
-            stream.tuples(scaled.num_objects),
-            batch_size=scaled.batch_size,
-            adjust_every=scaled.adjust_every,
-            local_adjuster=local_adjuster,
-            global_adjuster=global_adjuster,
-        )
-    else:
-        report = cluster.run(
-            stream.tuples(scaled.num_objects),
-            adjust_every=scaled.adjust_every,
-            local_adjuster=local_adjuster,
-            global_adjuster=global_adjuster,
-        )
+    try:
+        if scaled.batch_size > 1:
+            report = cluster.run_batched(
+                stream.tuples(scaled.num_objects),
+                batch_size=scaled.batch_size,
+                adjust_every=scaled.adjust_every,
+                local_adjuster=local_adjuster,
+                global_adjuster=global_adjuster,
+            )
+        else:
+            report = cluster.run(
+                stream.tuples(scaled.num_objects),
+                adjust_every=scaled.adjust_every,
+                local_adjuster=local_adjuster,
+                global_adjuster=global_adjuster,
+            )
+    except BaseException:
+        # A failed replay must not leak multiprocess worker processes;
+        # on success the caller owns the cluster (ExperimentResult.close).
+        cluster.close()
+        raise
     run_seconds = time.perf_counter() - started
 
     return ExperimentResult(

@@ -59,16 +59,28 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=1, help="workload seed (default: 1)")
         sub.add_argument(
             "--batch-size", type=int, default=0,
-            help="execution window of the batched engine; 0 = per-tuple "
-                 "reference path (default: 0)")
+            help="tuples per execution window of the batched engine (docs/"
+                 "ARCHITECTURE.md, 'Batched engine'); 0 replays the stream "
+                 "tuple by tuple on the reference path (default: 0)")
         sub.add_argument(
             "--adjust-every", type=int, default=0,
             help="tuples between closed-loop dynamic-adjustment rounds "
-                 "(Section V); 0 disables adjustment (default: 0)")
+                 "(paper Section V); every K tuples the attached adjusters "
+                 "run one round at a window barrier; 0 disables adjustment "
+                 "(default: 0)")
         sub.add_argument(
             "--adjuster", choices=["local", "global", "both"], default="local",
-            help="which adjusters the closed loop drives when --adjust-every "
-                 "is set (default: local)")
+            help="adjusters driven by the closed loop when --adjust-every is "
+                 "set: 'local' = Section V-A cell migration, 'global' = "
+                 "Section V-B repartitioning, 'both' = local then global "
+                 "(default: local)")
+        sub.add_argument(
+            "--backend", choices=["inprocess", "multiprocess"],
+            default="inprocess",
+            help="worker transport backend: 'inprocess' hosts every worker "
+                 "in this interpreter (reference), 'multiprocess' runs each "
+                 "of the --workers as its own OS process for real multi-core "
+                 "matching (default: inprocess)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -93,12 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
                                help="number of workers (default: 8)")
     adjust_parser.add_argument(
         "--batch-size", type=int, default=0,
-        help="execution window of the batched engine; 0 = per-tuple "
-             "reference path (default: 0)")
+        help="tuples per execution window of the batched engine; 0 = "
+             "per-tuple reference path (default: 0)")
     adjust_parser.add_argument(
         "--adjust-every", type=int, default=0,
         help="run the adjustment closed-loop every this many tuples during "
              "the replay instead of once afterwards (default: 0)")
+    adjust_parser.add_argument(
+        "--backend", choices=["inprocess", "multiprocess"], default="inprocess",
+        help="worker transport backend (see 'run --help'; default: inprocess)")
     return parser
 
 
@@ -115,12 +130,14 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         batch_size=args.batch_size,
         adjust_every=args.adjust_every,
         adjuster=args.adjuster,
+        backend=args.backend,
     )
 
 
 def _command_run(args: argparse.Namespace, out) -> int:
     config = _experiment_config(args)
     result = run_experiment(args.partitioner, config)
+    result.close()
     report = result.report
     text_units = sum(1 for unit in result.plan.units if unit.terms is not None)
     rows = [
@@ -149,6 +166,7 @@ def _command_compare(args: argparse.Namespace, out) -> int:
     rows = []
     for name in args.partitioners:
         result = run_experiment(name, config)
+        result.close()
         report = result.report
         rows.append(
             {
@@ -173,6 +191,7 @@ def _command_adjust(args: argparse.Namespace, out) -> int:
     result = run_migration_experiment(
         args.selector, args.mu, num_objects=args.objects, num_workers=args.workers,
         batch_size=args.batch_size, adjust_every=args.adjust_every,
+        backend=args.backend,
     )
     buckets = result.latency_buckets
     rows = [

@@ -1,29 +1,49 @@
-"""The simulated PS2Stream cluster runtime.
+"""The simulated PS2Stream cluster runtime (paper Section III-B).
 
 Substitute for the paper's Storm-on-EC2 deployment: dispatchers route the
 tuple stream through the gridt index, workers match objects against their
 GI2 indexes, mergers deduplicate results, and the cost model converts the
-executed work into throughput, latency and memory reports.
+executed work into throughput, latency and memory reports.  The
+dispatcher→worker→merger communication is an explicit typed-message
+transport (:mod:`repro.runtime.transport`) with two backends: the
+in-process reference and a multiprocess backend that hosts each worker in
+its own OS process (``ClusterConfig.backend`` / ``--backend`` on the CLI).
+See docs/ARCHITECTURE.md for the dataflow walkthrough.
 """
 
 from .cluster import Cluster, ClusterConfig, MigrationRecord, PeriodSampleCollector
 from .dispatcher import DispatcherNode, RoutingDecision
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
+from .transport import (
+    InProcessTransport,
+    MultiprocessTransport,
+    StatsReport,
+    Transport,
+    TransportError,
+    TRANSPORT_BACKENDS,
+    make_transport,
+)
 from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
     "Cluster",
     "ClusterConfig",
     "DispatcherNode",
+    "InProcessTransport",
     "LatencyBuckets",
     "LatencyTracker",
     "MergerNode",
     "MigrationRecord",
+    "MultiprocessTransport",
     "PeriodSampleCollector",
     "QueryAssignment",
     "RoutingDecision",
     "RunReport",
+    "StatsReport",
+    "Transport",
+    "TransportError",
+    "TRANSPORT_BACKENDS",
     "WorkerNode",
     "utilization_latency",
 ]

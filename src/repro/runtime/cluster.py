@@ -37,6 +37,17 @@ Two execution paths replay a stream:
   deterministic, Section IV-C); the caches are invalidated whenever a
   migration or a routing-index swap changes H1.
 
+Either path talks to its workers exclusively through the pluggable
+transport layer (:mod:`repro.runtime.transport`): routed work ships as
+typed ``RouteBatch`` messages, match results come back as
+``MatchResults``, and Section V adjustment rounds open with an
+``AdjustBarrier`` fence.  The default ``inprocess`` backend executes the
+messages synchronously against local :class:`WorkerNode` objects (the
+reference semantics); ``backend="multiprocess"`` on
+:class:`ClusterConfig` hosts each worker in its own OS process, with the
+coordinator shipping every worker's window batch before collecting any
+reply so matching runs on all cores (see docs/ARCHITECTURE.md).
+
 Both paths record per-tuple traces in compact parallel arrays
 (:class:`_TraceStore`) rather than one Python object per tuple, so latency
 reconstruction over a measurement period stays cheap at stream scale.
@@ -64,6 +75,18 @@ from ..workload.stream import iter_windows
 from .dispatcher import DispatcherNode
 from .merger import MergerNode
 from .metrics import LatencyTracker, RunReport, utilization_latency
+from .transport import (
+    DeleteById,
+    DeleteQuery,
+    InsertPairs,
+    InsertQuery,
+    MatchObjects,
+    MatchOne,
+    RouteBatch,
+    StatsReport,
+    Transport,
+    make_transport,
+)
 from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
@@ -103,6 +126,10 @@ class ClusterConfig:
     migration_bandwidth_bytes_per_sec: float = 20e6
     #: Fixed network/coordination overhead per migration.
     migration_fixed_seconds: float = 0.05
+    #: Worker transport backend: ``"inprocess"`` hosts every WorkerNode in
+    #: the coordinator's interpreter (the reference), ``"multiprocess"``
+    #: runs each worker in its own OS process (real multi-core matching).
+    backend: str = "inprocess"
 
 
 @dataclass(frozen=True)
@@ -273,16 +300,19 @@ class Cluster:
             DispatcherNode(index, self.routing_index)
             for index in range(self.config.num_dispatchers)
         ]
-        self.workers: Dict[int, WorkerNode] = {
-            index: WorkerNode(
-                index,
-                self.bounds,
-                granularity=self.config.gi2_granularity,
-                cost_model=self.config.cost_model,
-                term_statistics=plan.statistics,
-            )
-            for index in range(self.config.num_workers)
-        }
+        # The transport owns the worker fleet: in-process workers are real
+        # WorkerNode objects, multiprocess workers are per-process proxies.
+        # Coordinator code only ever talks to them through the transport's
+        # exchange()/stats surface or through the handles in self.workers.
+        self.transport: Transport = make_transport(
+            self.config.backend,
+            list(range(self.config.num_workers)),
+            bounds=self.bounds,
+            granularity=self.config.gi2_granularity,
+            cost_model=self.config.cost_model,
+            term_statistics=plan.statistics,
+        )
+        self.workers: Dict[int, WorkerNode] = self.transport.workers  # type: ignore[assignment]
         self.mergers: List[MergerNode] = [
             MergerNode(index) for index in range(self.config.num_mergers)
         ]
@@ -350,22 +380,37 @@ class Cluster:
         handled: Set[int] = set()
         results: List[MatchResult] = []
         assignments = decision.assignments
+        kind = item.kind
+        known_workers = self.workers
+        batches: Dict[int, RouteBatch] = {}
         for worker_id in decision.workers:
-            worker = self.workers.get(worker_id)
-            if worker is None:
+            if worker_id not in known_workers:
                 continue
-            handled.add(worker_id)
-            if item.kind is TupleKind.OBJECT:
-                results.extend(worker.handle_object(item.payload))  # type: ignore[arg-type]
-            elif item.kind is TupleKind.INSERT:
-                worker.handle_insertion(
-                    item.payload,  # type: ignore[arg-type]
+            if kind is TupleKind.OBJECT:
+                op = MatchOne(item.payload)
+            elif kind is TupleKind.INSERT:
+                op = InsertQuery(
+                    item.payload,
                     assignments.get(worker_id) if assignments is not None else None,
-                    cells_aligned=self._cells_aligned,
+                    self._cells_aligned,
                 )
             else:
-                worker.handle_deletion(item.payload)  # type: ignore[arg-type]
-            worker_costs.append((worker_id, worker.last_tuple_cost))
+                op = DeleteQuery(item.payload)
+            batches[worker_id] = RouteBatch((op,))
+        if batches:
+            cost_model = self.config.cost_model
+            for worker_id, replies in self.transport.exchange(batches).items():
+                handled.add(worker_id)
+                if kind is TupleKind.OBJECT:
+                    reply = replies[0]
+                    assert reply is not None
+                    results.extend(reply.results)
+                    cost = reply.costs[0]
+                elif kind is TupleKind.INSERT:
+                    cost = cost_model.insert_handling
+                else:
+                    cost = cost_model.delete_handling
+                worker_costs.append((worker_id, cost))
 
         if results:
             self._matches_produced += len(results)
@@ -534,7 +579,13 @@ class Cluster:
         warm.  Run-level accounting (busy time, traces, match counts) is
         *not* cleared — the RunReport of a closed-loop run covers the
         whole stream; use :meth:`reset_period` for a full reset.
+
+        The round opens with the transport's ``AdjustBarrier`` fence:
+        every worker acknowledges the new epoch before any adjuster reads
+        or mutates state, so on the multiprocess backend all previously
+        shipped window work is guaranteed applied on every worker process.
         """
+        self.transport.barrier()
         if local_adjuster is not None:
             local_adjuster.adjust(self)
         if global_adjuster is not None:
@@ -825,27 +876,64 @@ class Cluster:
 
         Objects were already routed, charged to their dispatchers and
         grouped per worker during the arrival scan; here each worker's
-        group is matched in one call and the queued updates are applied in
-        stream order.
+        segment is shipped as one ordered :class:`RouteBatch` over the
+        transport — the object group first, then the deferred updates in
+        stream order — and the match replies are merged deterministically.
+        On the multiprocess backend all batches go out before any reply is
+        read, so the workers' matching runs overlap on separate cores.
         """
-        routing = self.routing_index
         workers_map = self.workers
         num_dispatchers = len(self.dispatchers)
         tuple_cost = DispatcherNode.TUPLE_COST
         probe_cost = DispatcherNode.PROBE_COST
 
+        batch_ops: Dict[int, List] = {}
+        if groups:
+            for worker_id, locals_ in groups.items():
+                batch_ops[worker_id] = [
+                    MatchObjects(
+                        [objects[local] for local in locals_],
+                        [coords[local] for local in locals_],
+                    )
+                ]
+        for _, is_insert, payload, per_worker, _ in updates:
+            if is_insert:
+                query = payload.query
+                for worker_id, pairs in per_worker.items():
+                    if worker_id not in workers_map:
+                        continue
+                    ops = batch_ops.get(worker_id)
+                    if ops is None:
+                        batch_ops[worker_id] = [InsertPairs(query, pairs)]
+                    else:
+                        ops.append(InsertPairs(query, pairs))
+            else:
+                query_id = payload.query_id
+                for worker_id in per_worker:
+                    if worker_id not in workers_map:
+                        continue
+                    ops = batch_ops.get(worker_id)
+                    if ops is None:
+                        batch_ops[worker_id] = [DeleteById(query_id)]
+                    else:
+                        ops.append(DeleteById(query_id))
+        replies = (
+            self.transport.exchange(
+                {worker_id: RouteBatch(ops) for worker_id, ops in batch_ops.items()}
+            )
+            if batch_ops
+            else {}
+        )
+
         if groups:
             all_results: List[MatchResult] = []
             for worker_id, locals_ in groups.items():
-                worker = workers_map[worker_id]
-                results, costs = worker.handle_object_batch(
-                    [objects[local] for local in locals_],
-                    [coords[local] for local in locals_],
-                )
-                if results:
-                    all_results.extend(results)
+                reply = replies[worker_id][0]
+                assert reply is not None
+                if reply.results:
+                    all_results.extend(reply.results)
                 if trace_workers is not None:
-                    for local, cost in zip(locals_, costs):
+                    for local, cost in zip(locals_, reply.costs):
                         position = positions[local]
                         entry = trace_workers[position]
                         if entry is None:
@@ -867,6 +955,10 @@ class Cluster:
                 for merger_id, batch in per_merger.items():
                     mergers[merger_id].handle_many(batch)
 
+        # Coordinator-side accounting of the deferred updates.  Their
+        # worker-side effect (GI2 postings, load counters, busy time) was
+        # applied above through the exchange; the per-tuple costs are the
+        # fixed Definition-1 constants, so traces need no round trip.
         cost_model = self.config.cost_model
         insert_cost = cost_model.insert_handling
         delete_cost = cost_model.delete_handling
@@ -880,32 +972,19 @@ class Cluster:
             handled = 0
             if is_insert:
                 dispatcher_insertions[slot] += 1
-                query = payload.query
-                for worker_id, pairs in per_worker.items():
-                    worker = workers_map.get(worker_id)
-                    if worker is None:
+                for worker_id in per_worker:
+                    if worker_id not in workers_map:
                         continue
                     handled += 1
-                    # Inlined worker insertion handling (hot loop): register
-                    # the routed postings, count and charge the fixed cost.
-                    worker.index.insert_pairs(query, pairs)
-                    worker.counters.insertions += 1
-                    worker.busy_cost += insert_cost
                     if worker_items is not None:
                         worker_items.append((worker_id, insert_cost))
                 self._insertions += 1
                 self._query_fanout_total += handled
             else:
                 dispatcher_deletions[slot] += 1
-                query_id = payload.query_id
                 for worker_id in per_worker:
-                    worker = workers_map.get(worker_id)
-                    if worker is None:
+                    if worker_id not in workers_map:
                         continue
-                    # Inlined WorkerNode.handle_deletion (hot loop).
-                    worker.index.delete(query_id)
-                    worker.counters.deletions += 1
-                    worker.busy_cost += delete_cost
                     if worker_items is not None:
                         worker_items.append((worker_id, delete_cost))
                 self._deletions += 1
@@ -966,14 +1045,23 @@ class Cluster:
                     dispatcher_routed[slot], dispatcher_discarded[slot], dispatcher_costs[slot]
                 )
 
-        # Per-object worker costs, gathered from the per-worker group runs.
+        # Per-object worker costs, gathered from the per-worker group runs
+        # (one MatchObjects batch per worker, shipped over the transport).
         worker_cost_lists: List[List[Tuple[int, float]]] = [[] for _ in range(count)]
         all_results: List[MatchResult] = []
+        replies = self.transport.exchange(
+            {
+                worker_id: RouteBatch(
+                    (MatchObjects([objects[p] for p in positions]),)
+                )
+                for worker_id, positions in groups.items()
+            }
+        )
         for worker_id, positions in groups.items():
-            worker = workers_map[worker_id]
-            results, costs = worker.handle_object_batch([objects[p] for p in positions])
-            all_results.extend(results)
-            for position, cost in zip(positions, costs):
+            reply = replies[worker_id][0]
+            assert reply is not None
+            all_results.extend(reply.results)
+            for position, cost in zip(positions, reply.costs):
                 worker_cost_lists[position].append((worker_id, cost))
 
         if all_results:
@@ -1054,27 +1142,38 @@ class Cluster:
         worker_costs: List[Tuple[int, float]] = []
         handled = 0
         cells_aligned = self._cells_aligned
+        cost_model = self.config.cost_model
         if item.kind is TupleKind.INSERT:
             dispatcher.account_insertion(cost)
+            self.transport.exchange(
+                {
+                    worker_id: RouteBatch(
+                        (InsertQuery(item.payload, per_worker[worker_id], cells_aligned),)
+                    )
+                    for worker_id in sorted(per_worker)
+                    if worker_id in workers_map
+                }
+            )
             for worker_id in sorted(per_worker):
-                worker = workers_map.get(worker_id)
-                if worker is None:
+                if worker_id not in workers_map:
                     continue
                 handled += 1
-                worker.handle_insertion(
-                    item.payload, per_worker[worker_id], cells_aligned=cells_aligned
-                )
-                worker_costs.append((worker_id, worker.last_tuple_cost))
+                worker_costs.append((worker_id, cost_model.insert_handling))
             self._insertions += 1
             self._query_fanout_total += handled
         else:
             dispatcher.account_deletion(cost)
+            self.transport.exchange(
+                {
+                    worker_id: RouteBatch((DeleteQuery(item.payload),))
+                    for worker_id in sorted(per_worker)
+                    if worker_id in workers_map
+                }
+            )
             for worker_id in sorted(per_worker):
-                worker = workers_map.get(worker_id)
-                if worker is None:
+                if worker_id not in workers_map:
                     continue
-                worker.handle_deletion(item.payload)  # type: ignore[arg-type]
-                worker_costs.append((worker_id, worker.last_tuple_cost))
+                worker_costs.append((worker_id, cost_model.delete_handling))
             self._deletions += 1
         self._tuples_processed += 1
         if trace:
@@ -1083,20 +1182,27 @@ class Cluster:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def saturation_throughput(self) -> float:
+    def worker_stats(self) -> Dict[int, StatsReport]:
+        """One :class:`StatsReport` per worker, fetched over the transport."""
+        return self.transport.worker_stats()
+
+    def saturation_throughput(self, *, _stats: Optional[Dict[int, StatsReport]] = None) -> float:
         """Tuples per second when the bottleneck process is saturated."""
         if self._tuples_processed == 0:
             return 0.0
+        stats = _stats if _stats is not None else self.transport.worker_stats()
         unit = self.config.cost_unit_seconds
         busy_seconds = [d.busy_cost * unit for d in self.dispatchers]
-        busy_seconds += [w.busy_cost * unit for w in self.workers.values()]
+        busy_seconds += [s.busy_cost * unit for s in stats.values()]
         busy_seconds += [m.busy_cost * unit for m in self.mergers]
         bottleneck = max(busy_seconds) if busy_seconds else 0.0
         if bottleneck <= 0.0:
             return 0.0
         return self._tuples_processed / bottleneck
 
-    def _process_utilizations(self, input_rate: float) -> Tuple[Dict[int, float], Dict[int, float]]:
+    def _process_utilizations(
+        self, input_rate: float, stats: Dict[int, StatsReport]
+    ) -> Tuple[Dict[int, float], Dict[int, float]]:
         """Utilisation of each dispatcher and worker at ``input_rate`` tuples/s."""
         if self._tuples_processed == 0 or input_rate <= 0.0:
             return {}, {}
@@ -1106,11 +1212,16 @@ class Cluster:
             d.dispatcher_id: (d.busy_cost * unit) / wall_seconds for d in self.dispatchers
         }
         worker_util = {
-            w.worker_id: (w.busy_cost * unit) / wall_seconds for w in self.workers.values()
+            worker_id: (s.busy_cost * unit) / wall_seconds for worker_id, s in stats.items()
         }
         return dispatcher_util, worker_util
 
-    def latency_tracker(self, input_rate: Optional[float] = None) -> LatencyTracker:
+    def latency_tracker(
+        self,
+        input_rate: Optional[float] = None,
+        *,
+        _stats: Optional[Dict[int, StatsReport]] = None,
+    ) -> LatencyTracker:
         """Per-tuple latencies (ms) at the given input rate.
 
         Defaults to ``latency_load_fraction`` of the saturation throughput,
@@ -1121,9 +1232,12 @@ class Cluster:
         count = len(traces)
         if count == 0:
             return tracker
+        stats = _stats if _stats is not None else self.transport.worker_stats()
         if input_rate is None:
-            input_rate = self.config.latency_load_fraction * self.saturation_throughput()
-        dispatcher_util, worker_util = self._process_utilizations(input_rate)
+            input_rate = self.config.latency_load_fraction * self.saturation_throughput(
+                _stats=stats
+            )
+        dispatcher_util, worker_util = self._process_utilizations(input_rate, stats)
         unit_ms = self.config.cost_unit_seconds * 1000.0
         hop_ms = self.config.network_hop_ms
         dispatcher_ids = traces.dispatcher_ids
@@ -1152,12 +1266,20 @@ class Cluster:
 
     def worker_load_report(self) -> LoadReport:
         return LoadReport(
-            worker_loads={w.worker_id: w.load() for w in self.workers.values()}
+            worker_loads={
+                worker_id: s.load for worker_id, s in self.transport.worker_stats().items()
+            }
         )
 
     def report(self, input_rate: Optional[float] = None) -> RunReport:
-        """Build the full :class:`RunReport` for the processed stream."""
-        tracker = self.latency_tracker(input_rate)
+        """Build the full :class:`RunReport` for the processed stream.
+
+        Worker-side numbers (loads, busy time, memory) arrive as one
+        :class:`StatsReport` per worker over the transport, fetched once
+        per report whichever backend hosts the workers.
+        """
+        stats = self.transport.worker_stats()
+        tracker = self.latency_tracker(input_rate, _stats=stats)
         buckets = tracker.buckets()
         objects = max(self._objects, 1)
         insertions = max(self._insertions, 1)
@@ -1166,13 +1288,13 @@ class Cluster:
             objects_processed=self._objects,
             insertions_processed=self._insertions,
             deletions_processed=self._deletions,
-            throughput=self.saturation_throughput(),
+            throughput=self.saturation_throughput(_stats=stats),
             mean_latency_ms=tracker.mean,
             p95_latency_ms=tracker.percentile(95.0),
             latency_buckets=buckets,
-            worker_loads={w.worker_id: w.load() for w in self.workers.values()},
+            worker_loads={worker_id: s.load for worker_id, s in stats.items()},
             dispatcher_memory={d.dispatcher_id: d.memory_bytes() for d in self.dispatchers},
-            worker_memory={w.worker_id: w.memory_bytes() for w in self.workers.values()},
+            worker_memory={worker_id: s.memory_bytes for worker_id, s in stats.items()},
             matches_produced=self._matches_produced,
             matches_delivered=sum(m.delivered for m in self.mergers),
             object_fanout=self._object_fanout_total / objects,
@@ -1273,15 +1395,8 @@ class Cluster:
         """
         source = self.workers[source_worker]
         target = self.workers[target_worker]
-        wanted = set(keywords)
         source.index.purge_cells((cell,))
-        shipped: List[QueryAssignment] = []
-        for query, pairs in source.index.extract_cell_assignments((cell,)):
-            moving_pairs = [pair for pair in pairs if pair[1] in wanted]
-            if not moving_pairs:
-                continue
-            removed = source.index.remove_pairs(query.query_id, moving_pairs)
-            shipped.append(QueryAssignment(query, tuple(moving_pairs), removed))
+        shipped = source.extract_keywords(cell, set(keywords))
         self.invalidate_routing_caches()
         if not shipped:
             return None
@@ -1306,8 +1421,22 @@ class Cluster:
         stream.
         """
         for worker in self.workers.values():
-            worker.counters.reset()
-            worker.index.reset_object_counts()
+            worker.reset_load_measurement()
+
+    def close(self) -> None:
+        """Release the worker backend (terminates multiprocess workers).
+
+        Idempotent; a no-op for the in-process backend.  Multiprocess
+        clusters should be closed (or used as a context manager) once the
+        run and its reports are done — worker state is unreachable after.
+        """
+        self.transport.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def reset_period(self) -> None:
         """Start a new measurement period on every process."""

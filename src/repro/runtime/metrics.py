@@ -1,10 +1,13 @@
-"""Measurement utilities of the cluster simulator.
+"""Measurement utilities of the cluster simulator (paper Section VI).
 
-The paper reports four families of metrics: processing throughput (tuples
-per second at saturation), per-tuple latency (including the <100 ms /
-100 ms–1 s / >1 s buckets of Figures 12(c) and 15), memory of dispatchers
-and workers, and migration cost/time.  The classes here accumulate those
-measurements during a simulated run.
+The paper's experiments report four families of metrics: processing
+throughput (tuples per second at saturation — Figures 6, 7, 11, 16),
+per-tuple latency (Figure 8, including the <100 ms / 100 ms–1 s / >1 s
+buckets of Figures 12(c) and 15), memory of dispatchers and workers
+(Figures 9 and 10), and migration cost/time (Figures 12–14).  The classes
+here accumulate those measurements during a simulated run; worker-side
+numbers arrive as :class:`~repro.runtime.transport.StatsReport` messages
+whichever transport backend hosts the workers.
 """
 
 from __future__ import annotations

@@ -1,0 +1,765 @@
+"""Pluggable transport between the cluster coordinator and its workers.
+
+The paper's PS2Stream deployment (Section III-B) is a Storm topology:
+dispatchers, workers and mergers are separate executors exchanging tuples
+over the network.  Earlier revisions of this reproduction collapsed that
+into direct Python method calls inside one interpreter; this module makes
+the dispatcher→worker→merger communication explicit again so the same
+coordinator code can drive
+
+* an :class:`InProcessTransport` — the *reference* backend.  Workers are
+  plain :class:`~repro.runtime.worker.WorkerNode` objects in the
+  coordinator's process and every message is executed synchronously by a
+  direct call, preserving the exact semantics (and float-for-float
+  results) of the pre-transport engine; and
+* a :class:`MultiprocessTransport` — each worker runs in its own OS
+  process (``multiprocessing``).  Messages are pickled over pipes; one
+  window's worth of routed work is shipped per worker as a single
+  :class:`RouteBatch`, all batches are submitted before any reply is
+  collected, so workers match their object groups concurrently on
+  separate cores.
+
+The message vocabulary mirrors the Storm streams of the paper:
+
+* :class:`RouteBatch` — dispatcher→worker: an ordered window of routed
+  operations (object matching, query insertions/deletions) for one worker.
+* :class:`MatchResults` — worker→merger/coordinator: the match results and
+  per-object costs of one batched matching operation.
+* :class:`InstallQueries` / :class:`ExtractCells` /
+  :class:`ExtractKeywords` — the Section V migration protocol: the
+  coordinator pulls per-query ``(cell, posting keyword)`` assignments out
+  of the source worker and installs them on the target.
+* :class:`AdjustBarrier` — the closed-loop adjustment fence: before an
+  adjustment round mutates routing state, every worker acknowledges the
+  epoch, guaranteeing all previously shipped work has been applied.
+* :class:`StatsReport` — worker→coordinator: the per-period load,
+  busy-time, memory and population numbers the reports and the Section V
+  adjusters read.
+
+Both backends produce byte-identical :class:`~repro.runtime.metrics.RunReport`
+values on the same stream (``tests/test_transport.py``); the multiprocess
+backend additionally turns the simulated parallelism into real multi-core
+wall-clock speedups (``benchmarks/test_multiprocess_speedup.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.costmodel import CostModel
+from ..core.geometry import Rect
+from ..core.objects import MatchResult, QueryDeletion, QueryInsertion, SpatioTextualObject, STSQuery
+from ..core.text import TermStatistics
+from ..indexes.gi2 import CellStats
+from ..indexes.grid import CellCoord
+from .worker import QueryAssignment, WorkerNode
+
+__all__ = [
+    "AdjustBarrier",
+    "BarrierAck",
+    "CellStatsRequest",
+    "DeleteById",
+    "DeleteQuery",
+    "ExtractCells",
+    "ExtractKeywords",
+    "InProcessTransport",
+    "InsertPairs",
+    "InsertQuery",
+    "InstallQueries",
+    "MatchObjects",
+    "MatchOne",
+    "MatchResults",
+    "MultiprocessTransport",
+    "RemoteCallable",
+    "RouteBatch",
+    "StatsReport",
+    "StatsRequest",
+    "Transport",
+    "TransportError",
+    "WorkerCall",
+    "WorkerProxy",
+    "execute_ops",
+    "make_transport",
+]
+
+
+class TransportError(RuntimeError):
+    """A worker backend failed to execute a message."""
+
+
+# ----------------------------------------------------------------------
+# Worker operations (the payload of a RouteBatch, applied in order)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class MatchOne:
+    """Match a single object (per-tuple reference path)."""
+
+    obj: SpatioTextualObject
+
+
+@dataclass(slots=True)
+class MatchObjects:
+    """Match a run of objects in one bulk call (batched engine).
+
+    ``cells`` optionally carries the objects' precomputed routing-grid
+    cells (valid when the routing grid is aligned with the worker's grid).
+    """
+
+    objects: Sequence[SpatioTextualObject]
+    cells: Optional[Sequence[CellCoord]] = None
+
+
+@dataclass(slots=True)
+class InsertQuery:
+    """Register a routed query insertion (strict/per-tuple paths).
+
+    ``assignment`` is the list of ``(routing cell, posting keyword)``
+    pairs the dispatcher routed to this worker, or ``None`` for the full
+    posting footprint fallback.
+    """
+
+    insertion: QueryInsertion
+    assignment: Optional[Sequence[Tuple[CellCoord, str]]] = None
+    cells_aligned: bool = False
+
+
+@dataclass(slots=True)
+class InsertPairs:
+    """Register exactly the routed posting pairs (deferred-barrier path)."""
+
+    query: STSQuery
+    pairs: Sequence[Tuple[CellCoord, str]]
+
+
+@dataclass(slots=True)
+class DeleteQuery:
+    """Apply a routed query deletion (strict/per-tuple paths)."""
+
+    deletion: QueryDeletion
+
+
+@dataclass(slots=True)
+class DeleteById:
+    """Lazily delete a query by id (deferred-barrier path)."""
+
+    query_id: int
+
+
+WorkerOp = Union[MatchOne, MatchObjects, InsertQuery, InsertPairs, DeleteQuery, DeleteById]
+
+
+@dataclass(slots=True)
+class RouteBatch:
+    """Dispatcher→worker: one window's ordered operations for one worker."""
+
+    ops: Sequence[WorkerOp]
+
+
+@dataclass(slots=True)
+class MatchResults:
+    """Worker→coordinator reply to a matching op: results + per-object costs."""
+
+    results: Tuple[MatchResult, ...]
+    costs: Tuple[float, ...]
+
+
+# ----------------------------------------------------------------------
+# Control-plane messages (migration, stats, adjustment fence)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class InstallQueries:
+    """Install migrated query assignments on the receiving worker."""
+
+    assignments: Sequence[QueryAssignment]
+
+
+@dataclass(slots=True)
+class ExtractCells:
+    """Pull the per-query assignments registered in ``cells`` (Section V)."""
+
+    cells: Sequence[CellCoord]
+
+
+@dataclass(slots=True)
+class ExtractKeywords:
+    """Pull one cell's assignments for specific posting keywords (Phase I)."""
+
+    cell: CellCoord
+    keywords: Sequence[str]
+
+
+@dataclass(slots=True)
+class StatsRequest:
+    """Ask a worker for its :class:`StatsReport`."""
+
+
+@dataclass(slots=True)
+class StatsReport:
+    """Worker→coordinator: the numbers reports and adjusters consume."""
+
+    worker_id: int
+    busy_cost: float
+    load: float
+    memory_bytes: int
+    query_count: int
+
+
+@dataclass(slots=True)
+class CellStatsRequest:
+    """Ask a worker for its Definition-3 per-cell statistics."""
+
+
+@dataclass(slots=True)
+class AdjustBarrier:
+    """Closed-loop adjustment fence: workers ack once fully drained."""
+
+    epoch: int
+
+
+@dataclass(slots=True)
+class BarrierAck:
+    """Worker→coordinator acknowledgement of an :class:`AdjustBarrier`."""
+
+    epoch: int
+    worker_id: int
+
+
+@dataclass(slots=True)
+class WorkerCall:
+    """Generic escape hatch: call (or read) ``worker.<path[0]>.<path[1]>…``.
+
+    ``args is None`` reads the resolved attribute; otherwise it is invoked
+    with ``*args, **kwargs``.  Used by the Section V adjusters, which
+    inspect and reconcile worker GI2 state directly.
+    """
+
+    path: Tuple[str, ...]
+    args: Optional[Tuple[Any, ...]] = None
+    kwargs: Optional[Dict[str, Any]] = None
+
+
+@dataclass(slots=True)
+class RemoteCallable:
+    """Reply marker: a :class:`WorkerCall` attribute read hit a method.
+
+    Bound methods cannot be pickled back to the coordinator (they drag the
+    whole worker state along), so the host answers with this marker and
+    the proxy turns it into an RPC-invoking callable.
+    """
+
+    name: str
+
+
+@dataclass(slots=True)
+class Shutdown:
+    """Terminate a worker host process."""
+
+
+@dataclass(slots=True)
+class RemoteError:
+    """Worker→coordinator: an exception raised while executing a message."""
+
+    message: str
+    formatted_traceback: str
+
+
+# ----------------------------------------------------------------------
+# Operation execution (shared by both backends — the reference semantics)
+# ----------------------------------------------------------------------
+def execute_ops(worker: WorkerNode, ops: Sequence[WorkerOp]) -> List[Optional[MatchResults]]:
+    """Apply one :class:`RouteBatch`'s operations to a worker, in order.
+
+    This function *is* the transport seam's semantic contract: the
+    in-process backend runs it directly against the coordinator's worker
+    objects and the multiprocess host runs it inside the worker process,
+    so both backends execute exactly the same :class:`WorkerNode` calls in
+    exactly the same order.  Matching ops reply with
+    :class:`MatchResults`; update ops reply ``None`` (their costs are the
+    fixed Definition-1 constants the coordinator already knows).
+    """
+    replies: List[Optional[MatchResults]] = []
+    model = worker.cost_model
+    for op in ops:
+        kind = type(op)
+        if kind is MatchObjects:
+            results, costs = worker.handle_object_batch(op.objects, op.cells)
+            replies.append(MatchResults(tuple(results), tuple(costs)))
+        elif kind is InsertPairs:
+            # Inlined WorkerNode.handle_insertion for pre-routed pairs (hot
+            # loop of the deferred-barrier engine): register the routed
+            # postings, count, and charge the fixed insertion cost.
+            worker.index.insert_pairs(op.query, op.pairs)
+            worker.counters.insertions += 1
+            worker.busy_cost += model.insert_handling
+            replies.append(None)
+        elif kind is DeleteById:
+            # Inlined WorkerNode.handle_deletion (hot loop).
+            worker.index.delete(op.query_id)
+            worker.counters.deletions += 1
+            worker.busy_cost += model.delete_handling
+            replies.append(None)
+        elif kind is MatchOne:
+            results = worker.handle_object(op.obj)
+            replies.append(MatchResults(tuple(results), (worker.last_tuple_cost,)))
+        elif kind is InsertQuery:
+            worker.handle_insertion(op.insertion, op.assignment, cells_aligned=op.cells_aligned)
+            replies.append(None)
+        elif kind is DeleteQuery:
+            worker.handle_deletion(op.deletion)
+            replies.append(None)
+        else:
+            raise TransportError("unknown worker op %r" % (op,))
+    return replies
+
+
+def _worker_stats(worker: WorkerNode) -> StatsReport:
+    return StatsReport(
+        worker_id=worker.worker_id,
+        busy_cost=worker.busy_cost,
+        load=worker.load(),
+        memory_bytes=worker.memory_bytes(),
+        query_count=worker.query_count,
+    )
+
+
+def _resolve_call(worker: WorkerNode, message: WorkerCall) -> Any:
+    target: Any = worker
+    for name in message.path:
+        target = getattr(target, name)
+    if message.args is None:
+        if callable(target):
+            return RemoteCallable(message.path[-1])
+        return target
+    return target(*message.args, **(message.kwargs or {}))
+
+
+# ----------------------------------------------------------------------
+# Transport interface
+# ----------------------------------------------------------------------
+class Transport:
+    """Coordinator-side surface for talking to the worker fleet.
+
+    ``workers`` maps worker id → handle; for the in-process backend the
+    handle is the :class:`WorkerNode` itself, for the multiprocess backend
+    a :class:`WorkerProxy` forwarding the same surface over the pipe.  The
+    coordinator never assumes which one it holds.
+    """
+
+    backend_name = "abstract"
+    workers: Mapping[int, Any] = {}
+
+    def exchange(
+        self, batches: Mapping[int, RouteBatch]
+    ) -> Dict[int, List[Optional[MatchResults]]]:
+        """Ship one window's :class:`RouteBatch` per worker; gather replies.
+
+        Reply dict preserves ``batches``'s iteration order, so coordinator
+        code that merges results stays deterministic across backends.
+        """
+        raise NotImplementedError
+
+    def worker_stats(self) -> Dict[int, StatsReport]:
+        """One :class:`StatsReport` per worker, keyed by worker id."""
+        raise NotImplementedError
+
+    def barrier(self) -> int:
+        """Run one :class:`AdjustBarrier` fence; returns the new epoch."""
+        raise NotImplementedError
+
+    def call(
+        self,
+        worker_id: int,
+        path: Tuple[str, ...],
+        args: Optional[Tuple[Any, ...]] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Invoke (or, with ``args=None``, read) an attribute path on a worker."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (terminates worker processes)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class InProcessTransport(Transport):
+    """Reference backend: workers live in the coordinator's interpreter."""
+
+    backend_name = "inprocess"
+
+    def __init__(self, workers: Dict[int, WorkerNode]) -> None:
+        self.workers: Dict[int, WorkerNode] = workers
+        self._epoch = 0
+
+    def exchange(
+        self, batches: Mapping[int, RouteBatch]
+    ) -> Dict[int, List[Optional[MatchResults]]]:
+        workers = self.workers
+        return {
+            worker_id: execute_ops(workers[worker_id], batch.ops)
+            for worker_id, batch in batches.items()
+        }
+
+    def worker_stats(self) -> Dict[int, StatsReport]:
+        return {worker_id: _worker_stats(worker) for worker_id, worker in self.workers.items()}
+
+    def barrier(self) -> int:
+        # Execution is synchronous: every shipped message has already been
+        # applied, so the fence reduces to bumping the epoch.
+        self._epoch += 1
+        return self._epoch
+
+    def call(
+        self,
+        worker_id: int,
+        path: Tuple[str, ...],
+        args: Optional[Tuple[Any, ...]] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        return _resolve_call(self.workers[worker_id], WorkerCall(path, args, kwargs))
+
+
+# ----------------------------------------------------------------------
+# Multiprocess backend
+# ----------------------------------------------------------------------
+def _worker_host(worker_id: int, ctor_kwargs: Dict[str, Any], connection: Any) -> None:
+    """Entry point of one worker process: serve messages until Shutdown."""
+    worker = WorkerNode(worker_id, **ctor_kwargs)
+    send = connection.send
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            kind = type(message)
+            if kind is RouteBatch:
+                send(execute_ops(worker, message.ops))
+            elif kind is StatsRequest:
+                send(_worker_stats(worker))
+            elif kind is CellStatsRequest:
+                send(worker.cell_stats())
+            elif kind is WorkerCall:
+                send(_resolve_call(worker, message))
+            elif kind is InstallQueries:
+                send(worker.install_queries(message.assignments))
+            elif kind is ExtractCells:
+                send(worker.extract_cells(message.cells))
+            elif kind is ExtractKeywords:
+                send(worker.extract_keywords(message.cell, message.keywords))
+            elif kind is AdjustBarrier:
+                # All earlier messages on this pipe were fully applied (the
+                # host is single-threaded), so acking *is* the fence.
+                send(BarrierAck(message.epoch, worker_id))
+            elif kind is Shutdown:
+                send(True)
+                break
+            else:
+                send(RemoteError("unknown message %r" % (message,), ""))
+        except Exception as exc:  # pragma: no cover - exercised via coordinator
+            try:
+                send(RemoteError(repr(exc), traceback.format_exc()))
+            except Exception:
+                break
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - already torn down
+        pass
+
+
+class IndexProxy:
+    """Forwards ``worker.index.<name>`` access over the transport.
+
+    Attribute access probes the remote kind once: a method answers with a
+    :class:`RemoteCallable` marker and becomes a cached RPC-invoking
+    callable; a plain attribute/property answers with its value (fetched
+    fresh on every access — it may be mutable).  ``grid`` is immutable per
+    worker and cached after the first fetch.
+    """
+
+    def __init__(self, transport: "MultiprocessTransport", worker_id: int) -> None:
+        self._transport = transport
+        self._worker_id = worker_id
+        self._grid = None
+
+    @property
+    def grid(self):
+        if self._grid is None:
+            self._grid = self._transport.call(self._worker_id, ("index", "grid"), None)
+        return self._grid
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        result = self._transport.call(self._worker_id, ("index", name), None)
+        if not isinstance(result, RemoteCallable):
+            return result
+        transport = self._transport
+        worker_id = self._worker_id
+
+        def _invoke(*args: Any, **kwargs: Any) -> Any:
+            return transport.call(worker_id, ("index", name), tuple(args), kwargs or None)
+
+        _invoke.__name__ = name
+        # Cache the caller so later accesses skip the kind probe.
+        self.__dict__[name] = _invoke
+        return _invoke
+
+
+class WorkerProxy:
+    """Coordinator-side handle of one remote worker process.
+
+    Exposes the :class:`WorkerNode` surface the coordinator and the
+    Section V adjusters use, each method forwarding one typed message.
+    """
+
+    def __init__(self, transport: "MultiprocessTransport", worker_id: int) -> None:
+        self.worker_id = worker_id
+        self._transport = transport
+        self.index = IndexProxy(transport, worker_id)
+
+    # -- stats ---------------------------------------------------------
+    @property
+    def busy_cost(self) -> float:
+        return self._transport.call(self.worker_id, ("busy_cost",), None)
+
+    @property
+    def query_count(self) -> int:
+        return self._transport.call(self.worker_id, ("query_count",), None)
+
+    def load(self) -> float:
+        return self._transport.call(self.worker_id, ("load",))
+
+    def memory_bytes(self) -> int:
+        return self._transport.call(self.worker_id, ("memory_bytes",))
+
+    def cell_stats(self) -> List[CellStats]:
+        return self._transport.request(self.worker_id, CellStatsRequest())
+
+    # -- migration protocol -------------------------------------------
+    def extract_cells(self, cells: Iterable[CellCoord]) -> List[QueryAssignment]:
+        return self._transport.request(self.worker_id, ExtractCells(tuple(cells)))
+
+    def extract_keywords(self, cell: CellCoord, keywords: Iterable[str]) -> List[QueryAssignment]:
+        return self._transport.request(self.worker_id, ExtractKeywords(cell, tuple(keywords)))
+
+    def install_queries(self, assignments: Iterable[QueryAssignment]) -> int:
+        return self._transport.request(self.worker_id, InstallQueries(tuple(assignments)))
+
+    # -- period management --------------------------------------------
+    def reset_period(self) -> None:
+        self._transport.call(self.worker_id, ("reset_period",))
+
+    def reset_load_measurement(self) -> None:
+        self._transport.call(self.worker_id, ("reset_load_measurement",))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WorkerProxy(id=%d)" % self.worker_id
+
+
+class MultiprocessTransport(Transport):
+    """Each worker is a separate OS process served over a pickled pipe.
+
+    All of a window's :class:`RouteBatch` messages are written before any
+    reply is read (:meth:`exchange`), so worker processes execute their
+    object-matching groups concurrently; the coordinator then collects the
+    replies in deterministic order.  Worker construction arguments are
+    pickled to the child, so the backend works under ``fork`` and
+    ``spawn`` start methods alike.
+    """
+
+    backend_name = "multiprocess"
+
+    def __init__(
+        self,
+        worker_ids: Sequence[int],
+        *,
+        bounds: Rect,
+        granularity: int,
+        cost_model: CostModel,
+        term_statistics: Optional[TermStatistics],
+        start_method: Optional[str] = None,
+    ) -> None:
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else multiprocessing.get_context()
+        )
+        ctor_kwargs = {
+            "bounds": bounds,
+            "granularity": granularity,
+            "cost_model": cost_model,
+            "term_statistics": term_statistics,
+        }
+        self._connections: Dict[int, Any] = {}
+        self._processes: Dict[int, Any] = {}
+        self._epoch = 0
+        self._closed = False
+        try:
+            for worker_id in worker_ids:
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_host,
+                    args=(worker_id, ctor_kwargs, child_end),
+                    name="repro-worker-%d" % worker_id,
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._connections[worker_id] = parent_end
+                self._processes[worker_id] = process
+        except Exception:
+            self.close()
+            raise
+        self.workers: Dict[int, WorkerProxy] = {
+            worker_id: WorkerProxy(self, worker_id) for worker_id in worker_ids
+        }
+
+    # -- plumbing ------------------------------------------------------
+    def _receive(self, worker_id: int) -> Any:
+        try:
+            reply = self._connections[worker_id].recv()
+        except (EOFError, OSError) as exc:
+            raise TransportError("worker %d died: %r" % (worker_id, exc)) from exc
+        if isinstance(reply, RemoteError):
+            raise TransportError(
+                "worker %d failed: %s\n%s" % (worker_id, reply.message, reply.formatted_traceback)
+            )
+        return reply
+
+    def request(self, worker_id: int, message: Any) -> Any:
+        """Synchronous round trip of one control-plane message."""
+        self._connections[worker_id].send(message)
+        return self._receive(worker_id)
+
+    def _collect(self, worker_ids: Iterable[int]) -> Dict[int, Any]:
+        """Gather one reply per worker, consuming every pending reply.
+
+        A failing worker must not leave the other workers' replies queued
+        on their pipes (a later request would read the stale message), so
+        the loop keeps draining after the first error and re-raises it
+        once every expected reply has been consumed.
+        """
+        replies: Dict[int, Any] = {}
+        error: Optional[TransportError] = None
+        for worker_id in worker_ids:
+            try:
+                replies[worker_id] = self._receive(worker_id)
+            except TransportError as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return replies
+
+    def _broadcast(self, message_factory) -> Dict[int, Any]:
+        """Send to every worker first, then gather (replies run in parallel)."""
+        for worker_id, connection in self._connections.items():
+            connection.send(message_factory(worker_id))
+        return self._collect(self._connections)
+
+    # -- Transport surface --------------------------------------------
+    def exchange(
+        self, batches: Mapping[int, RouteBatch]
+    ) -> Dict[int, List[Optional[MatchResults]]]:
+        connections = self._connections
+        for worker_id, batch in batches.items():
+            connections[worker_id].send(batch)
+        return self._collect(batches)
+
+    def worker_stats(self) -> Dict[int, StatsReport]:
+        return self._broadcast(lambda worker_id: StatsRequest())
+
+    def barrier(self) -> int:
+        self._epoch += 1
+        epoch = self._epoch
+        acks = self._broadcast(lambda worker_id: AdjustBarrier(epoch))
+        for worker_id, ack in acks.items():
+            if not isinstance(ack, BarrierAck) or ack.epoch != epoch:
+                raise TransportError(
+                    "worker %d broke the adjustment fence: %r" % (worker_id, ack)
+                )
+        return epoch
+
+    def call(
+        self,
+        worker_id: int,
+        path: Tuple[str, ...],
+        args: Optional[Tuple[Any, ...]] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        return self.request(worker_id, WorkerCall(path, args, kwargs))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id, connection in self._connections.items():
+            try:
+                connection.send(Shutdown())
+                connection.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+        for connection in self._connections.values():
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes.values():
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Registry of the selectable transport backends (``--backend`` on the CLI).
+TRANSPORT_BACKENDS = ("inprocess", "multiprocess")
+
+
+def make_transport(
+    backend: str,
+    worker_ids: Sequence[int],
+    *,
+    bounds: Rect,
+    granularity: int,
+    cost_model: CostModel,
+    term_statistics: Optional[TermStatistics],
+) -> Transport:
+    """Build the transport (and its workers) for a cluster deployment."""
+    if backend == "inprocess":
+        workers = {
+            worker_id: WorkerNode(
+                worker_id,
+                bounds,
+                granularity=granularity,
+                cost_model=cost_model,
+                term_statistics=term_statistics,
+            )
+            for worker_id in worker_ids
+        }
+        return InProcessTransport(workers)
+    if backend == "multiprocess":
+        return MultiprocessTransport(
+            worker_ids,
+            bounds=bounds,
+            granularity=granularity,
+            cost_model=cost_model,
+            term_statistics=term_statistics,
+        )
+    raise ValueError(
+        "unknown transport backend %r (expected one of %s)"
+        % (backend, ", ".join(TRANSPORT_BACKENDS))
+    )

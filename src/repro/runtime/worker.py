@@ -196,6 +196,16 @@ class WorkerNode:
         self.busy_cost = 0.0
         self.index.reset_object_counts()
 
+    def reset_load_measurement(self) -> None:
+        """Start a new Section V measurement period, keeping busy time.
+
+        Resets exactly what the adjusters observe — the Definition-1 load
+        counters and the Definition-3 per-cell object counts — while the
+        accumulated busy time keeps counting toward the run's throughput.
+        """
+        self.counters.reset()
+        self.index.reset_object_counts()
+
     def cell_stats(self) -> List[CellStats]:
         """Per-cell loads and sizes (Definition 3), for the load adjusters."""
         return self.index.cell_stats()
@@ -215,6 +225,26 @@ class WorkerNode:
         for query, pairs in self.index.extract_cell_assignments(cells):
             removed = self.index.remove_pairs(query.query_id, pairs)
             assignments.append(QueryAssignment(query, tuple(pairs), removed))
+        return assignments
+
+    def extract_keywords(
+        self, cell: CellCoord, keywords: Iterable[str]
+    ) -> List[QueryAssignment]:
+        """Remove and return the assignments of ``cell`` under ``keywords``.
+
+        The worker-side half of a Section V-A Phase I text split: every
+        live query posted in ``cell`` under one of the reassigned posting
+        keywords hands over exactly those ``(cell, keyword)`` pairs.
+        Queries with no posting under the moved keywords stay untouched.
+        """
+        wanted = set(keywords)
+        assignments: List[QueryAssignment] = []
+        for query, pairs in self.index.extract_cell_assignments((cell,)):
+            moving_pairs = [pair for pair in pairs if pair[1] in wanted]
+            if not moving_pairs:
+                continue
+            removed = self.index.remove_pairs(query.query_id, moving_pairs)
+            assignments.append(QueryAssignment(query, tuple(moving_pairs), removed))
         return assignments
 
     def install_queries(self, assignments: Iterable[QueryAssignment]) -> int:

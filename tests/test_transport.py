@@ -1,0 +1,223 @@
+"""Equivalence tests for the pluggable worker transport.
+
+The acceptance contract of the transport layer: the ``multiprocess``
+backend (one OS process per worker, pickled ``RouteBatch`` messages) must
+produce **byte-identical** :class:`~repro.runtime.metrics.RunReport`
+values to the ``inprocess`` reference backend on the same stream — same
+execution path, same batch size, same closed-loop adjustment schedule.
+Unlike the batched-vs-per-tuple equivalence (which tolerates 1e-9 float
+drift from summation-order differences), the two backends execute the
+exact same operation sequence per worker, so every field compares with
+``==``.
+
+These tests run on a small Figure 7(a)-style slice (STS-US workload,
+hybrid partitioning, 4 workers) so the multiprocess fixture stays fast on
+one core; the wall-clock speedup at scale is measured by the opt-in
+``benchmarks/test_multiprocess_speedup.py``.
+"""
+
+import pytest
+
+from repro.adjustment import GlobalAdjuster, GreedySelector, LocalLoadAdjuster
+from repro.partitioning import HybridPartitioner, MetricTextPartitioner
+from repro.runtime import (
+    Cluster,
+    ClusterConfig,
+    InProcessTransport,
+    MultiprocessTransport,
+    TransportError,
+)
+from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
+
+REPORT_FIELDS = [
+    "tuples_processed",
+    "objects_processed",
+    "insertions_processed",
+    "deletions_processed",
+    "throughput",
+    "mean_latency_ms",
+    "p95_latency_ms",
+    "latency_buckets",
+    "worker_loads",
+    "dispatcher_memory",
+    "worker_memory",
+    "matches_produced",
+    "matches_delivered",
+    "object_fanout",
+    "query_fanout",
+]
+
+
+def make_workload(mu=250, group="Q1", seed=11, num_objects=600, workers=4):
+    """A fig 7(a)-style slice: plan + materialised tuples."""
+    tweets = make_dataset("us", seed=seed)
+    queries = QueryGenerator(tweets, seed=seed + 1)
+    stream = WorkloadStream(tweets, queries, StreamConfig(mu=mu, group=group), seed=seed + 2)
+    sample = stream.partitioning_sample(500)
+    plan = HybridPartitioner().partition(sample, workers)
+    return plan, list(stream.tuples(num_objects))
+
+
+def assert_identical(reference, candidate):
+    """Byte-identical reports: every field equal, no tolerance."""
+    for field in REPORT_FIELDS:
+        assert getattr(candidate, field) == getattr(reference, field), field
+    assert candidate == reference
+
+
+def run_backend(plan, tuples, backend, *, batch_size=0, workers=4, **run_kwargs):
+    config = ClusterConfig(num_dispatchers=2, num_workers=workers, backend=backend)
+    with Cluster(plan, config) as cluster:
+        if batch_size > 1:
+            report = cluster.run_batched(tuples, batch_size=batch_size, **run_kwargs)
+        else:
+            report = cluster.run(tuples, **run_kwargs)
+        migrations = list(cluster.migrations)
+    return report, migrations
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("batch_size", [0, 64, 256])
+    def test_fig07_slice_identical_reports(self, batch_size):
+        """Per-tuple and batched paths: reports match field for field."""
+        plan, tuples = make_workload()
+        ref_report, _ = run_backend(plan, tuples, "inprocess", batch_size=batch_size)
+        mp_report, _ = run_backend(plan, tuples, "multiprocess", batch_size=batch_size)
+        assert ref_report.deletions_processed > 0, "stream must exercise deletions"
+        assert_identical(ref_report, mp_report)
+
+    def test_closed_loop_adjustment_round_identical(self):
+        """One (and more) Section V rounds fire identically across backends.
+
+        Uses metric text partitioning, which concentrates load enough for
+        the local adjuster to actually trigger migrations mid-stream.
+        """
+        tweets = make_dataset("us", seed=3)
+        queries = QueryGenerator(tweets, seed=4)
+        stream = WorkloadStream(tweets, queries, StreamConfig(mu=300, group="Q1"), seed=5)
+        sample = stream.partitioning_sample(600)
+        plan = MetricTextPartitioner().partition(sample, 4)
+        tuples = list(stream.tuples(800))
+
+        def run(backend):
+            adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.2)
+            report, migrations = run_backend(
+                plan, tuples, backend,
+                batch_size=128, adjust_every=400, local_adjuster=adjuster,
+            )
+            triggered = sum(1 for entry in adjuster.history if entry.triggered)
+            return report, migrations, triggered
+
+        ref_report, ref_migrations, ref_triggered = run("inprocess")
+        mp_report, mp_migrations, mp_triggered = run("multiprocess")
+        assert ref_triggered > 0, "the adjustment loop must actually fire"
+        assert mp_triggered == ref_triggered
+        assert mp_migrations == ref_migrations
+        assert_identical(ref_report, mp_report)
+
+    def test_global_adjuster_repartition_identical(self):
+        """Dual-routing drain + finalise reconcile worker state identically."""
+        tweets = make_dataset("us", seed=3)
+        queries = QueryGenerator(tweets, seed=4)
+        stream = WorkloadStream(tweets, queries, StreamConfig(mu=250, group="Q1"), seed=5)
+        sample = stream.partitioning_sample(500)
+        plan = MetricTextPartitioner().partition(sample, 4)
+        tuples = list(stream.tuples(700))
+
+        def run(backend):
+            adjuster = GlobalAdjuster(HybridPartitioner(), improvement_threshold=0.01)
+            report, _ = run_backend(
+                plan, tuples, backend,
+                batch_size=100, adjust_every=250, global_adjuster=adjuster,
+            )
+            history = [
+                (entry.checked, entry.repartitioned, entry.finalized)
+                for entry in adjuster.history
+            ]
+            return report, history
+
+        ref_report, ref_history = run("inprocess")
+        mp_report, mp_history = run("multiprocess")
+        assert any(repartitioned for _, repartitioned, _ in ref_history)
+        assert mp_history == ref_history
+        assert_identical(ref_report, mp_report)
+
+    def test_explicit_migration_between_processes(self):
+        """migrate_cells ships assignments between worker processes."""
+        plan, tuples = make_workload(num_objects=400)
+
+        def run(backend):
+            config = ClusterConfig(num_dispatchers=2, num_workers=4, backend=backend)
+            with Cluster(plan, config) as cluster:
+                cluster.run_batched(tuples, batch_size=128)
+                loads = cluster.worker_load_report()
+                source, target = loads.most_loaded(), loads.least_loaded()
+                cells = [s.cell for s in cluster.worker_cell_stats(source)[:4]]
+                assert cells, "the loaded worker must own cells"
+                record = cluster.migrate_cells(source, target, cells)
+                report = cluster.report()
+                populations = {
+                    worker_id: worker.query_count
+                    for worker_id, worker in sorted(cluster.workers.items())
+                }
+            return record, report, populations
+
+        ref_record, ref_report, ref_pop = run("inprocess")
+        mp_record, mp_report, mp_pop = run("multiprocess")
+        assert mp_record == ref_record
+        assert mp_pop == ref_pop
+        assert_identical(ref_report, mp_report)
+
+
+class TestTransportMechanics:
+    def test_inprocess_workers_are_real_nodes(self):
+        plan, _ = make_workload(num_objects=0)
+        with Cluster(plan, ClusterConfig(num_workers=2)) as cluster:
+            assert isinstance(cluster.transport, InProcessTransport)
+            assert cluster.workers[0].index.query_count == 0
+
+    def test_barrier_epochs_advance(self):
+        plan, _ = make_workload(num_objects=0)
+        config = ClusterConfig(num_dispatchers=1, num_workers=2, backend="multiprocess")
+        with Cluster(plan, config) as cluster:
+            assert isinstance(cluster.transport, MultiprocessTransport)
+            assert cluster.transport.barrier() == 1
+            assert cluster.transport.barrier() == 2
+
+    def test_remote_errors_surface_as_transport_errors(self):
+        plan, _ = make_workload(num_objects=0)
+        config = ClusterConfig(num_dispatchers=1, num_workers=1, backend="multiprocess")
+        with Cluster(plan, config) as cluster:
+            with pytest.raises(TransportError, match="no_such_method"):
+                cluster.transport.call(0, ("index", "no_such_method"))
+
+    def test_failed_exchange_drains_other_workers(self):
+        """A failing worker must not leave other replies queued on the pipes."""
+        from repro.runtime.transport import RouteBatch, StatsReport
+
+        plan, _ = make_workload(num_objects=0)
+        config = ClusterConfig(num_dispatchers=1, num_workers=2, backend="multiprocess")
+        with Cluster(plan, config) as cluster:
+            transport = cluster.transport
+            with pytest.raises(TransportError):
+                transport.exchange({0: RouteBatch(("not-an-op",)), 1: RouteBatch(())})
+            # Worker 1's (empty) reply was consumed, so the pipes are still
+            # in protocol sync and later requests see fresh replies.
+            stats = transport.worker_stats()
+            assert set(stats) == {0, 1}
+            assert all(isinstance(entry, StatsReport) for entry in stats.values())
+
+    def test_close_is_idempotent_and_ends_workers(self):
+        plan, _ = make_workload(num_objects=0)
+        config = ClusterConfig(num_dispatchers=1, num_workers=2, backend="multiprocess")
+        cluster = Cluster(plan, config)
+        processes = list(cluster.transport._processes.values())
+        assert all(process.is_alive() for process in processes)
+        cluster.close()
+        cluster.close()
+        assert all(not process.is_alive() for process in processes)
+
+    def test_unknown_backend_rejected(self):
+        plan, _ = make_workload(num_objects=0)
+        with pytest.raises(ValueError, match="unknown transport backend"):
+            Cluster(plan, ClusterConfig(num_workers=2, backend="carrier-pigeon"))

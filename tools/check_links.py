@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's documentation.
+
+Scans every tracked ``*.md`` file for inline links ``[text](target)`` and
+verifies that
+
+* relative file targets exist (anchors stripped first);
+* in-file and cross-file ``#anchors`` match a heading of the target file,
+  using GitHub's slugification (lower-case, punctuation dropped, spaces
+  to dashes);
+* no link points outside the repository.
+
+External ``http(s):``/``mailto:`` links are ignored — CI must stay
+deterministic and offline.  Exits non-zero listing every broken link, so
+the CI docs job fails when documentation drifts from the tree.
+
+Usage::
+
+    python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax with a leading ``!``.
+LINK_RE = re.compile(r"!?\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = unicodedata.normalize("NFKD", heading.strip().lower())
+    text = re.sub(r"[`*_~\[\]()§]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    content = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match.group(1)) for match in HEADING_RE.finditer(content)}
+
+
+def check_file(markdown_path: Path, root: Path) -> list:
+    errors = []
+    content = CODE_FENCE_RE.sub("", markdown_path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        if target:
+            resolved = (markdown_path.parent / target).resolve()
+            if root not in resolved.parents and resolved != root:
+                errors.append("%s: link escapes the repository: %s" % (markdown_path, target))
+                continue
+            if not resolved.exists():
+                errors.append("%s: broken link target: %s" % (markdown_path, target))
+                continue
+        else:
+            resolved = markdown_path
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                errors.append(
+                    "%s: missing anchor #%s in %s"
+                    % (markdown_path, anchor, resolved.relative_to(root))
+                )
+    return errors
+
+
+def main(argv) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    markdown_files = [
+        path for path in sorted(root.rglob("*.md"))
+        if ".git" not in path.parts and "node_modules" not in path.parts
+    ]
+    errors = []
+    for markdown_path in markdown_files:
+        errors.extend(check_file(markdown_path, root))
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print("%d broken link(s) in %d file(s) scanned" % (len(errors), len(markdown_files)),
+              file=sys.stderr)
+        return 1
+    print("OK: %d markdown files, all links resolve" % len(markdown_files))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
