@@ -25,6 +25,7 @@ from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
 from ..partitioning.base import PartitionPlan, Partitioner, WorkloadSample
 from ..runtime.cluster import Cluster, MigrationRecord
+from ..runtime.dispatch import group_triples
 from ..runtime.worker import QueryAssignment
 
 __all__ = ["DualRoutingIndex", "GlobalAdjuster", "RepartitionReport"]
@@ -199,6 +200,14 @@ class GlobalAdjuster:
         the surviving assignments — registration is an explicit step here,
         not a ``route_insertion`` side effect, so H2 reference counts are
         exact whichever strategy originally placed each query.
+
+        Worker traffic is batched per worker, not per query: the snapshot
+        (live queries plus their exact registrations) is pulled in two
+        bulk reads per worker, the reconciliation plan is computed on the
+        coordinator, and each worker applies its whole plan through one
+        :meth:`~repro.runtime.worker.WorkerNode.reconcile_queries` call —
+        a constant number of round trips per worker per round on a remote
+        backend, instead of several proxy RPCs per query.
         """
         report = RepartitionReport(checked=True)
         routing = cluster.routing_index
@@ -206,78 +215,101 @@ class GlobalAdjuster:
             self.history.append(report)
             return report
         new_index = routing.new_index
-        # 1. The new strategy's assignment of every live query, computed
-        #    once per query, plus the workers currently holding a replica.
+        # 1. Snapshot every worker in bulk — its live queries and their
+        #    exact (cell, posting keyword) registrations — and compute the
+        #    new strategy's assignment of every live query once.
         plans: Dict[
             int,
             Tuple[STSQuery, List[Tuple[CellCoord, str, int]], Dict[int, List[Tuple[CellCoord, str]]]],
         ] = {}
         holders: Dict[int, List[int]] = {}
-        for worker in cluster.workers.values():
+        worker_pairs: Dict[int, Dict[int, List[Tuple[CellCoord, str]]]] = {}
+        new_grid = new_index.grid
+        grid_aligned: Dict[int, bool] = {}
+        for worker_id in sorted(cluster.workers):
+            worker = cluster.workers[worker_id]
+            grid_aligned[worker_id] = worker.index.grid == new_grid
+            worker_pairs[worker_id] = worker.index.posting_pairs_by_query()
             for query in worker.index.queries():
-                holders.setdefault(query.query_id, []).append(worker.worker_id)
+                holders.setdefault(query.query_id, []).append(worker_id)
                 if query.query_id not in plans:
                     triples, _ = new_index.posting_assignments(query)
-                    per_worker: Dict[int, List[Tuple[CellCoord, str]]] = {}
-                    for coord, key, target in triples:
-                        per_worker.setdefault(target, []).append((coord, key))
-                    plans[query.query_id] = (query, triples, per_worker)
+                    plans[query.query_id] = (query, triples, group_triples(triples))
         # 2. Rebuild the new index's H2 from scratch out of those plans.
         new_index.clear_h2()
         for _, triples, _ in plans.values():
             new_index.apply_insertion(triples)
-        # 3. Reconcile every replica to exactly its per-worker pairs, and
-        #    ship the pairs of workers that gained the query.  The pair
-        #    coordinates live on the *routing* grid: they are installed
-        #    verbatim only into grid-aligned workers; an unaligned worker
-        #    re-registers at keyword granularity on its own grid (the same
-        #    fallback the dispatcher path uses when cells are unaligned).
-        new_grid = new_index.grid
+        # 3. Build one reconciliation plan per worker: every replica ends
+        #    at exactly its per-worker pairs, workers gaining a query
+        #    receive only those pairs.  The pair coordinates live on the
+        #    *routing* grid: they are installed verbatim only into
+        #    grid-aligned workers; an unaligned worker re-registers at
+        #    keyword granularity on its own grid (the same fallback the
+        #    dispatcher path uses when cells are unaligned).
+        removals: Dict[int, List[int]] = {wid: [] for wid in cluster.workers}
+        pair_removals: Dict[int, List[Tuple[int, List[Tuple[CellCoord, str]]]]] = {
+            wid: [] for wid in cluster.workers
+        }
+        pair_additions: Dict[int, List[Tuple[STSQuery, List[Tuple[CellCoord, str]]]]] = {
+            wid: [] for wid in cluster.workers
+        }
+        installs: Dict[int, List[QueryAssignment]] = {wid: [] for wid in cluster.workers}
+        reinserts: Dict[int, List[Tuple[STSQuery, List[str]]]] = {
+            wid: [] for wid in cluster.workers
+        }
         shipped_bytes = 0
         shipped_count = 0
         rehomed_queries = 0
         for query_id, (query, _, per_worker) in plans.items():
             holding = holders.get(query_id, [])
             for worker_id in holding:
-                worker = cluster.workers[worker_id]
                 expected = per_worker.get(worker_id)
                 if expected is None:
-                    worker.index.remove_queries([query_id])
+                    removals[worker_id].append(query_id)
                     continue
-                if worker.index.grid != new_grid:
-                    worker.index.remove_queries([query_id])
-                    worker.index.insert(
-                        query, posting_plan={key: None for _, key in expected}
-                    )
+                if not grid_aligned[worker_id]:
+                    reinserts[worker_id].append((query, [key for _, key in expected]))
                     continue
-                actual = worker.index.posting_pairs_of_query(query_id)
                 expected_set = set(expected)
-                actual_set = set(actual)
+                actual_set = set(worker_pairs[worker_id].get(query_id, ()))
                 stale_pairs = actual_set - expected_set
                 if stale_pairs:
-                    worker.index.remove_pairs(query_id, stale_pairs)
+                    pair_removals[worker_id].append((query_id, sorted(stale_pairs)))
                 missing = expected_set - actual_set
                 if missing:
-                    worker.index.add_pairs(query, sorted(missing))
+                    pair_additions[worker_id].append((query, sorted(missing)))
             holding_set = set(holding)
             gained = False
             for worker_id, pairs in per_worker.items():
                 if worker_id in holding_set:
                     continue
-                worker = cluster.workers[worker_id]
-                if worker.index.grid != new_grid:
-                    worker.index.insert(
-                        query, posting_plan={key: None for _, key in pairs}
-                    )
+                if not grid_aligned[worker_id]:
+                    reinserts[worker_id].append((query, [key for _, key in pairs]))
                 else:
-                    worker.install_queries(
-                        [QueryAssignment(query, tuple(sorted(pairs)), True)]
+                    installs[worker_id].append(
+                        QueryAssignment(query, tuple(sorted(pairs)), True)
                     )
                 shipped_bytes += query.size_bytes()
                 shipped_count += 1
                 gained = True
             if gained:
                 rehomed_queries += 1
+        # 4. Apply: one bulk message per worker.
+        for worker_id in sorted(cluster.workers):
+            if (
+                removals[worker_id]
+                or pair_removals[worker_id]
+                or pair_additions[worker_id]
+                or installs[worker_id]
+                or reinserts[worker_id]
+            ):
+                cluster.workers[worker_id].reconcile_queries(
+                    removals[worker_id],
+                    pair_removals[worker_id],
+                    pair_additions[worker_id],
+                    installs[worker_id],
+                    reinserts[worker_id],
+                )
         if shipped_count:
             report.queries_migrated = rehomed_queries
             report.bytes_migrated = shipped_bytes

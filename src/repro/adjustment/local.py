@@ -54,6 +54,10 @@ class AdjustmentReport:
     cells_moved: int = 0
     phase1_splits: int = 0
     records: List[MigrationRecord] = field(default_factory=list)
+    #: Routing-structure bytes per dispatcher at the round's fence
+    #: (Figure 9): the analytic estimate under inline dispatch, the
+    #: *measured* per-shard replica footprint under sharded dispatch.
+    dispatcher_memory_bytes: Dict[int, int] = field(default_factory=dict)
 
     @property
     def migration_cost_mb(self) -> float:
@@ -84,6 +88,10 @@ class LocalLoadAdjuster:
     def adjust(self, cluster: Cluster) -> AdjustmentReport:
         """Run one adjustment round on ``cluster`` and record the outcome."""
         report = AdjustmentReport()
+        # Recorded at the round's fence, before any migration mutates H1:
+        # sharded dispatch replicas are still in sync here, so the
+        # measured per-shard values equal the analytic estimate.
+        report.dispatcher_memory_bytes = cluster.dispatcher_memory_report()
         loads = cluster.worker_load_report()
         report.imbalance_before = loads.imbalance
         report.imbalance_after = loads.imbalance
@@ -190,9 +198,14 @@ class LocalLoadAdjuster:
         queries = index.queries_in_cell(cell)
         if len(queries) < 2:
             return {}
+        # One bulk fetch for the whole cell (a single RPC round trip on a
+        # remote worker backend) instead of one call per query.
+        pairs_by_query = index.posting_pairs_of_queries(
+            [query.query_id for query in queries]
+        )
         keyword_load: Counter = Counter()
         for query in queries:
-            for coord, key in index.posting_pairs_of_query(query.query_id):
+            for coord, key in pairs_by_query.get(query.query_id, ()):
                 if coord == cell:
                     keyword_load[key] += 1
         if len(keyword_load) < 2:

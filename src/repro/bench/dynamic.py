@@ -130,6 +130,7 @@ def _build_imbalanced_cluster(
     adjust_every: int = 0,
     local_adjuster=None,
     backend: str = "inprocess",
+    dispatch_backend: str = "inline",
 ) -> Tuple[Cluster, WorkloadStream]:
     """A deployment with a genuinely overloaded worker.
 
@@ -154,6 +155,7 @@ def _build_imbalanced_cluster(
         migration_bandwidth_bytes_per_sec=5_000.0,
         migration_fixed_seconds=0.15,
         backend=backend,
+        dispatch_backend=dispatch_backend,
     )
     cluster = Cluster(plan, config)
     try:
@@ -213,6 +215,7 @@ def run_migration_experiment(
     batch_size: int = 0,
     adjust_every: int = 0,
     backend: str = "inprocess",
+    dispatch_backend: str = "inline",
 ) -> MigrationExperimentResult:
     """Trigger a local adjustment with ``selector_name`` and measure it.
 
@@ -232,11 +235,12 @@ def run_migration_experiment(
             adjust_every=adjust_every,
             local_adjuster=adjuster,
             backend=backend,
+            dispatch_backend=dispatch_backend,
         )
     else:
         cluster, stream = _build_imbalanced_cluster(
             mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size,
-            backend=backend,
+            backend=backend, dispatch_backend=dispatch_backend,
         )
     with cluster:
         if adjust_every > 0:
@@ -292,6 +296,7 @@ def run_drift_experiment(
     batch_size: int = 0,
     adjust_every: int = 0,
     backend: str = "inprocess",
+    dispatch_backend: str = "inline",
 ) -> DriftExperimentResult:
     """Replay a drifting Q3 workload with or without dynamic adjustment.
 
@@ -311,7 +316,10 @@ def run_drift_experiment(
     )
     sample = stream.partitioning_sample(max(1500, mu))
     plan = HybridPartitioner().partition(sample, num_workers)
-    with Cluster(plan, ClusterConfig(num_workers=num_workers, backend=backend)) as cluster:
+    cluster_config = ClusterConfig(
+        num_workers=num_workers, backend=backend, dispatch_backend=dispatch_backend
+    )
+    with Cluster(plan, cluster_config) as cluster:
         _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)
 
         adjuster = LocalLoadAdjuster(selector_by_name("GR", seed=seed), sigma=sigma)

@@ -108,6 +108,10 @@ class ExperimentConfig:
     #: Worker transport backend: "inprocess" (reference) or "multiprocess"
     #: (one OS process per worker; real multi-core matching).
     backend: str = "inprocess"
+    #: Dispatch backend: "inline" routes on the coordinator (reference),
+    #: "inprocess"/"multiprocess" shard routing across num_dispatchers
+    #: replicas of the routing index (real multi-core routing).
+    dispatch_backend: str = "inline"
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -138,6 +142,7 @@ class ExperimentConfig:
             config.adjust_every,
             config.adjuster,
             config.backend,
+            config.dispatch_backend,
             partitioner_name,
         )
 
@@ -190,6 +195,7 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
         gridt_granularity=scaled.granularity,
         latency_load_fraction=scaled.latency_load_fraction,
         backend=scaled.backend,
+        dispatch_backend=scaled.dispatch_backend,
     )
     cluster = Cluster(plan, cluster_config)
 

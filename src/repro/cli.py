@@ -81,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "in this interpreter (reference), 'multiprocess' runs each "
                  "of the --workers as its own OS process for real multi-core "
                  "matching (default: inprocess)")
+        sub.add_argument(
+            "--dispatch-backend", choices=["inline", "inprocess", "multiprocess"],
+            default="inline",
+            help="dispatch backend: 'inline' routes every tuple on the "
+                 "coordinator (reference), 'inprocess'/'multiprocess' shard "
+                 "routing across the --dispatchers, each shard owning its "
+                 "own replica of the routing index; 'multiprocess' runs one "
+                 "OS process per shard and pipelines routing of the next "
+                 "window against worker matching of the current one "
+                 "(default: inline)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -114,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     adjust_parser.add_argument(
         "--backend", choices=["inprocess", "multiprocess"], default="inprocess",
         help="worker transport backend (see 'run --help'; default: inprocess)")
+    adjust_parser.add_argument(
+        "--dispatch-backend", choices=["inline", "inprocess", "multiprocess"],
+        default="inline",
+        help="dispatch backend (see 'run --help'; default: inline)")
     return parser
 
 
@@ -131,6 +145,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         adjust_every=args.adjust_every,
         adjuster=args.adjuster,
         backend=args.backend,
+        dispatch_backend=args.dispatch_backend,
     )
 
 
@@ -191,7 +206,7 @@ def _command_adjust(args: argparse.Namespace, out) -> int:
     result = run_migration_experiment(
         args.selector, args.mu, num_objects=args.objects, num_workers=args.workers,
         batch_size=args.batch_size, adjust_every=args.adjust_every,
-        backend=args.backend,
+        backend=args.backend, dispatch_backend=args.dispatch_backend,
     )
     buckets = result.latency_buckets
     rows = [

@@ -564,6 +564,36 @@ class GI2Index:
         """
         return list(self._query_postings.get(query_id, ()))
 
+    def posting_pairs_of_queries(
+        self, query_ids: Iterable[int]
+    ) -> Dict[int, List[Tuple[CellCoord, str]]]:
+        """Bulk :meth:`posting_pairs_of_query` for many queries at once.
+
+        One call (hence one RPC round trip on a remote worker backend)
+        replaces a per-query loop — the Section V adjusters read whole
+        cells' worth of assignments when deciding a Phase I split.
+        """
+        postings = self._query_postings
+        return {
+            query_id: list(postings.get(query_id, ()))
+            for query_id in query_ids
+        }
+
+    def posting_pairs_by_query(self) -> Dict[int, List[Tuple[CellCoord, str]]]:
+        """The ``(cell, posting keyword)`` registrations of every live query.
+
+        The global adjuster's finalisation snapshot: everything it needs to
+        reconcile this worker against a new strategy, fetched in a single
+        round trip instead of one ``posting_pairs_of_query`` call per query.
+        Lazily deleted queries are excluded (they no longer ship anywhere).
+        """
+        pending = self._pending_deletions
+        return {
+            query_id: list(recorded)
+            for query_id, recorded in self._query_postings.items()
+            if query_id not in pending
+        }
+
     def extract_cell_assignments(
         self, cells: Iterable[CellCoord]
     ) -> List[Tuple[STSQuery, List[Tuple[CellCoord, str]]]]:

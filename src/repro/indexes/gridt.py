@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from zlib import crc32
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.geometry import Point, Rect
@@ -430,9 +431,14 @@ class GridTIndex:
         optional ``h1_memo`` caches resolved ``(cell, keyword) -> worker``
         H1 lookups across queries; it is only sound while H1 is static
         (i.e. between migrations), which is how the batched engine uses it.
+
+        Posting keywords are visited in sorted order so the assignment
+        *sequence* (not just its content) is identical on every replica of
+        this index — sharded dispatch compares per-worker plans computed
+        in different OS processes, where raw set iteration order diverges.
         """
         assignments: List[Tuple[CellCoord, str, int]] = []
-        posting_keys = query.expression.posting_keywords(self._statistics)
+        posting_keys = sorted(query.expression.posting_keywords(self._statistics))
         coords = self._grid.cells_overlapping(query.region)
         cells_get = self._cells.get
         for coord in coords:
@@ -504,8 +510,10 @@ class GridTIndex:
         cells_map = self._cells
         cells_get = cells_map.get
         per_worker: Dict[int, List[Tuple[CellCoord, str]]] = {}
+        # Sorted keys keep the plan sequence replica-independent (see
+        # posting_assignments); the single-key fast path needs no sort.
         single_key = next(iter(posting_keys)) if len(posting_keys) == 1 else None
-        keys_tuple = (single_key,) if single_key is not None else tuple(posting_keys)
+        keys_tuple = (single_key,) if single_key is not None else tuple(sorted(posting_keys))
         for row in range(lo_row, hi_row + 1):
             for col in range(lo_col, hi_col + 1):
                 coord = (col, row)
@@ -594,12 +602,15 @@ class GridTIndex:
         """Deterministic destination for terms in uncovered cells.
 
         Falls back to hashing the term over the set of known workers so a
-        query is never silently dropped.
+        query is never silently dropped.  The hash must be stable across
+        interpreter processes (``PYTHONHASHSEED`` randomises ``hash(str)``
+        per process): sharded dispatch routes on per-process replicas of
+        this index, and every replica must fall back identically.
         """
         workers = sorted(self.workers())
         if not workers:
             return None
-        return workers[hash(term) % len(workers)]
+        return workers[crc32(term.encode("utf-8")) % len(workers)]
 
     def route_insertion(self, query: STSQuery) -> Set[int]:
         """Route a query insertion and update H2; returns target workers."""

@@ -8,10 +8,21 @@ dispatcher→worker→merger communication is an explicit typed-message
 transport (:mod:`repro.runtime.transport`) with two backends: the
 in-process reference and a multiprocess backend that hosts each worker in
 its own OS process (``ClusterConfig.backend`` / ``--backend`` on the CLI).
+Routing itself scales the same way through the sharded dispatch stage
+(:mod:`repro.runtime.dispatch`, ``ClusterConfig.dispatch_backend`` /
+``--dispatch-backend``): each dispatcher shard routes its slice of the
+stream on its own replica of the routing index, off the coordinator.
 See docs/ARCHITECTURE.md for the dataflow walkthrough.
 """
 
 from .cluster import Cluster, ClusterConfig, MigrationRecord, PeriodSampleCollector
+from .dispatch import (
+    DISPATCH_BACKENDS,
+    DispatchBackend,
+    InProcessDispatch,
+    MultiprocessDispatch,
+    make_dispatch,
+)
 from .dispatcher import DispatcherNode, RoutingDecision
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
@@ -29,8 +40,13 @@ from .worker import QueryAssignment, WorkerNode
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "DISPATCH_BACKENDS",
+    "DispatchBackend",
     "DispatcherNode",
+    "InProcessDispatch",
     "InProcessTransport",
+    "MultiprocessDispatch",
+    "make_dispatch",
     "LatencyBuckets",
     "LatencyTracker",
     "MergerNode",

@@ -48,6 +48,23 @@ reference semantics); ``backend="multiprocess"`` on
 coordinator shipping every worker's window batch before collecting any
 reply so matching runs on all cores (see docs/ARCHITECTURE.md).
 
+Routing itself can likewise leave the coordinator:
+``ClusterConfig.dispatch_backend`` selects the sharded dispatch stage
+(:mod:`repro.runtime.dispatch`).  With ``"inline"`` (default) the
+coordinator routes every tuple exactly as described above.  With
+``"inprocess"`` or ``"multiprocess"`` the window is partitioned across
+``num_dispatchers`` dispatcher shards, each owning a replica of the
+routing index: shards route their slice (applying every query update so
+replicas stay in sync), the coordinator merges the position-tagged
+replies back into stream order and replays the same deferred-barrier
+segmentation — reports stay byte-identical to inline routing
+(``tests/test_dispatch.py``) while the multiprocess backend routes
+window ``K+1`` on the shards while the workers still match window ``K``.
+Out-of-band H1 mutations (migrations, splits, index swaps) bump a
+routing version via :meth:`Cluster.invalidate_routing_caches`; the
+replicas are re-synced from the coordinator's authoritative index before
+the next routed window.
+
 Both paths record per-tuple traces in compact parallel arrays
 (:class:`_TraceStore`) rather than one Python object per tuple, so latency
 reconstruction over a measurement period stays cheap at stream scale.
@@ -72,7 +89,8 @@ from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
 from ..partitioning.base import PartitionPlan, WorkloadSample
 from ..workload.stream import iter_windows
-from .dispatcher import DispatcherNode
+from .dispatch import DispatchBackend, RoutedWindow, group_triples, make_dispatch
+from .dispatcher import DispatcherNode, RoutingDecision
 from .merger import MergerNode
 from .metrics import LatencyTracker, RunReport, utilization_latency
 from .transport import (
@@ -130,6 +148,11 @@ class ClusterConfig:
     #: the coordinator's interpreter (the reference), ``"multiprocess"``
     #: runs each worker in its own OS process (real multi-core matching).
     backend: str = "inprocess"
+    #: Dispatch backend: ``"inline"`` routes on the coordinator (the
+    #: reference), ``"inprocess"`` / ``"multiprocess"`` shard routing
+    #: across ``num_dispatchers`` replicas of the routing index — the
+    #: latter one OS process per shard (real multi-core routing).
+    dispatch_backend: str = "inline"
 
 
 @dataclass(frozen=True)
@@ -334,6 +357,17 @@ class Cluster:
             int, Tuple[Dict[int, List[Tuple[CellCoord, str]]], int]
         ] = {}
         self._cells_aligned = self._compute_cells_aligned()
+        # Sharded dispatch: shard replicas route off the coordinator; the
+        # routing version stamps every out-of-band H1/H2 mutation so
+        # _ensure_dispatch_synced() knows when to re-ship a snapshot.
+        self._routing_version = 0
+        try:
+            self._dispatch: Optional[DispatchBackend] = make_dispatch(
+                self.config.dispatch_backend, self.config.num_dispatchers
+            )
+        except Exception:
+            self.transport.close()
+            raise
 
     def _compute_cells_aligned(self) -> bool:
         """True when the routing grid matches the workers' GI2 grids.
@@ -353,8 +387,11 @@ class Cluster:
 
         The gridt object-route memo is version-guarded (H2 changes never
         serve stale entries), but its stale entries would linger as dead
-        memory, so it is flushed here as well.
+        memory, so it is flushed here as well.  The routing version bump
+        marks every dispatch-shard replica stale; the next routed window
+        (or memory report) re-syncs them from the authoritative index.
         """
+        self._routing_version += 1
         self._h1_memo.clear()
         self._insertion_assignments.clear()
         clear = getattr(self.routing_index, "clear_route_caches", None)
@@ -366,6 +403,84 @@ class Cluster:
                 cache.clear()
 
     # ------------------------------------------------------------------
+    # Sharded dispatch plumbing
+    # ------------------------------------------------------------------
+    def _sharded_routing(self) -> bool:
+        """Whether routing currently runs on the dispatch shards.
+
+        Requires a sharded backend, a plain aligned gridt index (the same
+        precondition as the deferred-barrier fast path — the shard merge
+        replays that segmentation).  Other deployments (dual routing
+        during a global drain, unaligned grids) route inline on the
+        coordinator; every inline update then marks the replicas stale so
+        they re-sync when sharding resumes.
+        """
+        return (
+            self._dispatch is not None
+            and self._cells_aligned
+            and type(self.routing_index) is GridTIndex
+        )
+
+    def _ensure_dispatch_synced(self) -> None:
+        """Re-ship the routing index to the shards if the version moved."""
+        dispatch = self._dispatch
+        if dispatch is not None and dispatch.synced_version != self._routing_version:
+            dispatch.sync(self.routing_index, self._routing_version)
+
+    def _mark_routing_mutated(self) -> None:
+        """Note an inline H2 mutation so stale shard replicas re-sync."""
+        if self._dispatch is not None:
+            self._routing_version += 1
+
+    def _route_tuple_sharded(
+        self, slot: int, item: StreamTuple, dispatcher: DispatcherNode
+    ) -> RoutingDecision:
+        """Route one tuple on its dispatch shard (per-tuple sharded path).
+
+        The shard owning dispatcher slot ``slot`` computes the decision on
+        its replica (updates are broadcast so every replica applies the H2
+        delta); the coordinator charges the matching
+        :class:`DispatcherNode` with the Definition-1 routing cost and
+        applies the update's plan to its authoritative index — exactly
+        what :meth:`DispatcherNode.route` does inline, so the per-tuple
+        reference semantics carry over byte for byte.
+        """
+        self._ensure_dispatch_synced()
+        assert self._dispatch is not None
+        routed = self._dispatch.route_tuple(slot, item)
+        tuple_cost = DispatcherNode.TUPLE_COST
+        probe_cost = DispatcherNode.PROBE_COST
+        if item.kind is TupleKind.OBJECT:
+            terms = len(item.payload.terms)
+            cost = tuple_cost + probe_cost * (terms if terms > 1 else 1)
+            discarded = not routed.workers
+            dispatcher.account_objects(1, 1 if discarded else 0, cost)
+            return RoutingDecision(workers=routed.workers, cost=cost, discarded=discarded)
+        cells = routed.cells
+        cost = tuple_cost + probe_cost * (cells if cells > 1 else 1)
+        per_worker = routed.plan
+        assert per_worker is not None
+        if item.kind is TupleKind.INSERT:
+            dispatcher.account_insertion(cost)
+            self.routing_index.apply_insertion(
+                (coord, key, worker)
+                for worker, pairs in per_worker.items()
+                for coord, key in pairs
+            )
+            return RoutingDecision(workers=routed.workers, cost=cost, assignments=per_worker)
+        dispatcher.account_deletion(cost)
+        self.routing_index.apply_deletion_pairs(per_worker)
+        return RoutingDecision(workers=routed.workers, cost=cost)
+
+    def _submit_window(self, items: Sequence[StreamTuple]) -> Tuple[int, int]:
+        """Reserve the window's dispatcher slots and submit it to the shards."""
+        self._ensure_dispatch_synced()
+        assert self._dispatch is not None
+        base = self._next_dispatcher
+        self._next_dispatcher = (base + len(items)) % len(self.dispatchers)
+        return self._dispatch.submit_window(items, base), base
+
+    # ------------------------------------------------------------------
     # Tuple processing (per-tuple reference path)
     # ------------------------------------------------------------------
     def process(self, item: StreamTuple, *, trace: bool = True) -> Set[int]:
@@ -373,9 +488,17 @@ class Cluster:
 
         Returns the set of workers that handled the tuple.
         """
-        dispatcher = self.dispatchers[self._next_dispatcher]
-        self._next_dispatcher = (self._next_dispatcher + 1) % len(self.dispatchers)
-        decision = dispatcher.route(item)
+        slot = self._next_dispatcher
+        dispatcher = self.dispatchers[slot]
+        self._next_dispatcher = (slot + 1) % len(self.dispatchers)
+        if self._sharded_routing():
+            decision = self._route_tuple_sharded(slot, item, dispatcher)
+        else:
+            decision = dispatcher.route(item)
+            if item.kind is not TupleKind.OBJECT:
+                # Inline update while shard replicas exist: their H2 no
+                # longer matches the coordinator's, so mark them stale.
+                self._mark_routing_mutated()
         worker_costs: List[Tuple[int, float]] = []
         handled: Set[int] = set()
         results: List[MatchResult] = []
@@ -495,8 +618,39 @@ class Cluster:
             )
         if batch_size <= 1:
             return self.run(tuples, trace=trace)
+        dispatch = self._dispatch
+        if dispatch is None or not dispatch.supports_pipelining:
+            for window in iter_windows(tuples, batch_size):
+                self.process_batch(window, trace=trace)
+            return self.report()
+        # Pipelined sharded replay: collect window K's routing, submit
+        # window K+1 to the shards, then run worker matching of K — shard
+        # routing of the next window overlaps worker matching of the
+        # current one (dispatcher→worker pipelining).  At most one window
+        # is ever in flight, and K's worker ops still ship before K+1's.
+        pending: Optional[Tuple[Sequence[StreamTuple], int, int]] = None
         for window in iter_windows(tuples, batch_size):
-            self.process_batch(window, trace=trace)
+            if not self._sharded_routing():
+                if pending is not None:
+                    items, base, seq = pending
+                    self._apply_routed_window(
+                        items, base, dispatch.collect_window(seq), trace
+                    )
+                    pending = None
+                self.process_batch(window, trace=trace)
+                continue
+            if pending is None:
+                seq, base = self._submit_window(window)
+                pending = (window, base, seq)
+                continue
+            items, prev_base, prev_seq = pending
+            routed = dispatch.collect_window(prev_seq)
+            seq, base = self._submit_window(window)
+            pending = (window, base, seq)
+            self._apply_routed_window(items, prev_base, routed, trace)
+        if pending is not None:
+            items, base, seq = pending
+            self._apply_routed_window(items, base, dispatch.collect_window(seq), trace)
         return self.report()
 
     # ------------------------------------------------------------------
@@ -584,8 +738,14 @@ class Cluster:
         every worker acknowledges the new epoch before any adjuster reads
         or mutates state, so on the multiprocess backend all previously
         shipped window work is guaranteed applied on every worker process.
+        Sharded dispatch shards are fenced with the same epoch message, so
+        no shard is still routing when the adjusters start mutating H1;
+        the mutations themselves bump the routing version and the replicas
+        re-sync before the next routed window.
         """
         self.transport.barrier()
+        if self._dispatch is not None:
+            self._dispatch.barrier()
         if local_adjuster is not None:
             local_adjuster.adjust(self)
         if global_adjuster is not None:
@@ -607,7 +767,13 @@ class Cluster:
         adjustment) every update is a strict barrier.
         """
         if self._cells_aligned and type(self.routing_index) is GridTIndex:
-            self._process_batch_fast(items, trace)
+            if self._dispatch is not None:
+                seq, base = self._submit_window(items)
+                self._apply_routed_window(
+                    items, base, self._dispatch.collect_window(seq), trace
+                )
+            else:
+                self._process_batch_fast(items, trace)
             return
         pending: List = []
         object_kind = TupleKind.OBJECT
@@ -818,7 +984,7 @@ class Cluster:
                         per_worker, cells = cached
                     else:
                         triples, cells = routing.posting_assignments(query)
-                        per_worker = self._group_triples(triples)
+                        per_worker = group_triples(triples)
                     routing.apply_deletion_pairs(per_worker)
                     is_insert = False
                 pending_updates.append((position, is_insert, payload, per_worker, cells))
@@ -994,6 +1160,190 @@ class Cluster:
                 assert trace_workers is not None
                 trace_workers[position] = worker_items
 
+    def _apply_routed_window(
+        self,
+        items: Sequence[StreamTuple],
+        base: int,
+        routed: RoutedWindow,
+        trace: bool,
+    ) -> None:
+        """Consume one window the dispatch shards routed (sharded engine).
+
+        The deferred-barrier twin of :meth:`_process_batch_fast`: this
+        scan replays exactly the same segmentation, flush schedule,
+        dispatcher accounting and traces, but consumes the position-tagged
+        decisions and update plans of a merged
+        :class:`~repro.runtime.dispatch.RoutedWindow` instead of probing
+        the routing index — the routing work already happened on the
+        shards.  Any change to the segmentation rules must be mirrored in
+        both methods.  Update plans are also applied to the coordinator's
+        authoritative index here (pure H2 increments, no H1 probing), so
+        adjusters and migrations keep observing exact routing state.
+        """
+        routing = self.routing_index
+        count = len(items)
+        dispatchers = self.dispatchers
+        num_dispatchers = len(dispatchers)
+
+        grid = routing.grid
+        bounds = grid.bounds
+        min_x = bounds.min_x
+        min_y = bounds.min_y
+        cell_w = grid.cell_width
+        cell_h = grid.cell_height
+        max_col = grid.columns - 1
+        max_row = grid.rows - 1
+
+        trace_costs: Optional[List[float]] = [0.0] * count if trace else None
+        trace_workers: Optional[List[Optional[List[Tuple[int, float]]]]] = (
+            [None] * count if trace else None
+        )
+        dispatcher_costs = [0.0] * num_dispatchers
+        dispatcher_objects = [0] * num_dispatchers
+        dispatcher_discarded = [0] * num_dispatchers
+        dispatcher_update_costs = [0.0] * num_dispatchers
+        dispatcher_insertions = [0] * num_dispatchers
+        dispatcher_deletions = [0] * num_dispatchers
+
+        pending_positions: List[int] = []
+        pending_objects: List = []
+        pending_coords: List[CellCoord] = []
+        pending_groups: Dict[int, List[int]] = {}
+        pending_updates: List[Tuple] = []
+        object_cells: Set[CellCoord] = set()
+        touched: Set[CellCoord] = set()
+        touched_synced = 0
+
+        decisions = routed.decisions
+        plans = routed.plans
+        object_kind = TupleKind.OBJECT
+        tuple_cost = DispatcherNode.TUPLE_COST
+        probe_cost = DispatcherNode.PROBE_COST
+        workers_map = self.workers
+        apply_insertion = routing.apply_insertion
+        apply_deletion_pairs = routing.apply_deletion_pairs
+        window_objects = 0
+        window_fanout = 0
+
+        for position, item in enumerate(items):
+            if item.kind is object_kind:
+                obj = item.payload
+                window_objects += 1
+                slot = (base + position) % num_dispatchers
+                n_terms = len(obj.terms)
+                cost = tuple_cost + probe_cost * (n_terms if n_terms > 1 else 1)
+                dispatcher_costs[slot] += cost
+                dispatcher_objects[slot] += 1
+                if trace_costs is not None:
+                    trace_costs[position] = cost
+                decision = decisions[position]
+                if not decision:
+                    dispatcher_discarded[slot] += 1
+                    continue
+                location = obj.location
+                col = int((location.x - min_x) / cell_w)
+                row = int((location.y - min_y) / cell_h)
+                if col < 0:
+                    col = 0
+                elif col > max_col:
+                    col = max_col
+                if row < 0:
+                    row = 0
+                elif row > max_row:
+                    row = max_row
+                coord = (col, row)
+                if touched_synced < len(pending_updates):
+                    touched_add = touched.add
+                    for update in pending_updates[touched_synced:]:
+                        for pairs in update[3].values():
+                            for pair in pairs:
+                                touched_add(pair[0])
+                    touched_synced = len(pending_updates)
+                if coord in touched:
+                    if touched.isdisjoint(object_cells):
+                        self._flush_fast(
+                            [], [], [], {}, pending_updates, base,
+                            dispatcher_update_costs,
+                            dispatcher_insertions, dispatcher_deletions,
+                            trace_costs, trace_workers,
+                        )
+                    else:
+                        self._flush_fast(
+                            pending_positions, pending_objects, pending_coords,
+                            pending_groups, pending_updates, base,
+                            dispatcher_update_costs, dispatcher_insertions,
+                            dispatcher_deletions, trace_costs, trace_workers,
+                        )
+                        pending_positions = []
+                        pending_objects = []
+                        pending_coords = []
+                        pending_groups = {}
+                        object_cells = set()
+                    pending_updates = []
+                    touched = set()
+                    touched_synced = 0
+                local = len(pending_objects)
+                pending_positions.append(position)
+                pending_objects.append(obj)
+                pending_coords.append(coord)
+                object_cells.add(coord)
+                for worker_id in decision:
+                    if worker_id in workers_map:
+                        window_fanout += 1
+                        group = pending_groups.get(worker_id)
+                        if group is None:
+                            pending_groups[worker_id] = [local]
+                        else:
+                            group.append(local)
+            else:
+                is_insert, per_worker, cells = plans[position]
+                # The shard already routed the update; replay the H2 delta
+                # on the authoritative index (increments only, no probes).
+                if is_insert:
+                    apply_insertion(
+                        (coord, key, worker)
+                        for worker, pairs in per_worker.items()
+                        for coord, key in pairs
+                    )
+                else:
+                    apply_deletion_pairs(per_worker)
+                pending_updates.append(
+                    (position, is_insert, item.payload, per_worker, cells)
+                )
+        self._flush_fast(
+            pending_positions, pending_objects, pending_coords, pending_groups,
+            pending_updates, base,
+            dispatcher_update_costs, dispatcher_insertions, dispatcher_deletions,
+            trace_costs, trace_workers,
+        )
+        self._objects += window_objects
+        self._tuples_processed += window_objects
+        self._object_fanout_total += window_fanout
+        for slot in range(num_dispatchers):
+            if dispatcher_objects[slot]:
+                dispatchers[slot].account_objects(
+                    dispatcher_objects[slot],
+                    dispatcher_discarded[slot],
+                    dispatcher_costs[slot],
+                )
+            if dispatcher_insertions[slot] or dispatcher_deletions[slot]:
+                dispatchers[slot].account_updates(
+                    dispatcher_insertions[slot],
+                    dispatcher_deletions[slot],
+                    dispatcher_update_costs[slot],
+                )
+        if trace:
+            assert trace_costs is not None and trace_workers is not None
+            rotated = [
+                dispatchers[(base + offset) % num_dispatchers].dispatcher_id
+                for offset in range(num_dispatchers)
+            ]
+            self._traces.extend(
+                islice(cycle(rotated), count),
+                trace_costs,
+                trace_workers,
+            )
+
     def _process_object_run(self, objects: Sequence, trace: bool) -> None:
         """Route, match and merge a run of consecutive objects in bulk."""
         routing = self.routing_index
@@ -1086,20 +1436,6 @@ class Cluster:
                     worker_cost_lists[position],
                 )
 
-    @staticmethod
-    def _group_triples(
-        triples: List[Tuple[CellCoord, str, int]]
-    ) -> Dict[int, List[Tuple[CellCoord, str]]]:
-        """Group routing triples into the per-worker (cell, keyword) plan."""
-        per_worker: Dict[int, List[Tuple[CellCoord, str]]] = {}
-        for coord, key, worker in triples:
-            pairs = per_worker.get(worker)
-            if pairs is None:
-                per_worker[worker] = [(coord, key)]
-            else:
-                pairs.append((coord, key))
-        return per_worker
-
     def _process_update(self, item: StreamTuple, trace: bool) -> None:
         """Apply one insertion/deletion at its stream position (batched path).
 
@@ -1126,7 +1462,7 @@ class Cluster:
         if item.kind is TupleKind.INSERT:
             triples, cells = assignments_fn(query, self._h1_memo)
             routing.apply_insertion(triples)
-            per_worker = self._group_triples(triples)
+            per_worker = group_triples(triples)
             self._insertion_assignments[query.query_id] = (per_worker, cells)
         else:
             cached = self._insertion_assignments.pop(query.query_id, None)
@@ -1134,8 +1470,11 @@ class Cluster:
                 per_worker, cells = cached
             else:
                 triples, cells = assignments_fn(query, self._h1_memo)
-                per_worker = self._group_triples(triples)
+                per_worker = group_triples(triples)
             routing.apply_deletion_pairs(per_worker)
+        # Inline update while shard replicas exist (sharded dispatch falls
+        # back inline on unaligned deployments): mark the replicas stale.
+        self._mark_routing_mutated()
         cost = tuple_cost + probe_cost * (cells if cells > 1 else 1)
 
         workers_map = self.workers
@@ -1271,6 +1610,24 @@ class Cluster:
             }
         )
 
+    def dispatcher_memory_report(self) -> Dict[int, int]:
+        """Routing-structure bytes per dispatcher (Figure 9).
+
+        Inline dispatch charges the analytic estimate of the coordinator's
+        index once per simulated dispatcher, as the paper does.  Sharded
+        dispatch *measures* each shard's replica where it lives (after a
+        re-sync if the routing version moved) — byte-identical values when
+        the replicas are in sync, which ``tests/test_dispatch.py`` pins.
+        """
+        if self._dispatch is not None:
+            self._ensure_dispatch_synced()
+            memory = self._dispatch.shard_memory()
+            return {shard: memory[shard] for shard in sorted(memory)}
+        # Every inline dispatcher references the same routing index, so
+        # the O(cells x postings) estimate is computed once and fanned out.
+        estimate = self.routing_index.memory_bytes()
+        return {d.dispatcher_id: estimate for d in self.dispatchers}
+
     def report(self, input_rate: Optional[float] = None) -> RunReport:
         """Build the full :class:`RunReport` for the processed stream.
 
@@ -1293,7 +1650,7 @@ class Cluster:
             p95_latency_ms=tracker.percentile(95.0),
             latency_buckets=buckets,
             worker_loads={worker_id: s.load for worker_id, s in stats.items()},
-            dispatcher_memory={d.dispatcher_id: d.memory_bytes() for d in self.dispatchers},
+            dispatcher_memory=self.dispatcher_memory_report(),
             worker_memory={worker_id: s.memory_bytes for worker_id, s in stats.items()},
             matches_produced=self._matches_produced,
             matches_delivered=sum(m.delivered for m in self.mergers),
@@ -1426,11 +1783,14 @@ class Cluster:
     def close(self) -> None:
         """Release the worker backend (terminates multiprocess workers).
 
-        Idempotent; a no-op for the in-process backend.  Multiprocess
+        Idempotent; a no-op for the in-process backends.  Multiprocess
         clusters should be closed (or used as a context manager) once the
         run and its reports are done — worker state is unreachable after.
+        Releases the dispatch shards (if any) alongside the worker fleet.
         """
         self.transport.close()
+        if self._dispatch is not None:
+            self._dispatch.close()
 
     def __enter__(self) -> "Cluster":
         return self

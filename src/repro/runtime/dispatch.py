@@ -1,0 +1,753 @@
+"""Sharded dispatch: GridT routing as its own parallel pipeline stage.
+
+The paper's PS2Stream deployment scales *dispatchers* exactly like
+workers: Figure 9 charges the routing-structure memory once per
+dispatcher and Figure 11 grows both tiers together.  Until this module
+existed, the reproduction only parallelised the worker tier — all GridT
+routing ran serially on the coordinator, so ``--dispatchers`` changed the
+simulated accounting but never bought real parallelism.
+
+This module makes the dispatcher tier real.  The stream window is
+partitioned across ``N`` dispatcher **shards** — shard ``s`` owns the
+tuples whose round-robin dispatcher slot is ``s``, the exact assignment
+the serial engine already simulates — and each shard routes its slice on
+its **own replica** of the routing index:
+
+* every shard applies *every* query insertion/deletion to its replica (an
+  update's H2 effect must be visible to all later objects, whichever
+  shard routes them), mirroring the paper's model where each dispatcher
+  holds a full copy of the routing structure;
+* each shard routes only its *own* objects — the expensive part of
+  dispatch (per-term H2 probes, worker-set unions) — and returns one
+  position-tagged decision per object;
+* the coordinator merges the shard replies by stream position into one
+  :class:`RoutedWindow` and replays the deferred-barrier segmentation of
+  the batched engine over it, so each worker receives exactly the same
+  ordered ``RouteBatch`` messages the serial path would have produced —
+  reports stay byte-identical to single-threaded routing.
+
+Two backends mirror the worker transport of :mod:`.transport`:
+
+* :class:`InProcessDispatch` — the reference.  Shard replicas live in the
+  coordinator's interpreter (built by a pickle round trip, the same
+  construction the remote hosts use) and ``submit_window`` routes
+  synchronously.
+* :class:`MultiprocessDispatch` — one OS process per shard over a pickled
+  pipe.  ``submit_window`` only ships the slices; the coordinator
+  collects window ``K``'s replies *before* submitting ``K+1`` and runs
+  worker matching of window ``K`` *after* submitting ``K+1``, so shard
+  routing of the next window overlaps worker matching of the current one
+  (the dispatcher→worker pipelining of the paper's topology).
+
+Replica consistency: stream updates keep the replicas in sync
+incrementally.  Out-of-band H1 mutations — Section V cell migrations,
+Phase I text splits, routing-index swaps — go through
+``Cluster.invalidate_routing_caches``, which bumps a routing version; the
+cluster re-ships a version-stamped snapshot of its authoritative index to
+every shard before the next routed window (one sync per adjustment round,
+not per mutation).  Adjustment rounds additionally fence the shards with
+the same :class:`~repro.runtime.transport.AdjustBarrier` epoch message
+the worker tier uses, so no shard routes against pre-adjustment state.
+
+Routing on per-process replicas is only deterministic because the
+routing index itself is: posting-keyword iteration is sorted and the
+uncovered-cell fallback hashes with ``crc32`` (see
+:mod:`repro.indexes.gridt`), so two replicas in different interpreters
+always produce identical decisions and identical per-worker plans.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.geometry import Point
+from ..core.objects import StreamTuple, TupleKind
+from ..indexes.grid import CellCoord
+from .transport import AdjustBarrier, BarrierAck, RemoteError, Shutdown, TransportError
+
+__all__ = [
+    "DISPATCH_BACKENDS",
+    "DispatchBackend",
+    "InProcessDispatch",
+    "MultiprocessDispatch",
+    "RoutedWindow",
+    "TupleRouting",
+    "make_dispatch",
+]
+
+#: One update's per-worker ``(cell, posting keyword)`` routing plan.
+WorkerPlan = Dict[int, List[Tuple[CellCoord, str]]]
+
+#: The wire form of an object heading for routing: ``(position, x, y,
+#: terms)``.  Routing reads exactly an object's location and term set, so
+#: that is all that crosses a shard pipe — a full
+#: :class:`~repro.core.objects.SpatioTextualObject` would drag its raw
+#: text and metadata along for nothing.
+ObjectProbe = Tuple[int, float, float, Any]
+
+
+class _RoutingProbe:
+    """Lightweight stand-in exposing the two fields routing reads.
+
+    ``GridTIndex.route_object(_batch)`` only touches ``location`` and
+    ``terms``; reconstructing this probe on the shard (in parallel) is
+    cheaper than pickling whole objects on the coordinator (serially).
+    """
+
+    __slots__ = ("location", "terms")
+
+    def __init__(self, location: Point, terms: Any) -> None:
+        self.location = location
+        self.terms = terms
+
+
+# ----------------------------------------------------------------------
+# Messages (coordinator <-> dispatch shard)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RouteWindow:
+    """Coordinator→shard: one window slice to route.
+
+    ``objects`` carries only the shard's *owned* objects as compact
+    :data:`ObjectProbe` entries; ``updates`` carries every update of the
+    window (position, tuple) because all replicas must apply them.
+    ``base`` is the round-robin dispatcher slot of window position 0,
+    from which the shard derives which updates it owns (and must return
+    plans for).
+    """
+
+    seq: int
+    base: int
+    objects: Sequence[ObjectProbe]
+    updates: Sequence[Tuple[int, StreamTuple]]
+
+
+@dataclass(slots=True)
+class WindowRouting:
+    """Shard→coordinator: the shard's routed slice, tagged by position.
+
+    ``decisions`` holds one ``(position, sorted worker tuple)`` entry per
+    owned object; ``plans`` one ``(position, is_insert, per-worker plan,
+    probed cells)`` entry per owned update.
+    """
+
+    seq: int
+    decisions: Sequence[Tuple[int, Tuple[int, ...]]]
+    plans: Sequence[Tuple[int, bool, WorkerPlan, int]]
+
+
+@dataclass(slots=True)
+class RouteProbe:
+    """Coordinator→shard: route one object (per-tuple reference path).
+
+    Objects go only to their owner shard, as the same compact probe the
+    windowed path ships.
+    """
+
+    x: float
+    y: float
+    terms: Any
+
+
+@dataclass(slots=True)
+class RouteUpdate:
+    """Coordinator→shard: route one query update (per-tuple path).
+
+    Broadcast so every replica applies the H2 delta; only the owner
+    (``owner=True``) returns the routing plan.
+    """
+
+    item: StreamTuple
+    owner: bool
+
+
+@dataclass(slots=True)
+class TupleRouting:
+    """Shard→coordinator reply to :class:`RouteTuple`."""
+
+    workers: Tuple[int, ...]
+    plan: Optional[WorkerPlan]
+    cells: int
+
+
+@dataclass(slots=True)
+class SyncRoutingIndex:
+    """Coordinator→shard: replace the replica with a pickled snapshot."""
+
+    payload: bytes
+    version: int
+
+
+@dataclass(slots=True)
+class ShardMemoryRequest:
+    """Coordinator→shard: measure the replica's routing-structure memory."""
+
+
+@dataclass(slots=True)
+class RoutedWindow:
+    """One window's merged routing, reassembled in stream order.
+
+    The deterministic merge of all shard replies: ``decisions`` maps every
+    object position to its sorted worker tuple, ``plans`` every update
+    position to ``(is_insert, per-worker plan, probed cells)``.  The
+    cluster replays its deferred-barrier segmentation over these exactly
+    as if it had routed the window itself.
+    """
+
+    decisions: Dict[int, Tuple[int, ...]]
+    plans: Dict[int, Tuple[bool, WorkerPlan, int]]
+
+
+def group_triples(
+    triples: Iterable[Tuple[CellCoord, str, int]]
+) -> WorkerPlan:
+    """Group ``(cell, keyword, worker)`` triples into a per-worker plan."""
+    per_worker: WorkerPlan = {}
+    for coord, key, worker in triples:
+        pairs = per_worker.get(worker)
+        if pairs is None:
+            per_worker[worker] = [(coord, key)]
+        else:
+            pairs.append((coord, key))
+    return per_worker
+
+
+def _split_window(
+    items: Sequence[StreamTuple], base: int, num_shards: int
+) -> Tuple[List[List[ObjectProbe]], List[Tuple[int, StreamTuple]]]:
+    """Partition one window: object probes by owner shard, updates for all."""
+    object_slices: List[List[ObjectProbe]] = [[] for _ in range(num_shards)]
+    updates: List[Tuple[int, StreamTuple]] = []
+    object_kind = TupleKind.OBJECT
+    for position, item in enumerate(items):
+        if item.kind is object_kind:
+            obj = item.payload
+            location = obj.location
+            object_slices[(base + position) % num_shards].append(
+                (position, location.x, location.y, obj.terms)
+            )
+        else:
+            updates.append((position, item))
+    return object_slices, updates
+
+
+# ----------------------------------------------------------------------
+# The shard routing engine (shared by both backends)
+# ----------------------------------------------------------------------
+class _ShardRouter:
+    """One dispatch shard: a routing-index replica plus its caches.
+
+    Runs in the coordinator's interpreter (in-process backend) or inside a
+    shard host process (multiprocess backend); either way it executes the
+    exact same :class:`~repro.indexes.gridt.GridTIndex` calls the serial
+    engine would, so its decisions and plans are byte-identical to
+    coordinator routing.
+    """
+
+    __slots__ = ("shard_id", "num_shards", "index", "insertion_plans")
+
+    def __init__(self, shard_id: int, num_shards: int) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.index = None
+        #: query id -> (per-worker plan, probed cells); mirrors the batched
+        #: engine's insertion-assignment cache so deletions reuse their
+        #: insertion's plan.  Dropped on every snapshot sync, exactly when
+        #: the cluster drops its own cache.
+        self.insertion_plans: Dict[int, Tuple[WorkerPlan, int]] = {}
+
+    def sync(self, index: Any) -> None:
+        self.index = index
+        self.insertion_plans.clear()
+
+    def route_window(
+        self,
+        objects: Sequence[ObjectProbe],
+        updates: Sequence[Tuple[int, StreamTuple]],
+        base: int,
+    ) -> Tuple[
+        List[Tuple[int, Tuple[int, ...]]],
+        List[Tuple[int, bool, WorkerPlan, int]],
+    ]:
+        """Route one window slice in stream order.
+
+        Every update is applied to the replica at its stream position so
+        later objects observe its H2 effect; runs of owned objects between
+        updates are routed through ``route_object_batch`` (the same code
+        path, route cache included, the serial batched engine uses).
+        """
+        index = self.index
+        if index is None:
+            raise TransportError("dispatch shard %d routed before sync" % self.shard_id)
+        decisions: List[Tuple[int, Tuple[int, ...]]] = []
+        plans: List[Tuple[int, bool, WorkerPlan, int]] = []
+        cache = self.insertion_plans
+        route_batch = index.route_object_batch
+        insert_kind = TupleKind.INSERT
+        oi = 0
+        total = len(objects)
+        for upos, item in updates:
+            start = oi
+            while oi < total and objects[oi][0] < upos:
+                oi += 1
+            if oi > start:
+                run = objects[start:oi]
+                for (position, _, _, _), decision in zip(
+                    run,
+                    route_batch(
+                        [_RoutingProbe(Point(x, y), terms) for _, x, y, terms in run]
+                    ),
+                ):
+                    decisions.append((position, decision))
+            query = item.payload.query
+            if item.kind is insert_kind:
+                per_worker, cells = index.insertion_plan_apply(query)
+                cache[query.query_id] = (per_worker, cells)
+                is_insert = True
+            else:
+                cached = cache.pop(query.query_id, None)
+                if cached is not None:
+                    per_worker, cells = cached
+                else:
+                    triples, cells = index.posting_assignments(query)
+                    per_worker = group_triples(triples)
+                index.apply_deletion_pairs(per_worker)
+                is_insert = False
+            if (base + upos) % self.num_shards == self.shard_id:
+                plans.append((upos, is_insert, per_worker, cells))
+        if oi < total:
+            run = objects[oi:]
+            for (position, _, _, _), decision in zip(
+                run,
+                route_batch(
+                    [_RoutingProbe(Point(x, y), terms) for _, x, y, terms in run]
+                ),
+            ):
+                decisions.append((position, decision))
+        return decisions, plans
+
+    def route_probe(self, x: float, y: float, terms: Any) -> TupleRouting:
+        """Route one object (per-tuple reference path)."""
+        index = self.index
+        if index is None:
+            raise TransportError("dispatch shard %d routed before sync" % self.shard_id)
+        workers = index.route_object(_RoutingProbe(Point(x, y), terms))
+        return TupleRouting(tuple(sorted(workers)), None, 0)
+
+    def route_update(self, item: StreamTuple, owner: bool) -> TupleRouting:
+        """Route one query update (per-tuple reference path).
+
+        Mirrors ``DispatcherNode.route`` on the replica: insertions place
+        and record their posting assignments, deletions recompute them
+        (the per-tuple path never caches, matching the serial reference)
+        — identical decisions, identical plans.
+        """
+        index = self.index
+        if index is None:
+            raise TransportError("dispatch shard %d routed before sync" % self.shard_id)
+        query = item.payload.query
+        if item.kind is TupleKind.INSERT:
+            triples, cells = index.insertion_assignments(query)
+            index.apply_insertion(triples)
+        else:
+            triples, cells = index.posting_assignments(query)
+            index.apply_deletion(triples)
+        per_worker = group_triples(triples)
+        return TupleRouting(
+            tuple(sorted(per_worker)), per_worker if owner else None, cells
+        )
+
+    def memory_bytes(self) -> int:
+        return self.index.memory_bytes() if self.index is not None else 0
+
+
+# ----------------------------------------------------------------------
+# Backend interface
+# ----------------------------------------------------------------------
+class DispatchBackend:
+    """Coordinator-side surface of the sharded dispatch stage.
+
+    The cluster drives it with a strict window protocol: ``sync`` (when
+    the routing version moved), ``submit_window``, ``collect_window`` —
+    at most one window outstanding — plus ``route_tuple`` on the per-tuple
+    path, ``barrier`` at adjustment fences and ``shard_memory`` for the
+    Figure 9 per-dispatcher memory report.
+    """
+
+    backend_name = "abstract"
+    #: Whether collect/submit may be interleaved across consecutive
+    #: windows so shard routing overlaps worker matching.
+    supports_pipelining = False
+    num_shards: int = 0
+    #: Routing version of the last snapshot shipped to the shards; the
+    #: cluster re-syncs whenever its own version differs.
+    synced_version: int = -1
+
+    def sync(self, routing_index: Any, version: int) -> None:
+        """Ship a snapshot of the routing index to every shard replica."""
+        raise NotImplementedError
+
+    def submit_window(self, items: Sequence[StreamTuple], base: int) -> int:
+        """Start routing one window; returns its sequence number."""
+        raise NotImplementedError
+
+    def collect_window(self, seq: int) -> RoutedWindow:
+        """Gather and merge the shard replies of window ``seq``."""
+        raise NotImplementedError
+
+    def route_tuple(self, slot: int, item: StreamTuple) -> TupleRouting:
+        """Route one tuple on the shard owning dispatcher slot ``slot``."""
+        raise NotImplementedError
+
+    def barrier(self) -> int:
+        """Fence every shard with a new AdjustBarrier epoch."""
+        raise NotImplementedError
+
+    def shard_memory(self) -> Dict[int, int]:
+        """Measured routing-structure bytes per shard replica (Figure 9)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (terminates shard processes)."""
+
+    def __enter__(self) -> "DispatchBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- shared plumbing ----------------------------------------------
+    @staticmethod
+    def _merge(replies: Iterable[WindowRouting]) -> RoutedWindow:
+        """Deterministic merge: shard replies in ascending shard order,
+        entries keyed by stream position."""
+        decisions: Dict[int, Tuple[int, ...]] = {}
+        plans: Dict[int, Tuple[bool, WorkerPlan, int]] = {}
+        for reply in replies:
+            for position, decision in reply.decisions:
+                decisions[position] = decision
+            for position, is_insert, per_worker, cells in reply.plans:
+                plans[position] = (is_insert, per_worker, cells)
+        return RoutedWindow(decisions, plans)
+
+    @staticmethod
+    def _snapshot(routing_index: Any) -> bytes:
+        """Pickle the coordinator's index once, route caches dropped.
+
+        The route cache is a memo (never observable), so flushing it on
+        the authoritative index before pickling keeps snapshots small
+        without changing behaviour.
+        """
+        clear = getattr(routing_index, "clear_route_caches", None)
+        if clear is not None:
+            clear()
+        return pickle.dumps(routing_index, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class InProcessDispatch(DispatchBackend):
+    """Reference backend: shard replicas in the coordinator's interpreter.
+
+    Replicas are built by the same pickle round trip the multiprocess
+    hosts perform, so any snapshot the remote backend could mis-handle
+    fails here first, in-process and debuggable.
+    """
+
+    backend_name = "inprocess"
+    supports_pipelining = False
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("dispatch needs at least one shard")
+        self.num_shards = num_shards
+        self._routers = [_ShardRouter(shard, num_shards) for shard in range(num_shards)]
+        self.synced_version = -1
+        self._seq = 0
+        self._routed: Dict[int, RoutedWindow] = {}
+        self._epoch = 0
+
+    def sync(self, routing_index: Any, version: int) -> None:
+        blob = self._snapshot(routing_index)
+        for router in self._routers:
+            router.sync(pickle.loads(blob))
+        self.synced_version = version
+
+    def submit_window(self, items: Sequence[StreamTuple], base: int) -> int:
+        self._seq += 1
+        seq = self._seq
+        object_slices, updates = _split_window(items, base, self.num_shards)
+        replies = [
+            WindowRouting(
+                seq, *router.route_window(object_slices[router.shard_id], updates, base)
+            )
+            for router in self._routers
+        ]
+        self._routed[seq] = self._merge(replies)
+        return seq
+
+    def collect_window(self, seq: int) -> RoutedWindow:
+        return self._routed.pop(seq)
+
+    def route_tuple(self, slot: int, item: StreamTuple) -> TupleRouting:
+        owner = slot % self.num_shards
+        if item.kind is TupleKind.OBJECT:
+            obj = item.payload
+            location = obj.location
+            return self._routers[owner].route_probe(location.x, location.y, obj.terms)
+        result: Optional[TupleRouting] = None
+        for router in self._routers:
+            routed = router.route_update(item, router.shard_id == owner)
+            if router.shard_id == owner:
+                result = routed
+        assert result is not None
+        return result
+
+    def barrier(self) -> int:
+        # Routing is synchronous: every submitted window was already
+        # collected, so the fence reduces to bumping the epoch.
+        self._epoch += 1
+        return self._epoch
+
+    def shard_memory(self) -> Dict[int, int]:
+        return {router.shard_id: router.memory_bytes() for router in self._routers}
+
+
+# ----------------------------------------------------------------------
+# Multiprocess backend
+# ----------------------------------------------------------------------
+def _dispatch_host(shard_id: int, num_shards: int, connection: Any) -> None:
+    """Entry point of one shard process: serve messages until Shutdown."""
+    router = _ShardRouter(shard_id, num_shards)
+    send = connection.send
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            kind = type(message)
+            if kind is RouteWindow:
+                decisions, plans = router.route_window(
+                    message.objects, message.updates, message.base
+                )
+                send(WindowRouting(message.seq, decisions, plans))
+            elif kind is RouteProbe:
+                send(router.route_probe(message.x, message.y, message.terms))
+            elif kind is RouteUpdate:
+                send(router.route_update(message.item, message.owner))
+            elif kind is SyncRoutingIndex:
+                router.sync(pickle.loads(message.payload))
+                send(True)
+            elif kind is ShardMemoryRequest:
+                send(router.memory_bytes())
+            elif kind is AdjustBarrier:
+                # The host is single-threaded: every earlier window on
+                # this pipe was fully routed, so acking *is* the fence.
+                send(BarrierAck(message.epoch, shard_id))
+            elif kind is Shutdown:
+                send(True)
+                break
+            else:
+                send(RemoteError("unknown dispatch message %r" % (message,), ""))
+        except Exception as exc:  # pragma: no cover - exercised via coordinator
+            try:
+                send(RemoteError(repr(exc), traceback.format_exc()))
+            except Exception:
+                break
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - already torn down
+        pass
+
+
+class MultiprocessDispatch(DispatchBackend):
+    """Each dispatch shard is a separate OS process over a pickled pipe.
+
+    ``submit_window`` ships every shard's slice without reading replies;
+    the cluster collects window ``K`` before submitting ``K+1`` (at most
+    one window outstanding per shard, so a request is only ever written to
+    an idle host) and runs worker matching of ``K`` after the submit —
+    routing of the next window overlaps matching of the current one.
+    """
+
+    backend_name = "multiprocess"
+    supports_pipelining = True
+
+    def __init__(self, num_shards: int, *, start_method: Optional[str] = None) -> None:
+        if num_shards < 1:
+            raise ValueError("dispatch needs at least one shard")
+        self.num_shards = num_shards
+        self.synced_version = -1
+        self._seq = 0
+        self._inflight: Optional[int] = None
+        self._epoch = 0
+        self._closed = False
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else multiprocessing.get_context()
+        )
+        self._connections: Dict[int, Any] = {}
+        self._processes: Dict[int, Any] = {}
+        try:
+            for shard_id in range(num_shards):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_dispatch_host,
+                    args=(shard_id, num_shards, child_end),
+                    name="repro-dispatch-%d" % shard_id,
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._connections[shard_id] = parent_end
+                self._processes[shard_id] = process
+        except Exception:
+            self.close()
+            raise
+
+    # -- plumbing ------------------------------------------------------
+    def _receive(self, shard_id: int) -> Any:
+        try:
+            reply = self._connections[shard_id].recv()
+        except (EOFError, OSError) as exc:
+            raise TransportError("dispatch shard %d died: %r" % (shard_id, exc)) from exc
+        if isinstance(reply, RemoteError):
+            raise TransportError(
+                "dispatch shard %d failed: %s\n%s"
+                % (shard_id, reply.message, reply.formatted_traceback)
+            )
+        return reply
+
+    def _collect(self, shard_ids: Iterable[int]) -> Dict[int, Any]:
+        """One reply per shard in ascending shard order, draining past errors."""
+        replies: Dict[int, Any] = {}
+        error: Optional[TransportError] = None
+        for shard_id in sorted(shard_ids):
+            try:
+                replies[shard_id] = self._receive(shard_id)
+            except TransportError as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return replies
+
+    def _broadcast(self, message: Any) -> Dict[int, Any]:
+        for connection in self._connections.values():
+            connection.send(message)
+        return self._collect(self._connections)
+
+    # -- DispatchBackend surface --------------------------------------
+    def sync(self, routing_index: Any, version: int) -> None:
+        if self._inflight is not None:
+            raise TransportError("cannot sync dispatch shards with a window in flight")
+        blob = self._snapshot(routing_index)
+        self._broadcast(SyncRoutingIndex(blob, version))
+        self.synced_version = version
+
+    def submit_window(self, items: Sequence[StreamTuple], base: int) -> int:
+        if self._inflight is not None:
+            raise TransportError(
+                "dispatch window %d still in flight" % self._inflight
+            )
+        self._seq += 1
+        seq = self._seq
+        object_slices, updates = _split_window(items, base, self.num_shards)
+        for shard_id, connection in self._connections.items():
+            connection.send(RouteWindow(seq, base, object_slices[shard_id], updates))
+        self._inflight = seq
+        return seq
+
+    def collect_window(self, seq: int) -> RoutedWindow:
+        if self._inflight != seq:
+            raise TransportError(
+                "collecting dispatch window %d but %r is in flight" % (seq, self._inflight)
+            )
+        try:
+            replies = self._collect(self._connections)
+        finally:
+            self._inflight = None
+        for shard_id, reply in replies.items():
+            if not isinstance(reply, WindowRouting) or reply.seq != seq:
+                raise TransportError(
+                    "dispatch shard %d answered out of sequence: %r" % (shard_id, reply)
+                )
+        return self._merge(replies[shard_id] for shard_id in sorted(replies))
+
+    def route_tuple(self, slot: int, item: StreamTuple) -> TupleRouting:
+        owner = slot % self.num_shards
+        if item.kind is TupleKind.OBJECT:
+            obj = item.payload
+            location = obj.location
+            self._connections[owner].send(
+                RouteProbe(location.x, location.y, obj.terms)
+            )
+            return self._receive(owner)
+        for shard_id, connection in self._connections.items():
+            connection.send(RouteUpdate(item, shard_id == owner))
+        replies = self._collect(self._connections)
+        return replies[owner]
+
+    def barrier(self) -> int:
+        self._epoch += 1
+        epoch = self._epoch
+        acks = self._broadcast(AdjustBarrier(epoch))
+        for shard_id, ack in acks.items():
+            if not isinstance(ack, BarrierAck) or ack.epoch != epoch:
+                raise TransportError(
+                    "dispatch shard %d broke the adjustment fence: %r" % (shard_id, ack)
+                )
+        return epoch
+
+    def shard_memory(self) -> Dict[int, int]:
+        return self._broadcast(ShardMemoryRequest())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections.values():
+            try:
+                connection.send(Shutdown())
+                connection.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+        for connection in self._connections.values():
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes.values():
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Registry of the selectable dispatch backends (``--dispatch-backend``).
+#: ``inline`` keeps routing on the coordinator (the pre-sharding engine).
+DISPATCH_BACKENDS = ("inline", "inprocess", "multiprocess")
+
+
+def make_dispatch(backend: str, num_shards: int) -> Optional[DispatchBackend]:
+    """Build the dispatch backend; ``None`` means inline (coordinator) routing."""
+    if backend == "inline":
+        return None
+    if backend == "inprocess":
+        return InProcessDispatch(num_shards)
+    if backend == "multiprocess":
+        return MultiprocessDispatch(num_shards)
+    raise ValueError(
+        "unknown dispatch backend %r (expected one of %s)"
+        % (backend, ", ".join(DISPATCH_BACKENDS))
+    )

@@ -22,6 +22,7 @@ from ..core.objects import (
 )
 from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
+from .dispatch import group_triples
 
 __all__ = ["DispatcherNode", "RoutingDecision"]
 
@@ -106,9 +107,7 @@ class DispatcherNode:
         else:
             triples, cells = assignments_fn(query)
             index.apply_insertion(triples)
-            per_worker = {}
-            for coord, key, worker in triples:
-                per_worker.setdefault(worker, []).append((coord, key))
+            per_worker = group_triples(triples)
             workers = per_worker.keys()
         cost = self.TUPLE_COST + self.PROBE_COST * max(1, cells)
         self.busy_cost += cost

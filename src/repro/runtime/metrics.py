@@ -116,8 +116,13 @@ class RunReport:
     latency_buckets: Optional[LatencyBuckets] = None
     #: Definition-1 loads per worker over the run.
     worker_loads: Dict[int, float] = field(default_factory=dict)
-    #: Estimated memory per process (bytes).
+    #: Routing-structure memory per dispatcher (bytes, Figure 9): the
+    #: analytic estimate of the coordinator's index under inline dispatch,
+    #: the *measured* footprint of each shard's replica under sharded
+    #: dispatch (equal values while the replicas are in sync — pinned by
+    #: tests/test_dispatch.py).
     dispatcher_memory: Dict[int, int] = field(default_factory=dict)
+    #: Estimated GI2 memory per worker (bytes, Figure 10).
     worker_memory: Dict[int, int] = field(default_factory=dict)
     #: Matching results produced / delivered after merger deduplication.
     matches_produced: int = 0

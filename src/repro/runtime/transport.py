@@ -408,7 +408,12 @@ class InProcessTransport(Transport):
         }
 
     def worker_stats(self) -> Dict[int, StatsReport]:
-        return {worker_id: _worker_stats(worker) for worker_id, worker in self.workers.items()}
+        # Sorted by worker id so report merges never depend on the order
+        # the worker fleet happened to be enumerated in.
+        return {
+            worker_id: _worker_stats(self.workers[worker_id])
+            for worker_id in sorted(self.workers)
+        }
 
     def barrier(self) -> int:
         # Execution is synchronous: every shipped message has already been
@@ -553,6 +558,14 @@ class WorkerProxy:
     def install_queries(self, assignments: Iterable[QueryAssignment]) -> int:
         return self._transport.request(self.worker_id, InstallQueries(tuple(assignments)))
 
+    def reconcile_queries(self, *args: Any, **kwargs: Any) -> int:
+        """One bulk reconciliation message (§V-B finalisation) per round.
+
+        Forwards the whole per-worker plan as a single :class:`WorkerCall`
+        — one round trip instead of one RPC per reconciled query.
+        """
+        return self._transport.call(self.worker_id, ("reconcile_queries",), args, kwargs or None)
+
     # -- period management --------------------------------------------
     def reset_period(self) -> None:
         self._transport.call(self.worker_id, ("reset_period",))
@@ -675,7 +688,11 @@ class MultiprocessTransport(Transport):
         return self._collect(batches)
 
     def worker_stats(self) -> Dict[int, StatsReport]:
-        return self._broadcast(lambda worker_id: StatsRequest())
+        stats = self._broadcast(lambda worker_id: StatsRequest())
+        # Replies are gathered in whatever order the fleet is polled;
+        # re-key sorted by worker id so downstream merges are deterministic
+        # regardless of reply arrival order.
+        return {worker_id: stats[worker_id] for worker_id in sorted(stats)}
 
     def barrier(self) -> int:
         self._epoch += 1

@@ -247,6 +247,44 @@ class WorkerNode:
             assignments.append(QueryAssignment(query, tuple(moving_pairs), removed))
         return assignments
 
+    def reconcile_queries(
+        self,
+        removals: Sequence[int] = (),
+        pair_removals: Sequence[Tuple[int, Sequence[Tuple[CellCoord, str]]]] = (),
+        pair_additions: Sequence[Tuple[STSQuery, Sequence[Tuple[CellCoord, str]]]] = (),
+        installs: Sequence[QueryAssignment] = (),
+        reinserts: Sequence[Tuple[STSQuery, Sequence[str]]] = (),
+    ) -> int:
+        """Apply one worker's whole reconciliation plan in a single call.
+
+        The global adjuster's finalisation (Section V-B) reconciles every
+        worker to exactly the ``(cell, posting keyword)`` pairs the new
+        strategy assigns it.  Shipping that plan as one bulk message — one
+        round trip per worker per round on a remote backend, instead of one
+        proxy RPC per query — is the batching this method exists for; the
+        operations themselves are the same primitives the per-query path
+        used.  ``removals`` drops queries that leave this worker entirely,
+        ``pair_removals`` sheds stale pairs of queries staying, and
+        ``pair_additions`` adds their missing pairs.  ``installs``
+        registers gained queries under exactly their shipped pairs
+        (grid-aligned workers); ``reinserts`` re-registers queries at
+        keyword granularity — the unaligned-grid fallback — after dropping
+        any existing registration.  Returns the number of queries touched.
+        """
+        touched = len(removals) + len(pair_removals) + len(pair_additions)
+        if removals:
+            self.index.remove_queries(removals)
+        for query_id, pairs in pair_removals:
+            self.index.remove_pairs(query_id, pairs)
+        for query, pairs in pair_additions:
+            self.index.add_pairs(query, pairs)
+        touched += self.install_queries(installs)
+        for query, keys in reinserts:
+            self.index.remove_queries([query.query_id])
+            self.index.insert(query, posting_plan={key: None for key in keys})
+            touched += 1
+        return touched
+
     def install_queries(self, assignments: Iterable[QueryAssignment]) -> int:
         """Register migrated queries under exactly their shipped pairs.
 
