@@ -58,6 +58,12 @@ class AdjustmentReport:
     #: (Figure 9): the analytic estimate under inline dispatch, the
     #: *measured* per-shard replica footprint under sharded dispatch.
     dispatcher_memory_bytes: Dict[int, int] = field(default_factory=dict)
+    #: Merger-tier snapshot at the round's fence (merged sorted by merger
+    #: id): per-shard busy cost and cumulative delivered counts — fenced
+    #: through the shard inboxes, so identical whichever backend hosts
+    #: the mergers (fig 8 / 15 delivery-path accounting).
+    merger_busy: Dict[int, float] = field(default_factory=dict)
+    merger_delivered: Dict[int, int] = field(default_factory=dict)
 
     @property
     def migration_cost_mb(self) -> float:
@@ -92,6 +98,9 @@ class LocalLoadAdjuster:
         # sharded dispatch replicas are still in sync here, so the
         # measured per-shard values equal the analytic estimate.
         report.dispatcher_memory_bytes = cluster.dispatcher_memory_report()
+        merger_stats = cluster.merger_stats()
+        report.merger_busy = {m: s.busy_cost for m, s in merger_stats.items()}
+        report.merger_delivered = {m: s.delivered for m, s in merger_stats.items()}
         loads = cluster.worker_load_report()
         report.imbalance_before = loads.imbalance
         report.imbalance_after = loads.imbalance

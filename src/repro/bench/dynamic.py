@@ -115,6 +115,10 @@ def _merge_adjustment_reports(history) -> AdjustmentReport:
         # records it), matching what a single post-replay round reports.
         merged.imbalance_before = history[0].imbalance_before
         merged.imbalance_after = history[-1].imbalance_after
+    if history:
+        # Merger-tier snapshots are cumulative; keep the last fence's.
+        merged.merger_busy = dict(history[-1].merger_busy)
+        merged.merger_delivered = dict(history[-1].merger_delivered)
     return merged
 
 
@@ -131,6 +135,7 @@ def _build_imbalanced_cluster(
     local_adjuster=None,
     backend: str = "inprocess",
     dispatch_backend: str = "inline",
+    merger_backend: str = "inprocess",
 ) -> Tuple[Cluster, WorkloadStream]:
     """A deployment with a genuinely overloaded worker.
 
@@ -156,6 +161,7 @@ def _build_imbalanced_cluster(
         migration_fixed_seconds=0.15,
         backend=backend,
         dispatch_backend=dispatch_backend,
+        merger_backend=merger_backend,
     )
     cluster = Cluster(plan, config)
     try:
@@ -216,6 +222,7 @@ def run_migration_experiment(
     adjust_every: int = 0,
     backend: str = "inprocess",
     dispatch_backend: str = "inline",
+    merger_backend: str = "inprocess",
 ) -> MigrationExperimentResult:
     """Trigger a local adjustment with ``selector_name`` and measure it.
 
@@ -236,11 +243,13 @@ def run_migration_experiment(
             local_adjuster=adjuster,
             backend=backend,
             dispatch_backend=dispatch_backend,
+            merger_backend=merger_backend,
         )
     else:
         cluster, stream = _build_imbalanced_cluster(
             mu, num_objects, num_workers=num_workers, seed=seed, batch_size=batch_size,
             backend=backend, dispatch_backend=dispatch_backend,
+            merger_backend=merger_backend,
         )
     with cluster:
         if adjust_every > 0:
@@ -297,6 +306,7 @@ def run_drift_experiment(
     adjust_every: int = 0,
     backend: str = "inprocess",
     dispatch_backend: str = "inline",
+    merger_backend: str = "inprocess",
 ) -> DriftExperimentResult:
     """Replay a drifting Q3 workload with or without dynamic adjustment.
 
@@ -317,7 +327,8 @@ def run_drift_experiment(
     sample = stream.partitioning_sample(max(1500, mu))
     plan = HybridPartitioner().partition(sample, num_workers)
     cluster_config = ClusterConfig(
-        num_workers=num_workers, backend=backend, dispatch_backend=dispatch_backend
+        num_workers=num_workers, backend=backend, dispatch_backend=dispatch_backend,
+        merger_backend=merger_backend,
     )
     with Cluster(plan, cluster_config) as cluster:
         _run_stream(cluster, stream.tuples(objects_per_phase), batch_size)

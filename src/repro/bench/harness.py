@@ -34,7 +34,7 @@ from ..partitioning import (
     RTreeSpacePartitioner,
     WorkloadSample,
 )
-from ..runtime import Cluster, ClusterConfig, RunReport
+from ..runtime import Cluster, ClusterConfig, RunReport, SinkSpec
 from ..workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
 
 __all__ = [
@@ -94,6 +94,7 @@ class ExperimentConfig:
     sample_objects: int = 3000
     num_workers: int = 8
     num_dispatchers: int = 4
+    num_mergers: int = 2
     granularity: int = 64
     seed: int = 1
     latency_load_fraction: float = 0.6
@@ -112,6 +113,15 @@ class ExperimentConfig:
     #: "inprocess"/"multiprocess" shard routing across num_dispatchers
     #: replicas of the routing index (real multi-core routing).
     dispatch_backend: str = "inline"
+    #: Merger backend: "inprocess" hosts the merger shards in the
+    #: coordinator (reference), "multiprocess" one OS process per shard
+    #: with direct worker->merger result shipping under the multiprocess
+    #: worker backend.
+    merger_backend: str = "inprocess"
+    #: Subscriber sink attached to every merger shard ("null", "memory"
+    #: or "jsonl"; "jsonl" needs sink_path).
+    sink: str = "null"
+    sink_path: Optional[str] = None
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -136,6 +146,7 @@ class ExperimentConfig:
             config.sample_objects,
             config.num_workers,
             config.num_dispatchers,
+            config.num_mergers,
             config.granularity,
             config.seed,
             config.batch_size,
@@ -143,6 +154,9 @@ class ExperimentConfig:
             config.adjuster,
             config.backend,
             config.dispatch_backend,
+            config.merger_backend,
+            config.sink,
+            config.sink_path,
             partitioner_name,
         )
 
@@ -191,11 +205,14 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
     cluster_config = ClusterConfig(
         num_dispatchers=scaled.num_dispatchers,
         num_workers=scaled.num_workers,
+        num_mergers=scaled.num_mergers,
         gi2_granularity=scaled.granularity,
         gridt_granularity=scaled.granularity,
         latency_load_fraction=scaled.latency_load_fraction,
         backend=scaled.backend,
         dispatch_backend=scaled.dispatch_backend,
+        merger_backend=scaled.merger_backend,
+        sink=SinkSpec(kind=scaled.sink, path=scaled.sink_path),
     )
     cluster = Cluster(plan, cluster_config)
 

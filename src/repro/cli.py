@@ -91,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
                  "OS process per shard and pipelines routing of the next "
                  "window against worker matching of the current one "
                  "(default: inline)")
+        sub.add_argument(
+            "--merger-backend", choices=["inprocess", "multiprocess"],
+            default="inprocess",
+            help="merger backend: 'inprocess' hosts the --mergers shards in "
+                 "this interpreter (reference), 'multiprocess' runs each "
+                 "merger shard as its own OS process; combined with "
+                 "--backend multiprocess, workers ship match results "
+                 "directly to the merger shards instead of through the "
+                 "coordinator (default: inprocess)")
+        sub.add_argument("--mergers", type=int, default=2,
+                         help="number of merger shards (default: 2)")
+        sub.add_argument(
+            "--sink", choices=["null", "memory", "jsonl"], default="null",
+            help="subscriber sink attached to every merger shard: 'null' "
+                 "discards deliveries, 'memory' buffers them in the shard, "
+                 "'jsonl' appends one JSON line per delivery to a per-shard "
+                 "file (requires --sink-path; default: null)")
+        sub.add_argument(
+            "--sink-path", default=None,
+            help="output path of the jsonl sink; each merger shard writes "
+                 "<path>.m<id> (or substitutes a {merger} placeholder)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -128,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--dispatch-backend", choices=["inline", "inprocess", "multiprocess"],
         default="inline",
         help="dispatch backend (see 'run --help'; default: inline)")
+    adjust_parser.add_argument(
+        "--merger-backend", choices=["inprocess", "multiprocess"],
+        default="inprocess",
+        help="merger backend (see 'run --help'; default: inprocess)")
     return parser
 
 
@@ -146,6 +171,10 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         adjuster=args.adjuster,
         backend=args.backend,
         dispatch_backend=args.dispatch_backend,
+        merger_backend=args.merger_backend,
+        num_mergers=args.mergers,
+        sink=args.sink,
+        sink_path=args.sink_path,
     )
 
 
@@ -169,6 +198,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
         {"metric": "dispatcher memory (MB)", "value": report.avg_dispatcher_memory_mb},
         {"metric": "worker memory (MB)", "value": report.avg_worker_memory_mb},
         {"metric": "matches delivered", "value": report.matches_delivered},
+        {"metric": "delivery latency (ms)", "value": report.delivery_mean_latency_ms},
     ]
     title = "%s on STS-%s-%s (mu=%d, %d workers)" % (
         args.partitioner, args.dataset.upper(), args.group, args.mu, args.workers)
@@ -207,6 +237,7 @@ def _command_adjust(args: argparse.Namespace, out) -> int:
         args.selector, args.mu, num_objects=args.objects, num_workers=args.workers,
         batch_size=args.batch_size, adjust_every=args.adjust_every,
         backend=args.backend, dispatch_backend=args.dispatch_backend,
+        merger_backend=args.merger_backend,
     )
     buckets = result.latency_buckets
     rows = [
@@ -232,6 +263,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sink", "null") == "jsonl" and not args.sink_path:
+        parser.error("--sink jsonl requires --sink-path")
     if args.command == "run":
         return _command_run(args, out)
     if args.command == "compare":

@@ -24,10 +24,22 @@ from .dispatch import (
     make_dispatch,
 )
 from .dispatcher import DispatcherNode, RoutingDecision
+from .merge import (
+    InProcessMerge,
+    MERGE_BACKENDS,
+    MergeBackend,
+    MultiprocessMerge,
+    SINK_KINDS,
+    SinkSpec,
+    SubscriberSink,
+    build_sink,
+    make_merge,
+)
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
 from .transport import (
     InProcessTransport,
+    MergerStats,
     MultiprocessTransport,
     StatsReport,
     Transport,
@@ -44,14 +56,24 @@ __all__ = [
     "DispatchBackend",
     "DispatcherNode",
     "InProcessDispatch",
+    "InProcessMerge",
     "InProcessTransport",
+    "MERGE_BACKENDS",
+    "MergeBackend",
     "MultiprocessDispatch",
+    "MultiprocessMerge",
     "make_dispatch",
+    "make_merge",
     "LatencyBuckets",
     "LatencyTracker",
     "MergerNode",
+    "MergerStats",
     "MigrationRecord",
     "MultiprocessTransport",
+    "SINK_KINDS",
+    "SinkSpec",
+    "SubscriberSink",
+    "build_sink",
     "PeriodSampleCollector",
     "QueryAssignment",
     "RoutingDecision",

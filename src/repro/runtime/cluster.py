@@ -65,6 +65,19 @@ routing version via :meth:`Cluster.invalidate_routing_caches`; the
 replicas are re-synced from the coordinator's authoritative index before
 the next routed window.
 
+Result delivery is the third pluggable tier
+(:mod:`repro.runtime.merge`, ``ClusterConfig.merger_backend``): match
+results are partitioned across ``num_mergers`` merger shards by
+``query_id % num_mergers``.  The ``inprocess`` backend hosts the
+:class:`MergerNode` shards in the coordinator (the reference, identical
+to the historical inline loop); ``"multiprocess"`` runs one OS process
+per shard, and — combined with the multiprocess worker backend — the
+workers ship their match results straight into the shard inboxes, so
+dedup/delivery of window ``K`` overlaps matching of window ``K+1`` and
+the coordinator never relays a result (``Cluster.result_hops`` stays
+zero; ``tests/test_merge.py``).  Delivered results feed per-shard
+subscriber sinks (``ClusterConfig.sink``).
+
 Both paths record per-tuple traces in compact parallel arrays
 (:class:`_TraceStore`) rather than one Python object per tuple, so latency
 reconstruction over a measurement period stays cheap at stream scale.
@@ -91,8 +104,9 @@ from ..partitioning.base import PartitionPlan, WorkloadSample
 from ..workload.stream import iter_windows
 from .dispatch import DispatchBackend, RoutedWindow, group_triples, make_dispatch
 from .dispatcher import DispatcherNode, RoutingDecision
+from .merge import MergeBackend, SinkSpec, make_merge
 from .merger import MergerNode
-from .metrics import LatencyTracker, RunReport, utilization_latency
+from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
 from .transport import (
     DeleteById,
     DeleteQuery,
@@ -100,6 +114,7 @@ from .transport import (
     InsertQuery,
     MatchObjects,
     MatchOne,
+    MergerStats,
     RouteBatch,
     StatsReport,
     Transport,
@@ -153,6 +168,18 @@ class ClusterConfig:
     #: across ``num_dispatchers`` replicas of the routing index — the
     #: latter one OS process per shard (real multi-core routing).
     dispatch_backend: str = "inline"
+    #: Merger backend: ``"inprocess"`` hosts the ``num_mergers`` merger
+    #: shards in the coordinator's interpreter (the reference),
+    #: ``"multiprocess"`` one OS process per shard — combined with the
+    #: multiprocess worker backend, workers ship match results directly
+    #: to the shards and the coordinator never touches a result.
+    merger_backend: str = "inprocess"
+    #: Subscriber sink attached to every merger shard (null / memory /
+    #: jsonl / callback; see :mod:`repro.runtime.merge`).
+    sink: SinkSpec = field(default_factory=SinkSpec)
+    #: How many recent (query, object) keys each merger shard remembers
+    #: for deduplication.
+    merger_dedup_window: int = 100_000
 
 
 @dataclass(frozen=True)
@@ -323,22 +350,37 @@ class Cluster:
             DispatcherNode(index, self.routing_index)
             for index in range(self.config.num_dispatchers)
         ]
+        # The merge backend owns the merger tier; it is built before the
+        # transport because the multiprocess worker hosts inherit the
+        # shard inboxes at spawn (direct worker→merger result shipping).
+        self._merge: MergeBackend = make_merge(
+            self.config.merger_backend,
+            self.config.num_mergers,
+            sink=self.config.sink,
+            dedup_window=self.config.merger_dedup_window,
+        )
         # The transport owns the worker fleet: in-process workers are real
         # WorkerNode objects, multiprocess workers are per-process proxies.
         # Coordinator code only ever talks to them through the transport's
         # exchange()/stats surface or through the handles in self.workers.
-        self.transport: Transport = make_transport(
-            self.config.backend,
-            list(range(self.config.num_workers)),
-            bounds=self.bounds,
-            granularity=self.config.gi2_granularity,
-            cost_model=self.config.cost_model,
-            term_statistics=plan.statistics,
-        )
+        try:
+            self.transport: Transport = make_transport(
+                self.config.backend,
+                list(range(self.config.num_workers)),
+                bounds=self.bounds,
+                granularity=self.config.gi2_granularity,
+                cost_model=self.config.cost_model,
+                term_statistics=plan.statistics,
+                merger_endpoints=self._merge.worker_endpoints(),
+            )
+        except Exception:
+            self._merge.close()
+            raise
         self.workers: Dict[int, WorkerNode] = self.transport.workers  # type: ignore[assignment]
-        self.mergers: List[MergerNode] = [
-            MergerNode(index) for index in range(self.config.num_mergers)
-        ]
+        #: Match results the coordinator itself relayed to the merger tier.
+        #: Zero in the full multiprocess deployment, where workers ship
+        #: results directly to the merger shards.
+        self._result_hops = 0
         self._traces = _TraceStore()
         self._next_dispatcher = 0
         self._tuples_processed = 0
@@ -367,6 +409,7 @@ class Cluster:
             )
         except Exception:
             self.transport.close()
+            self._merge.close()
             raise
 
     def _compute_cells_aligned(self) -> bool:
@@ -502,6 +545,7 @@ class Cluster:
         worker_costs: List[Tuple[int, float]] = []
         handled: Set[int] = set()
         results: List[MatchResult] = []
+        produced = 0
         assignments = decision.assignments
         kind = item.kind
         known_workers = self.workers
@@ -528,6 +572,7 @@ class Cluster:
                     reply = replies[0]
                     assert reply is not None
                     results.extend(reply.results)
+                    produced += reply.produced_count
                     cost = reply.costs[0]
                 elif kind is TupleKind.INSERT:
                     cost = cost_model.insert_handling
@@ -535,11 +580,8 @@ class Cluster:
                     cost = cost_model.delete_handling
                 worker_costs.append((worker_id, cost))
 
-        if results:
-            self._matches_produced += len(results)
-            for result in results:
-                merger = self.mergers[result.query_id % len(self.mergers)]
-                merger.handle(result)
+        if results or produced:
+            self._deliver_results(results, produced)
 
         self._tuples_processed += 1
         if item.kind is TupleKind.OBJECT:
@@ -746,6 +788,10 @@ class Cluster:
         self.transport.barrier()
         if self._dispatch is not None:
             self._dispatch.barrier()
+        # Fence the merger shards too: every result shipped before the
+        # barrier (by the coordinator or directly by a worker) is
+        # deduplicated before the adjusters snapshot merger state.
+        self._merge.barrier()
         if local_adjuster is not None:
             local_adjuster.adjust(self)
         if global_adjuster is not None:
@@ -1093,11 +1139,13 @@ class Cluster:
 
         if groups:
             all_results: List[MatchResult] = []
+            produced = 0
             for worker_id, locals_ in groups.items():
                 reply = replies[worker_id][0]
                 assert reply is not None
                 if reply.results:
                     all_results.extend(reply.results)
+                produced += reply.produced_count
                 if trace_workers is not None:
                     for local, cost in zip(locals_, reply.costs):
                         position = positions[local]
@@ -1106,20 +1154,8 @@ class Cluster:
                             trace_workers[position] = [(worker_id, cost)]
                         else:
                             entry.append((worker_id, cost))
-            if all_results:
-                self._matches_produced += len(all_results)
-                mergers = self.mergers
-                num_mergers = len(mergers)
-                per_merger: Dict[int, List[MatchResult]] = {}
-                for result in all_results:
-                    merger_id = result.query_id % num_mergers
-                    batch = per_merger.get(merger_id)
-                    if batch is None:
-                        per_merger[merger_id] = [result]
-                    else:
-                        batch.append(result)
-                for merger_id, batch in per_merger.items():
-                    mergers[merger_id].handle_many(batch)
+            if all_results or produced:
+                self._deliver_results(all_results, produced)
 
         # Coordinator-side accounting of the deferred updates.  Their
         # worker-side effect (GI2 postings, load counters, busy time) was
@@ -1399,6 +1435,7 @@ class Cluster:
         # (one MatchObjects batch per worker, shipped over the transport).
         worker_cost_lists: List[List[Tuple[int, float]]] = [[] for _ in range(count)]
         all_results: List[MatchResult] = []
+        produced = 0
         replies = self.transport.exchange(
             {
                 worker_id: RouteBatch(
@@ -1411,18 +1448,12 @@ class Cluster:
             reply = replies[worker_id][0]
             assert reply is not None
             all_results.extend(reply.results)
+            produced += reply.produced_count
             for position, cost in zip(positions, reply.costs):
                 worker_cost_lists[position].append((worker_id, cost))
 
-        if all_results:
-            self._matches_produced += len(all_results)
-            mergers = self.mergers
-            num_mergers = len(mergers)
-            per_merger: Dict[int, List[MatchResult]] = {}
-            for result in all_results:
-                per_merger.setdefault(result.query_id % num_mergers, []).append(result)
-            for merger_id, batch in per_merger.items():
-                mergers[merger_id].handle_many(batch)
+        if all_results or produced:
+            self._deliver_results(all_results, produced)
 
         self._tuples_processed += count
         self._objects += count
@@ -1519,21 +1550,76 @@ class Cluster:
             self._traces.append(dispatcher.dispatcher_id, cost, worker_costs)
 
     # ------------------------------------------------------------------
+    # Merger tier (delivery, dedup accounting, subscriber sinks)
+    # ------------------------------------------------------------------
+    def _deliver_results(self, results: List[MatchResult], produced: int) -> None:
+        """Coordinator-side half of result delivery.
+
+        ``produced`` counts every match the workers produced this
+        exchange; ``results`` holds only the ones that came back to the
+        coordinator (empty in the full multiprocess deployment, where
+        workers ship them straight to the merger shards).  Relayed
+        results count against :attr:`result_hops` — the coordinator-hop
+        counter the direct-shipping tests pin to zero.
+        """
+        self._matches_produced += produced
+        if results:
+            self._result_hops += len(results)
+            self._merge.deliver(results)
+
+    @property
+    def result_hops(self) -> int:
+        """Match results that reached the merger tier via the coordinator."""
+        return self._result_hops
+
+    @property
+    def mergers(self) -> List:
+        """Per-shard merger handles.
+
+        Real :class:`MergerNode` objects under the in-process backend;
+        fresh :class:`~repro.runtime.transport.MergerStats` snapshots
+        (``delivered`` / ``duplicates`` / ``busy_cost``) under the
+        multiprocess backend.
+        """
+        return self._merge.merger_handles()
+
+    def merger_stats(self) -> Dict[int, MergerStats]:
+        """One :class:`MergerStats` per merger shard, sorted by merger id.
+
+        On the multiprocess backend the request rides the shard inboxes,
+        so it observes every delivery enqueued before it — reading stats
+        after an ``exchange`` returned is always consistent.
+        """
+        return self._merge.merger_stats()
+
+    def drain_sinks(self) -> Dict[int, List[MatchResult]]:
+        """Drain every merger shard's sink buffer (memory sinks)."""
+        return self._merge.drain_sinks()
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def worker_stats(self) -> Dict[int, StatsReport]:
         """One :class:`StatsReport` per worker, fetched over the transport."""
         return self.transport.worker_stats()
 
-    def saturation_throughput(self, *, _stats: Optional[Dict[int, StatsReport]] = None) -> float:
+    def saturation_throughput(
+        self,
+        *,
+        _stats: Optional[Dict[int, StatsReport]] = None,
+        _merger_stats: Optional[Dict[int, MergerStats]] = None,
+    ) -> float:
         """Tuples per second when the bottleneck process is saturated."""
         if self._tuples_processed == 0:
             return 0.0
         stats = _stats if _stats is not None else self.transport.worker_stats()
+        merger_stats = (
+            _merger_stats if _merger_stats is not None else self._merge.merger_stats()
+        )
         unit = self.config.cost_unit_seconds
         busy_seconds = [d.busy_cost * unit for d in self.dispatchers]
         busy_seconds += [s.busy_cost * unit for s in stats.values()]
-        busy_seconds += [m.busy_cost * unit for m in self.mergers]
+        busy_seconds += [m.busy_cost * unit for m in merger_stats.values()]
         bottleneck = max(busy_seconds) if busy_seconds else 0.0
         if bottleneck <= 0.0:
             return 0.0
@@ -1560,6 +1646,7 @@ class Cluster:
         input_rate: Optional[float] = None,
         *,
         _stats: Optional[Dict[int, StatsReport]] = None,
+        _merger_stats: Optional[Dict[int, MergerStats]] = None,
     ) -> LatencyTracker:
         """Per-tuple latencies (ms) at the given input rate.
 
@@ -1574,7 +1661,7 @@ class Cluster:
         stats = _stats if _stats is not None else self.transport.worker_stats()
         if input_rate is None:
             input_rate = self.config.latency_load_fraction * self.saturation_throughput(
-                _stats=stats
+                _stats=stats, _merger_stats=_merger_stats
             )
         dispatcher_util, worker_util = self._process_utilizations(input_rate, stats)
         unit_ms = self.config.cost_unit_seconds * 1000.0
@@ -1628,16 +1715,64 @@ class Cluster:
         estimate = self.routing_index.memory_bytes()
         return {d.dispatcher_id: estimate for d in self.dispatchers}
 
+    def _delivery_latency(
+        self, input_rate: float, merger_stats: Dict[int, MergerStats]
+    ) -> Tuple[float, LatencyBuckets]:
+        """End-to-end notification latency of the delivered results.
+
+        Models the merger hop the same way tuple latency models the
+        dispatcher/worker hops: each delivery pays the network hop plus
+        the Definition-1 ``RESULT_COST`` service time, inflated by its
+        merger's utilisation at ``input_rate``.  Every quantity derives
+        from the per-merger stats (merged sorted by merger id), so the
+        numbers are identical whichever backend hosts the shards.
+        """
+        delivered_total = sum(s.delivered for s in merger_stats.values())
+        if delivered_total == 0 or self._tuples_processed == 0 or input_rate <= 0.0:
+            return 0.0, LatencyBuckets(1.0, 0.0, 0.0)
+        unit = self.config.cost_unit_seconds
+        wall_seconds = self._tuples_processed / input_rate
+        service_ms = self.config.network_hop_ms + MergerNode.RESULT_COST * unit * 1000.0
+        weighted = 0.0
+        under = 0
+        over = 0
+        for merger_id in sorted(merger_stats):
+            stat = merger_stats[merger_id]
+            if stat.delivered == 0:
+                continue
+            latency = utilization_latency(
+                service_ms, (stat.busy_cost * unit) / wall_seconds
+            )
+            weighted += latency * stat.delivered
+            if latency < 100.0:
+                under += stat.delivered
+            elif latency > 1000.0:
+                over += stat.delivered
+        middle = delivered_total - under - over
+        return weighted / delivered_total, LatencyBuckets(
+            under / delivered_total, middle / delivered_total, over / delivered_total
+        )
+
     def report(self, input_rate: Optional[float] = None) -> RunReport:
         """Build the full :class:`RunReport` for the processed stream.
 
         Worker-side numbers (loads, busy time, memory) arrive as one
-        :class:`StatsReport` per worker over the transport, fetched once
-        per report whichever backend hosts the workers.
+        :class:`StatsReport` per worker over the transport, merger-side
+        numbers as one :class:`MergerStats` per shard over the merge
+        backend — each fetched once per report whichever backend hosts
+        the tier.
         """
         stats = self.transport.worker_stats()
-        tracker = self.latency_tracker(input_rate, _stats=stats)
+        merger_stats = self._merge.merger_stats()
+        if input_rate is None:
+            rate = self.config.latency_load_fraction * self.saturation_throughput(
+                _stats=stats, _merger_stats=merger_stats
+            )
+        else:
+            rate = input_rate
+        tracker = self.latency_tracker(rate, _stats=stats, _merger_stats=merger_stats)
         buckets = tracker.buckets()
+        delivery_mean, delivery_buckets = self._delivery_latency(rate, merger_stats)
         objects = max(self._objects, 1)
         insertions = max(self._insertions, 1)
         return RunReport(
@@ -1645,7 +1780,7 @@ class Cluster:
             objects_processed=self._objects,
             insertions_processed=self._insertions,
             deletions_processed=self._deletions,
-            throughput=self.saturation_throughput(_stats=stats),
+            throughput=self.saturation_throughput(_stats=stats, _merger_stats=merger_stats),
             mean_latency_ms=tracker.mean,
             p95_latency_ms=tracker.percentile(95.0),
             latency_buckets=buckets,
@@ -1653,9 +1788,14 @@ class Cluster:
             dispatcher_memory=self.dispatcher_memory_report(),
             worker_memory={worker_id: s.memory_bytes for worker_id, s in stats.items()},
             matches_produced=self._matches_produced,
-            matches_delivered=sum(m.delivered for m in self.mergers),
+            matches_delivered=sum(s.delivered for s in merger_stats.values()),
             object_fanout=self._object_fanout_total / objects,
             query_fanout=self._query_fanout_total / insertions,
+            merger_busy={m: s.busy_cost for m, s in merger_stats.items()},
+            merger_delivered={m: s.delivered for m, s in merger_stats.items()},
+            merger_duplicates={m: s.duplicates for m, s in merger_stats.items()},
+            delivery_mean_latency_ms=delivery_mean,
+            delivery_latency_buckets=delivery_buckets,
         )
 
     # ------------------------------------------------------------------
@@ -1786,11 +1926,14 @@ class Cluster:
         Idempotent; a no-op for the in-process backends.  Multiprocess
         clusters should be closed (or used as a context manager) once the
         run and its reports are done — worker state is unreachable after.
-        Releases the dispatch shards (if any) alongside the worker fleet.
+        Releases the dispatch shards (if any) and the merger tier
+        alongside the worker fleet — workers first, so no producer still
+        holds a shard inbox when the mergers shut down.
         """
         self.transport.close()
         if self._dispatch is not None:
             self._dispatch.close()
+        self._merge.close()
 
     def __enter__(self) -> "Cluster":
         return self
@@ -1804,8 +1947,7 @@ class Cluster:
             dispatcher.reset_period()
         for worker in self.workers.values():
             worker.reset_period()
-        for merger in self.mergers:
-            merger.reset_period()
+        self._merge.reset_period()
         self._traces.clear()
         self._tuples_processed = 0
         self._objects = 0

@@ -1,0 +1,607 @@
+"""The sharded merger/delivery tier of the PS2Stream cluster.
+
+The paper's topology is dispatchers → workers → **mergers** (Section
+III-B): mergers deduplicate the matches of replicated queries and notify
+subscribers.  Until this module existed the merger tier was an inline
+loop the coordinator ran after every exchange — one more serial stage on
+the coordinator, and every match result paid a worker→coordinator hop
+before it could be deduplicated.  This module makes the tier real:
+
+* results are partitioned across ``num_mergers`` merger **shards** by
+  ``query_id % num_mergers`` — the exact assignment the inline loop
+  already simulated, and one that is invariant under Section V
+  migrations (a query keeps its merger wherever its cells move, so
+  replicated matches keep meeting at the same shard);
+* two backends mirror the worker transport and the dispatch stage:
+
+  - :class:`InProcessMerge` — the reference.  :class:`MergerNode` shards
+    live in the coordinator's interpreter and delivery is a direct call,
+    byte-identical to the pre-subsystem inline loop.
+  - :class:`MultiprocessMerge` — one OS process per merger shard.  Each
+    shard owns an **inbox** (a ``multiprocessing.SimpleQueue``) carrying
+    the data plane (:class:`~repro.runtime.transport.DeliverResults`)
+    and the control plane (stats, period resets, adjustment fences, sink
+    drains); replies come back on a per-shard pipe.  ``SimpleQueue.put``
+    writes synchronously in the calling thread, so a control message
+    enqueued after a delivery is guaranteed to be processed after it —
+    the inbox ordering *is* the fence.
+
+* in the full multiprocess deployment (multiprocess workers **and**
+  multiprocess mergers) the worker hosts ship match results straight
+  into the shard inboxes (:func:`repro.runtime.transport.make_result_shipper`)
+  and reply to the coordinator with costs/counts only: dedup/delivery of
+  window ``K`` overlaps matching of window ``K+1``, and the
+  coordinator's result-hop counter (``Cluster.result_hops``) stays zero.
+
+Delivered results feed a pluggable **subscriber sink** (one instance per
+shard, built where the shard lives): ``null`` discards, ``memory``
+buffers (drained over the control plane), ``jsonl`` appends one JSON
+line per delivery to a per-shard file, ``callback`` invokes a picklable
+callable.  Sink work is real I/O, deliberately outside the simulated
+``RESULT_COST`` accounting, so attaching a sink never changes a report.
+
+Reports are byte-identical across merger backends
+(``tests/test_merge.py``): delivered/duplicate counts and busy cost are
+multiset-invariant in the arrival order of a shard's results, and every
+stat read is fenced through the inbox.  (The only order-sensitive state
+is dedup-window *eviction*, which needs more than ``dedup_window``
+distinct keys per shard to begin — far beyond any equivalence test.)
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.objects import MatchResult
+from .merger import MergerNode
+from .transport import (
+    AdjustBarrier,
+    BarrierAck,
+    DeliverResults,
+    MergerReset,
+    MergerStats,
+    MergerStatsRequest,
+    RemoteError,
+    Shutdown,
+    SinkDrain,
+    TransportError,
+    ship_results,
+)
+
+__all__ = [
+    "CallbackSink",
+    "InProcessMerge",
+    "JsonlSink",
+    "MERGE_BACKENDS",
+    "MemorySink",
+    "MergeBackend",
+    "MultiprocessMerge",
+    "NullSink",
+    "SINK_KINDS",
+    "SinkSpec",
+    "SubscriberSink",
+    "build_sink",
+    "make_merge",
+]
+
+
+# ----------------------------------------------------------------------
+# Subscriber sinks
+# ----------------------------------------------------------------------
+class SubscriberSink:
+    """Delivery endpoint of one merger shard (one instance per shard)."""
+
+    kind = "abstract"
+
+    def deliver(self, result: MatchResult) -> None:
+        """Receive one deduplicated match result."""
+
+    def drain(self) -> List[MatchResult]:
+        """Return (and clear) the buffered deliveries, if the sink buffers."""
+        return []
+
+    def close(self) -> None:
+        """Release sink resources (flushes/closes files)."""
+
+
+class NullSink(SubscriberSink):
+    """Discard deliveries (the default — delivery is pure accounting)."""
+
+    kind = "null"
+
+
+class MemorySink(SubscriberSink):
+    """Buffer deliveries in memory; ``drain`` hands them out and clears."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._delivered: List[MatchResult] = []
+
+    def deliver(self, result: MatchResult) -> None:
+        self._delivered.append(result)
+
+    def drain(self) -> List[MatchResult]:
+        delivered, self._delivered = self._delivered, []
+        return delivered
+
+
+class JsonlSink(SubscriberSink):
+    """Append one JSON line per delivery to a per-shard file.
+
+    Every shard writes its own file so multiprocess shards never
+    interleave writes: a ``{merger}`` placeholder in the path is
+    substituted with the shard id, otherwise ``.m<id>`` is appended.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, path: str, merger_id: int) -> None:
+        if "{merger}" in path:
+            path = path.replace("{merger}", str(merger_id))
+        else:
+            path = "%s.m%d" % (path, merger_id)
+        self.path = path
+        self._handle = None
+
+    def deliver(self, result: MatchResult) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(
+            json.dumps(
+                {
+                    "query_id": result.query_id,
+                    "object_id": result.object_id,
+                    "subscriber_id": result.subscriber_id,
+                    "worker_id": result.worker_id,
+                },
+                sort_keys=True,
+            )
+        )
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink(SubscriberSink):
+    """Invoke a callable per delivery.
+
+    On the multiprocess backend the callable crosses a process boundary,
+    so it must be picklable (a module-level function, not a closure) and
+    runs *in the shard process* — use it for side effects there, or use
+    the memory sink + ``drain_sinks`` to get deliveries back.
+    """
+
+    kind = "callback"
+
+    def __init__(self, callback: Callable[[MatchResult], None]) -> None:
+        self._callback = callback
+
+    def deliver(self, result: MatchResult) -> None:
+        self._callback(result)
+
+
+#: The selectable sink kinds (``--sink`` on the CLI exposes the first three).
+SINK_KINDS = ("null", "memory", "jsonl", "callback")
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """Picklable description of a sink, instantiated where the shard lives."""
+
+    kind: str = "null"
+    path: Optional[str] = None
+    callback: Optional[Callable[[MatchResult], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SINK_KINDS:
+            raise ValueError(
+                "unknown sink kind %r (expected one of %s)"
+                % (self.kind, ", ".join(SINK_KINDS))
+            )
+        if self.kind == "jsonl" and not self.path:
+            raise ValueError("the jsonl sink needs a path")
+        if self.kind == "callback" and self.callback is None:
+            raise ValueError("the callback sink needs a callable")
+
+
+def build_sink(spec: SinkSpec, merger_id: int) -> SubscriberSink:
+    """Instantiate one shard's sink from its picklable spec."""
+    if spec.kind == "null":
+        return NullSink()
+    if spec.kind == "memory":
+        return MemorySink()
+    if spec.kind == "jsonl":
+        assert spec.path is not None
+        return JsonlSink(spec.path, merger_id)
+    assert spec.callback is not None
+    return CallbackSink(spec.callback)
+
+
+def _merger_stats(merger: MergerNode) -> MergerStats:
+    return MergerStats(
+        merger_id=merger.merger_id,
+        busy_cost=merger.busy_cost,
+        received=merger.received,
+        delivered=merger.delivered,
+        duplicates=merger.duplicates,
+        memory_bytes=merger.memory_bytes(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend interface
+# ----------------------------------------------------------------------
+class MergeBackend:
+    """Coordinator-side surface of the merger/delivery tier.
+
+    The cluster drives it with ``deliver`` (coordinator-side delivery of
+    results it received over the worker transport), ``merger_stats`` for
+    the reports, ``barrier`` at adjustment fences, ``reset_period`` /
+    ``drain_sinks`` and ``worker_endpoints`` — the per-shard inboxes
+    handed to the multiprocess worker transport for direct shipping
+    (``None`` when the tier lives in the coordinator's interpreter).
+    """
+
+    backend_name = "abstract"
+    num_mergers: int = 0
+
+    def deliver(self, results: Sequence[MatchResult]) -> None:
+        """Partition ``results`` across the shards and deliver them."""
+        raise NotImplementedError
+
+    def merger_stats(self) -> Dict[int, MergerStats]:
+        """One :class:`MergerStats` per shard, keyed (and merged) by
+        ascending merger id so reports never depend on reply order."""
+        raise NotImplementedError
+
+    def merger_handles(self) -> List[Any]:
+        """Per-shard handles: real :class:`MergerNode` objects in process,
+        :class:`MergerStats` snapshots for remote shards — either exposes
+        ``delivered`` / ``duplicates`` / ``busy_cost``."""
+        raise NotImplementedError
+
+    def worker_endpoints(self) -> Optional[Sequence[Any]]:
+        """Shard inboxes for direct worker→merger shipping, or ``None``."""
+        return None
+
+    def barrier(self) -> int:
+        """Fence every shard (all earlier deliveries processed)."""
+        raise NotImplementedError
+
+    def reset_period(self) -> None:
+        """Start a new measurement period on every shard."""
+        raise NotImplementedError
+
+    def drain_sinks(self) -> Dict[int, List[MatchResult]]:
+        """Drain every shard's sink buffer, keyed by merger id."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (terminates merger processes)."""
+
+    def __enter__(self) -> "MergeBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class InProcessMerge(MergeBackend):
+    """Reference backend: merger shards in the coordinator's interpreter."""
+
+    backend_name = "inprocess"
+
+    def __init__(
+        self,
+        num_mergers: int,
+        *,
+        sink: Optional[SinkSpec] = None,
+        dedup_window: int = 100_000,
+    ) -> None:
+        if num_mergers < 1:
+            raise ValueError("the merger tier needs at least one shard")
+        self.num_mergers = num_mergers
+        spec = sink if sink is not None else SinkSpec()
+        self.mergers: List[MergerNode] = [
+            MergerNode(
+                merger_id,
+                dedup_window=dedup_window,
+                sink=build_sink(spec, merger_id),
+            )
+            for merger_id in range(num_mergers)
+        ]
+        self._epoch = 0
+
+    def deliver(self, results: Sequence[MatchResult]) -> None:
+        ship_results(
+            results,
+            self.num_mergers,
+            lambda merger_id, batch: self.mergers[merger_id].handle_many(batch),
+        )
+
+    def merger_stats(self) -> Dict[int, MergerStats]:
+        return {merger.merger_id: _merger_stats(merger) for merger in self.mergers}
+
+    def merger_handles(self) -> List[Any]:
+        return list(self.mergers)
+
+    def barrier(self) -> int:
+        # Delivery is synchronous; the fence reduces to bumping the epoch.
+        self._epoch += 1
+        return self._epoch
+
+    def reset_period(self) -> None:
+        for merger in self.mergers:
+            merger.reset_period()
+
+    def drain_sinks(self) -> Dict[int, List[MatchResult]]:
+        return {merger.merger_id: merger.sink.drain() for merger in self.mergers}
+
+    def close(self) -> None:
+        for merger in self.mergers:
+            merger.sink.close()
+
+
+# ----------------------------------------------------------------------
+# Multiprocess backend
+# ----------------------------------------------------------------------
+def _merge_host(
+    merger_id: int,
+    inbox: Any,
+    reply_connection: Any,
+    sink_spec: SinkSpec,
+    dedup_window: int,
+) -> None:
+    """Entry point of one merger shard process: serve its inbox until Shutdown.
+
+    Data-plane deliveries are fire-and-forget; control messages reply on
+    the dedicated pipe.  Because the inbox is a single FIFO, a control
+    reply proves every earlier delivery has been applied.
+    """
+    merger = MergerNode(
+        merger_id, dedup_window=dedup_window, sink=build_sink(sink_spec, merger_id)
+    )
+    send = reply_connection.send
+    # A data-plane failure cannot be reported inline — DeliverResults is
+    # fire-and-forget, and an unsolicited reply would desynchronise the
+    # request/reply pairing of every later control message.  The first
+    # such error is parked here and answers the next control request.
+    pending_error: Optional[RemoteError] = None
+    while True:
+        try:
+            message = inbox.get()
+        except (EOFError, OSError):
+            break
+        kind = type(message)
+        if kind is DeliverResults:
+            try:
+                merger.handle_many(message.results)
+            except Exception as exc:
+                if pending_error is None:
+                    pending_error = RemoteError(repr(exc), traceback.format_exc())
+            continue
+        if pending_error is not None and kind is not Shutdown:
+            try:
+                send(pending_error)
+            except Exception:
+                break
+            pending_error = None
+            continue
+        try:
+            if kind is MergerStatsRequest:
+                send(_merger_stats(merger))
+            elif kind is MergerReset:
+                merger.reset_period()
+                send(True)
+            elif kind is SinkDrain:
+                send(merger.sink.drain())
+            elif kind is AdjustBarrier:
+                # The shard is single-threaded and the inbox is FIFO:
+                # every earlier delivery was applied, so acking is the fence.
+                send(BarrierAck(message.epoch, merger_id))
+            elif kind is Shutdown:
+                merger.sink.close()
+                send(True)
+                break
+            else:
+                send(RemoteError("unknown merge message %r" % (message,), ""))
+        except Exception as exc:  # pragma: no cover - exercised via coordinator
+            try:
+                send(RemoteError(repr(exc), traceback.format_exc()))
+            except Exception:
+                break
+    try:
+        reply_connection.close()
+    except OSError:  # pragma: no cover - already torn down
+        pass
+
+
+class MultiprocessMerge(MergeBackend):
+    """Each merger shard is a separate OS process fed through an inbox.
+
+    The inbox (``SimpleQueue``) is shared by every producer — the
+    coordinator and, in the full multiprocess deployment, the worker
+    hosts shipping results directly.  ``SimpleQueue.put`` serialises and
+    writes under the queue lock in the calling thread, so any message a
+    producer enqueues *after* another producer's put has returned is
+    dequeued after it: control requests the coordinator issues once an
+    ``exchange`` has completed are guaranteed to observe every delivery
+    that exchange produced.
+    """
+
+    backend_name = "multiprocess"
+
+    def __init__(
+        self,
+        num_mergers: int,
+        *,
+        sink: Optional[SinkSpec] = None,
+        dedup_window: int = 100_000,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_mergers < 1:
+            raise ValueError("the merger tier needs at least one shard")
+        self.num_mergers = num_mergers
+        spec = sink if sink is not None else SinkSpec()
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else multiprocessing.get_context()
+        )
+        self._inboxes: List[Any] = []
+        self._replies: Dict[int, Any] = {}
+        self._processes: Dict[int, Any] = {}
+        self._epoch = 0
+        self._closed = False
+        try:
+            for merger_id in range(num_mergers):
+                inbox = context.SimpleQueue()
+                receive_end, send_end = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_merge_host,
+                    args=(merger_id, inbox, send_end, spec, dedup_window),
+                    name="repro-merger-%d" % merger_id,
+                    daemon=True,
+                )
+                process.start()
+                send_end.close()
+                self._inboxes.append(inbox)
+                self._replies[merger_id] = receive_end
+                self._processes[merger_id] = process
+        except Exception:
+            self.close()
+            raise
+
+    # -- plumbing ------------------------------------------------------
+    def _receive(self, merger_id: int) -> Any:
+        try:
+            reply = self._replies[merger_id].recv()
+        except (EOFError, OSError) as exc:
+            raise TransportError("merger shard %d died: %r" % (merger_id, exc)) from exc
+        if isinstance(reply, RemoteError):
+            raise TransportError(
+                "merger shard %d failed: %s\n%s"
+                % (merger_id, reply.message, reply.formatted_traceback)
+            )
+        return reply
+
+    def _broadcast(self, message_factory) -> Dict[int, Any]:
+        """Enqueue one control message per shard, then gather the replies.
+
+        Replies are collected in ascending shard id — with each reply
+        re-raised errors drain the remaining shards first — and the
+        result dict is keyed by that same order, so downstream merges are
+        deterministic regardless of which shard answered first.
+        """
+        for merger_id, inbox in enumerate(self._inboxes):
+            inbox.put(message_factory(merger_id))
+        replies: Dict[int, Any] = {}
+        error: Optional[TransportError] = None
+        for merger_id in range(self.num_mergers):
+            try:
+                replies[merger_id] = self._receive(merger_id)
+            except TransportError as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return replies
+
+    # -- MergeBackend surface ------------------------------------------
+    def deliver(self, results: Sequence[MatchResult]) -> None:
+        ship_results(
+            results,
+            self.num_mergers,
+            lambda merger_id, batch: self._inboxes[merger_id].put(
+                DeliverResults(tuple(batch))
+            ),
+        )
+
+    def worker_endpoints(self) -> Optional[Sequence[Any]]:
+        return tuple(self._inboxes)
+
+    def merger_stats(self) -> Dict[int, MergerStats]:
+        stats = self._broadcast(lambda merger_id: MergerStatsRequest())
+        # Merged sorted by merger id (the same determinism rule the worker
+        # tier applies to StatsReport).
+        return {merger_id: stats[merger_id] for merger_id in sorted(stats)}
+
+    def merger_handles(self) -> List[Any]:
+        return list(self.merger_stats().values())
+
+    def barrier(self) -> int:
+        self._epoch += 1
+        epoch = self._epoch
+        acks = self._broadcast(lambda merger_id: AdjustBarrier(epoch))
+        for merger_id, ack in acks.items():
+            if not isinstance(ack, BarrierAck) or ack.epoch != epoch:
+                raise TransportError(
+                    "merger shard %d broke the adjustment fence: %r" % (merger_id, ack)
+                )
+        return epoch
+
+    def reset_period(self) -> None:
+        self._broadcast(lambda merger_id: MergerReset())
+
+    def drain_sinks(self) -> Dict[int, List[MatchResult]]:
+        drained = self._broadcast(lambda merger_id: SinkDrain())
+        return {merger_id: drained[merger_id] for merger_id in sorted(drained)}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for merger_id, inbox in enumerate(self._inboxes):
+            connection = self._replies.get(merger_id)
+            try:
+                inbox.put(Shutdown())
+                if connection is not None:
+                    connection.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+        for connection in self._replies.values():
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes.values():
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Registry of the selectable merger backends (``--merger-backend``).
+MERGE_BACKENDS = ("inprocess", "multiprocess")
+
+
+def make_merge(
+    backend: str,
+    num_mergers: int,
+    *,
+    sink: Optional[SinkSpec] = None,
+    dedup_window: int = 100_000,
+) -> MergeBackend:
+    """Build the merger/delivery backend for a cluster deployment."""
+    if backend == "inprocess":
+        return InProcessMerge(num_mergers, sink=sink, dedup_window=dedup_window)
+    if backend == "multiprocess":
+        return MultiprocessMerge(num_mergers, sink=sink, dedup_window=dedup_window)
+    raise ValueError(
+        "unknown merger backend %r (expected one of %s)"
+        % (backend, ", ".join(MERGE_BACKENDS))
+    )

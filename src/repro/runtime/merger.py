@@ -4,12 +4,22 @@ A query replicated to several workers (because its region or keywords span
 multiple partitions) can produce the same (query, object) match more than
 once; the merger removes the duplicates before notifying subscribers
 (Section III-B).
+
+:class:`MergerNode` is the single-shard state machine; where it runs is
+decided by the merge backend (:mod:`repro.runtime.merge`): the
+``inprocess`` backend hosts the nodes in the coordinator's interpreter,
+the ``multiprocess`` backend one per OS process with workers shipping
+results to the shards directly.  Delivered results are handed to an
+optional subscriber *sink* (null / memory / JSONL / callback — see
+:mod:`repro.runtime.merge`); sink work is real I/O and is deliberately
+not part of the simulated ``RESULT_COST`` accounting, so attaching a sink
+never changes a report.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, Set, Tuple
 
 from ..core.objects import MatchResult
 
@@ -22,21 +32,31 @@ class MergerNode:
     #: Cost of handling one match result (deduplication + delivery).
     RESULT_COST = 0.02
 
-    def __init__(self, merger_id: int, *, dedup_window: int = 100_000) -> None:
+    def __init__(
+        self,
+        merger_id: int,
+        *,
+        dedup_window: int = 100_000,
+        sink=None,
+    ) -> None:
         """``dedup_window`` bounds how many recent match keys are remembered.
 
         A real deployment cannot remember every (query, object) pair it ever
         delivered; a sliding window over recent object ids is sufficient
-        because duplicates of one object arrive close together.
+        because duplicates of one object arrive close together.  ``sink``
+        is an optional subscriber sink receiving every delivered result.
         """
         self.merger_id = merger_id
         self.busy_cost = 0.0
         self.received = 0
         self.delivered = 0
         self.duplicates = 0
+        self.sink = sink
         self._dedup_window = dedup_window
         self._seen: Set[Tuple[int, int]] = set()
-        self._order: List[Tuple[int, int]] = []
+        # Eviction order of the dedup window; a deque so the per-result
+        # eviction at the window boundary is O(1) (a list's pop(0) is O(n)).
+        self._order: Deque[Tuple[int, int]] = deque()
         self._delivered_per_subscriber: Dict[int, int] = defaultdict(int)
 
     def handle(self, result: MatchResult) -> bool:
@@ -50,10 +70,12 @@ class MergerNode:
         self._seen.add(key)
         self._order.append(key)
         if len(self._order) > self._dedup_window:
-            oldest = self._order.pop(0)
+            oldest = self._order.popleft()
             self._seen.discard(oldest)
         self.delivered += 1
         self._delivered_per_subscriber[result.subscriber_id] += 1
+        if self.sink is not None:
+            self.sink.deliver(result)
         return True
 
     def handle_many(self, results: Iterable[MatchResult]) -> int:

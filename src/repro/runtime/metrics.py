@@ -130,6 +130,15 @@ class RunReport:
     #: How many worker deliveries each object needed on average.
     object_fanout: float = 0.0
     query_fanout: float = 0.0
+    #: Per-merger Definition-1 busy cost and delivered/duplicate counts
+    #: (merged sorted by merger id, whichever backend hosts the shards).
+    merger_busy: Dict[int, float] = field(default_factory=dict)
+    merger_delivered: Dict[int, int] = field(default_factory=dict)
+    merger_duplicates: Dict[int, int] = field(default_factory=dict)
+    #: End-to-end notification latency of delivered results (merger hop
+    #: inflated by merger utilisation — the Figure 8 / 15 delivery path).
+    delivery_mean_latency_ms: float = 0.0
+    delivery_latency_buckets: Optional[LatencyBuckets] = None
 
     @property
     def total_load(self) -> float:
@@ -171,4 +180,5 @@ class RunReport:
             "matches": float(self.matches_delivered),
             "object_fanout": self.object_fanout,
             "query_fanout": self.query_fanout,
+            "delivery_latency_ms": self.delivery_mean_latency_ms,
         }

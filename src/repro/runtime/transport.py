@@ -25,6 +25,13 @@ The message vocabulary mirrors the Storm streams of the paper:
   operations (object matching, query insertions/deletions) for one worker.
 * :class:`MatchResults` — worker→merger/coordinator: the match results and
   per-object costs of one batched matching operation.
+* :class:`DeliverResults` — worker/coordinator→merger shard: one batch of
+  match results for one merger's dedup/delivery.  In the full
+  multiprocess deployment workers ship these directly to the merger
+  shards (:mod:`repro.runtime.merge`) and the coordinator only ever sees
+  the per-object costs — no result round trip through the coordinator.
+* :class:`MergerStats` — merger→coordinator: per-period busy cost and
+  delivered/duplicate counts the reports read.
 * :class:`InstallQueries` / :class:`ExtractCells` /
   :class:`ExtractKeywords` — the Section V migration protocol: the
   coordinator pulls per-query ``(cell, posting keyword)`` assignments out
@@ -63,6 +70,7 @@ __all__ = [
     "CellStatsRequest",
     "DeleteById",
     "DeleteQuery",
+    "DeliverResults",
     "ExtractCells",
     "ExtractKeywords",
     "InProcessTransport",
@@ -72,9 +80,13 @@ __all__ = [
     "MatchObjects",
     "MatchOne",
     "MatchResults",
+    "MergerReset",
+    "MergerStats",
+    "MergerStatsRequest",
     "MultiprocessTransport",
     "RemoteCallable",
     "RouteBatch",
+    "SinkDrain",
     "StatsReport",
     "StatsRequest",
     "Transport",
@@ -82,7 +94,10 @@ __all__ = [
     "WorkerCall",
     "WorkerProxy",
     "execute_ops",
+    "make_result_shipper",
     "make_transport",
+    "partition_results",
+    "ship_results",
 ]
 
 
@@ -160,10 +175,100 @@ class RouteBatch:
 
 @dataclass(slots=True)
 class MatchResults:
-    """Worker→coordinator reply to a matching op: results + per-object costs."""
+    """Worker→coordinator reply to a matching op: results + per-object costs.
+
+    ``produced`` counts the results the op produced.  It equals
+    ``len(results)`` unless the worker shipped the results directly to the
+    merger shards (``results`` is then empty — the coordinator only needs
+    the count); ``-1`` means "not set, use ``len(results)``".
+    """
 
     results: Tuple[MatchResult, ...]
     costs: Tuple[float, ...]
+    produced: int = -1
+
+    @property
+    def produced_count(self) -> int:
+        return self.produced if self.produced >= 0 else len(self.results)
+
+
+# ----------------------------------------------------------------------
+# Merger-tier messages (worker/coordinator -> merger shard and back)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class DeliverResults:
+    """Worker/coordinator→merger: match results for one merger's shard.
+
+    The data-plane message of the merger tier: all results in the batch
+    already belong to the receiving shard (``query_id % num_mergers``).
+    Fire-and-forget — the shard acknowledges nothing; control messages on
+    the same inbox fence behind every earlier delivery.
+    """
+
+    results: Tuple[MatchResult, ...]
+
+
+def partition_results(
+    results: Sequence[MatchResult], num_mergers: int
+) -> Dict[int, List[MatchResult]]:
+    """Group results by owning merger shard, preserving arrival order.
+
+    ``query_id % num_mergers`` is THE shard assignment of the merger
+    tier: every producer (coordinator-side delivery and direct worker
+    shipping alike) must partition through this one function, because a
+    query's replicated matches only deduplicate if they meet at the same
+    shard.
+    """
+    per_merger: Dict[int, List[MatchResult]] = {}
+    for result in results:
+        merger_id = result.query_id % num_mergers
+        batch = per_merger.get(merger_id)
+        if batch is None:
+            per_merger[merger_id] = [result]
+        else:
+            batch.append(result)
+    return per_merger
+
+
+def ship_results(
+    results: Sequence[MatchResult], num_mergers: int, send
+) -> None:
+    """The one delivery shape every producer uses: one ``send(merger_id,
+    batch)`` per involved shard, whole-batch shortcut for a single shard."""
+    if not results:
+        return
+    if num_mergers == 1:
+        send(0, results)
+        return
+    for merger_id, batch in partition_results(results, num_mergers).items():
+        send(merger_id, batch)
+
+
+@dataclass(slots=True)
+class MergerStatsRequest:
+    """Ask a merger shard for its :class:`MergerStats`."""
+
+
+@dataclass(slots=True)
+class MergerStats:
+    """Merger→coordinator: the per-period numbers the reports consume."""
+
+    merger_id: int
+    busy_cost: float
+    received: int
+    delivered: int
+    duplicates: int
+    memory_bytes: int
+
+
+@dataclass(slots=True)
+class MergerReset:
+    """Start a new measurement period on a merger shard (acked)."""
+
+
+@dataclass(slots=True)
+class SinkDrain:
+    """Pull (and clear) the buffered deliveries of a shard's sink."""
 
 
 # ----------------------------------------------------------------------
@@ -269,7 +374,9 @@ class RemoteError:
 # ----------------------------------------------------------------------
 # Operation execution (shared by both backends — the reference semantics)
 # ----------------------------------------------------------------------
-def execute_ops(worker: WorkerNode, ops: Sequence[WorkerOp]) -> List[Optional[MatchResults]]:
+def execute_ops(
+    worker: WorkerNode, ops: Sequence[WorkerOp], deliver=None
+) -> List[Optional[MatchResults]]:
     """Apply one :class:`RouteBatch`'s operations to a worker, in order.
 
     This function *is* the transport seam's semantic contract: the
@@ -279,6 +386,12 @@ def execute_ops(worker: WorkerNode, ops: Sequence[WorkerOp]) -> List[Optional[Ma
     exactly the same order.  Matching ops reply with
     :class:`MatchResults`; update ops reply ``None`` (their costs are the
     fixed Definition-1 constants the coordinator already knows).
+
+    ``deliver`` is the direct worker→merger shipping hook: when set (the
+    full multiprocess deployment), each matching op's results are handed
+    to it — it ships them to the merger shards — and the reply carries
+    only the per-object costs plus the produced count, so match results
+    never round-trip through the coordinator.
     """
     replies: List[Optional[MatchResults]] = []
     model = worker.cost_model
@@ -286,7 +399,11 @@ def execute_ops(worker: WorkerNode, ops: Sequence[WorkerOp]) -> List[Optional[Ma
         kind = type(op)
         if kind is MatchObjects:
             results, costs = worker.handle_object_batch(op.objects, op.cells)
-            replies.append(MatchResults(tuple(results), tuple(costs)))
+            if deliver is None:
+                replies.append(MatchResults(tuple(results), tuple(costs), len(results)))
+            else:
+                deliver(results)
+                replies.append(MatchResults((), tuple(costs), len(results)))
         elif kind is InsertPairs:
             # Inlined WorkerNode.handle_insertion for pre-routed pairs (hot
             # loop of the deferred-barrier engine): register the routed
@@ -303,7 +420,13 @@ def execute_ops(worker: WorkerNode, ops: Sequence[WorkerOp]) -> List[Optional[Ma
             replies.append(None)
         elif kind is MatchOne:
             results = worker.handle_object(op.obj)
-            replies.append(MatchResults(tuple(results), (worker.last_tuple_cost,)))
+            if deliver is None:
+                replies.append(
+                    MatchResults(tuple(results), (worker.last_tuple_cost,), len(results))
+                )
+            else:
+                deliver(results)
+                replies.append(MatchResults((), (worker.last_tuple_cost,), len(results)))
         elif kind is InsertQuery:
             worker.handle_insertion(op.insertion, op.assignment, cells_aligned=op.cells_aligned)
             replies.append(None)
@@ -434,9 +557,42 @@ class InProcessTransport(Transport):
 # ----------------------------------------------------------------------
 # Multiprocess backend
 # ----------------------------------------------------------------------
-def _worker_host(worker_id: int, ctor_kwargs: Dict[str, Any], connection: Any) -> None:
-    """Entry point of one worker process: serve messages until Shutdown."""
+def make_result_shipper(merger_inboxes: Sequence[Any]):
+    """Build the direct worker→merger shipping hook over shard inboxes.
+
+    Partitions a matching op's results by ``query_id % num_mergers`` —
+    the same shard assignment the coordinator-side delivery uses — and
+    writes one :class:`DeliverResults` per involved shard.  The inboxes
+    are ``SimpleQueue``s: ``put`` serialises and writes synchronously in
+    the calling thread, so by the time the worker replies to the
+    coordinator its deliveries are already in the shard pipes — which is
+    what lets control messages enqueued later act as a fence.
+    """
+    num_mergers = len(merger_inboxes)
+
+    def send(merger_id: int, batch: Sequence[MatchResult]) -> None:
+        merger_inboxes[merger_id].put(DeliverResults(tuple(batch)))
+
+    def deliver(results: Sequence[MatchResult]) -> None:
+        ship_results(results, num_mergers, send)
+
+    return deliver
+
+
+def _worker_host(
+    worker_id: int,
+    ctor_kwargs: Dict[str, Any],
+    connection: Any,
+    merger_inboxes: Optional[Sequence[Any]] = None,
+) -> None:
+    """Entry point of one worker process: serve messages until Shutdown.
+
+    ``merger_inboxes`` (one queue per merger shard) enables direct
+    worker→merger result shipping: matching results leave through the
+    shard inboxes and only their costs/counts go back to the coordinator.
+    """
     worker = WorkerNode(worker_id, **ctor_kwargs)
+    deliver = make_result_shipper(merger_inboxes) if merger_inboxes else None
     send = connection.send
     while True:
         try:
@@ -446,7 +602,7 @@ def _worker_host(worker_id: int, ctor_kwargs: Dict[str, Any], connection: Any) -
         try:
             kind = type(message)
             if kind is RouteBatch:
-                send(execute_ops(worker, message.ops))
+                send(execute_ops(worker, message.ops, deliver))
             elif kind is StatsRequest:
                 send(_worker_stats(worker))
             elif kind is CellStatsRequest:
@@ -599,6 +755,7 @@ class MultiprocessTransport(Transport):
         cost_model: CostModel,
         term_statistics: Optional[TermStatistics],
         start_method: Optional[str] = None,
+        merger_endpoints: Optional[Sequence[Any]] = None,
     ) -> None:
         context = (
             multiprocessing.get_context(start_method)
@@ -615,12 +772,13 @@ class MultiprocessTransport(Transport):
         self._processes: Dict[int, Any] = {}
         self._epoch = 0
         self._closed = False
+        endpoints = tuple(merger_endpoints) if merger_endpoints else None
         try:
             for worker_id in worker_ids:
                 parent_end, child_end = context.Pipe()
                 process = context.Process(
                     target=_worker_host,
-                    args=(worker_id, ctor_kwargs, child_end),
+                    args=(worker_id, ctor_kwargs, child_end, endpoints),
                     name="repro-worker-%d" % worker_id,
                     daemon=True,
                 )
@@ -754,8 +912,16 @@ def make_transport(
     granularity: int,
     cost_model: CostModel,
     term_statistics: Optional[TermStatistics],
+    merger_endpoints: Optional[Sequence[Any]] = None,
 ) -> Transport:
-    """Build the transport (and its workers) for a cluster deployment."""
+    """Build the transport (and its workers) for a cluster deployment.
+
+    ``merger_endpoints`` (the merge backend's per-shard inboxes, when the
+    merger tier runs out of process) turns on direct worker→merger result
+    shipping in the multiprocess backend; the in-process backend ignores
+    it — its workers reply to the coordinator, which forwards to the
+    merge backend itself.
+    """
     if backend == "inprocess":
         workers = {
             worker_id: WorkerNode(
@@ -775,6 +941,7 @@ def make_transport(
             granularity=granularity,
             cost_model=cost_model,
             term_statistics=term_statistics,
+            merger_endpoints=merger_endpoints,
         )
     raise ValueError(
         "unknown transport backend %r (expected one of %s)"
