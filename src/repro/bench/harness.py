@@ -106,22 +106,27 @@ class ExperimentConfig:
     adjust_every: int = 0
     #: Which adjusters the closed loop drives: "local", "global" or "both".
     adjuster: str = "local"
-    #: Worker transport backend: "inprocess" (reference) or "multiprocess"
-    #: (one OS process per worker; real multi-core matching).
+    #: Worker transport backend: "inprocess" (reference), "multiprocess"
+    #: (one OS process per worker; real multi-core matching) or "socket"
+    #: (``repro serve`` endpoints over TCP).
     backend: str = "inprocess"
     #: Dispatch backend: "inline" routes on the coordinator (reference),
-    #: "inprocess"/"multiprocess" shard routing across num_dispatchers
-    #: replicas of the routing index (real multi-core routing).
+    #: "inprocess"/"multiprocess"/"socket" shard routing across
+    #: num_dispatchers replicas of the routing index (real multi-core
+    #: routing).
     dispatch_backend: str = "inline"
     #: Merger backend: "inprocess" hosts the merger shards in the
     #: coordinator (reference), "multiprocess" one OS process per shard
     #: with direct worker->merger result shipping under the multiprocess
-    #: worker backend.
+    #: worker backend, "socket" one TCP endpoint per shard.
     merger_backend: str = "inprocess"
     #: Subscriber sink attached to every merger shard ("null", "memory"
     #: or "jsonl"; "jsonl" needs sink_path).
     sink: str = "null"
     sink_path: Optional[str] = None
+    #: Path of a host-manifest JSON file for the socket backends; None
+    #: makes the cluster spawn loopback ``serve`` processes itself.
+    manifest: Optional[str] = None
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -157,6 +162,7 @@ class ExperimentConfig:
             config.merger_backend,
             config.sink,
             config.sink_path,
+            config.manifest,
             partitioner_name,
         )
 
@@ -213,6 +219,7 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
         dispatch_backend=scaled.dispatch_backend,
         merger_backend=scaled.merger_backend,
         sink=SinkSpec(kind=scaled.sink, path=scaled.sink_path),
+        manifest=scaled.manifest,
     )
     cluster = Cluster(plan, cluster_config)
 

@@ -1,10 +1,11 @@
 """Command-line interface for the PS2Stream reproduction.
 
-Three subcommands cover the workflows a downstream user needs most often::
+Four subcommands cover the workflows a downstream user needs most often::
 
     python -m repro run       --partitioner hybrid --group Q3 --mu 2000
     python -m repro compare   --group Q2 --workers 8
     python -m repro adjust    --selector GR --mu 2000
+    python -m repro serve     --role worker --listen 0.0.0.0:7411
 
 * ``run`` — build one workload, partition it with one strategy, replay the
   stream on the simulated cluster and print the run report.
@@ -13,6 +14,11 @@ Three subcommands cover the workflows a downstream user needs most often::
   ``examples/partitioner_comparison.py`` but parameterised.
 * ``adjust`` — reproduce a local load-adjustment round with a chosen
   Minimum Cost Migration selector and print its cost/time/latency impact.
+* ``serve`` — host one cluster endpoint (worker, dispatcher shard or
+  merger shard) as a network service for the ``socket`` backends; a
+  coordinator started with ``run --backend socket --cluster manifest.json``
+  connects to the addresses the manifest lists (README, "Multi-host
+  deployment").
 
 All numbers are simulated (see DESIGN.md); the CLI is a convenience wrapper
 around :mod:`repro.bench`.
@@ -75,31 +81,43 @@ def build_parser() -> argparse.ArgumentParser:
                  "Section V-B repartitioning, 'both' = local then global "
                  "(default: local)")
         sub.add_argument(
-            "--backend", choices=["inprocess", "multiprocess"],
+            "--backend", choices=["inprocess", "multiprocess", "socket"],
             default="inprocess",
             help="worker transport backend: 'inprocess' hosts every worker "
                  "in this interpreter (reference), 'multiprocess' runs each "
                  "of the --workers as its own OS process for real multi-core "
-                 "matching (default: inprocess)")
+                 "matching, 'socket' reaches 'repro serve --role worker' "
+                 "endpoints over TCP (addresses from --cluster, or loopback "
+                 "processes spawned on demand; default: inprocess)")
         sub.add_argument(
-            "--dispatch-backend", choices=["inline", "inprocess", "multiprocess"],
+            "--dispatch-backend",
+            choices=["inline", "inprocess", "multiprocess", "socket"],
             default="inline",
             help="dispatch backend: 'inline' routes every tuple on the "
                  "coordinator (reference), 'inprocess'/'multiprocess' shard "
                  "routing across the --dispatchers, each shard owning its "
                  "own replica of the routing index; 'multiprocess' runs one "
                  "OS process per shard and pipelines routing of the next "
-                 "window against worker matching of the current one "
-                 "(default: inline)")
+                 "window against worker matching of the current one, "
+                 "'socket' reaches 'repro serve --role dispatcher' endpoints "
+                 "over TCP (default: inline)")
         sub.add_argument(
-            "--merger-backend", choices=["inprocess", "multiprocess"],
+            "--merger-backend", choices=["inprocess", "multiprocess", "socket"],
             default="inprocess",
             help="merger backend: 'inprocess' hosts the --mergers shards in "
                  "this interpreter (reference), 'multiprocess' runs each "
                  "merger shard as its own OS process; combined with "
                  "--backend multiprocess, workers ship match results "
                  "directly to the merger shards instead of through the "
-                 "coordinator (default: inprocess)")
+                 "coordinator; 'socket' reaches 'repro serve --role merger' "
+                 "endpoints over TCP (default: inprocess)")
+        sub.add_argument(
+            "--cluster", default=None, metavar="MANIFEST",
+            help="host-manifest JSON file mapping the socket backends to "
+                 "endpoint addresses: {\"workers\": [\"host:port\", ...], "
+                 "\"dispatchers\": [...], \"mergers\": [...]}; tiers missing "
+                 "from the manifest (or all tiers, without --cluster) are "
+                 "spawned as loopback serve processes")
         sub.add_argument("--mergers", type=int, default=2,
                          help="number of merger shards (default: 2)")
         sub.add_argument(
@@ -143,16 +161,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the adjustment closed-loop every this many tuples during "
              "the replay instead of once afterwards (default: 0)")
     adjust_parser.add_argument(
-        "--backend", choices=["inprocess", "multiprocess"], default="inprocess",
+        "--backend", choices=["inprocess", "multiprocess", "socket"],
+        default="inprocess",
         help="worker transport backend (see 'run --help'; default: inprocess)")
     adjust_parser.add_argument(
-        "--dispatch-backend", choices=["inline", "inprocess", "multiprocess"],
+        "--dispatch-backend",
+        choices=["inline", "inprocess", "multiprocess", "socket"],
         default="inline",
         help="dispatch backend (see 'run --help'; default: inline)")
     adjust_parser.add_argument(
-        "--merger-backend", choices=["inprocess", "multiprocess"],
+        "--merger-backend", choices=["inprocess", "multiprocess", "socket"],
         default="inprocess",
         help="merger backend (see 'run --help'; default: inprocess)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="host one cluster endpoint over TCP")
+    serve_parser.add_argument(
+        "--role", choices=["worker", "dispatcher", "merger"], required=True,
+        help="which tier's endpoint this process hosts; the coordinator's "
+             "Init handshake supplies the endpoint id and construction "
+             "arguments, so one serve process can play any shard of its "
+             "role across successive sessions")
+    serve_parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on; port 0 binds an ephemeral port and "
+             "prints it (default: 127.0.0.1:0)")
+    serve_parser.add_argument(
+        "--once", action="store_true",
+        help="serve a single coordinator session and exit instead of "
+             "accepting the next one")
     return parser
 
 
@@ -175,6 +212,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         num_mergers=args.mergers,
         sink=args.sink,
         sink_path=args.sink_path,
+        manifest=args.cluster,
     )
 
 
@@ -258,6 +296,22 @@ def _command_adjust(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, out) -> int:
+    from .runtime import parse_address, serve
+
+    host, port = parse_address(args.listen)
+
+    def announce(bound_host: str, bound_port: int) -> None:
+        out.write("serving role=%s on %s:%d\n" % (args.role, bound_host, bound_port))
+        out.flush()
+
+    try:
+        serve(args.role, host, port, once=args.once, announce=announce)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point used by ``python -m repro`` and the tests."""
     out = out if out is not None else sys.stdout
@@ -271,5 +325,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_compare(args, out)
     if args.command == "adjust":
         return _command_adjust(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
     parser.error("unknown command %r" % args.command)
     return 2

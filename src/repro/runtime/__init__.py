@@ -5,12 +5,14 @@ tuple stream through the gridt index, workers match objects against their
 GI2 indexes, mergers deduplicate results, and the cost model converts the
 executed work into throughput, latency and memory reports.  The
 dispatcher→worker→merger communication is an explicit typed-message
-transport (:mod:`repro.runtime.transport`) with two backends: the
-in-process reference and a multiprocess backend that hosts each worker in
-its own OS process (``ClusterConfig.backend`` / ``--backend`` on the CLI).
-Routing itself scales the same way through the sharded dispatch stage
-(:mod:`repro.runtime.dispatch`, ``ClusterConfig.dispatch_backend`` /
-``--dispatch-backend``): each dispatcher shard routes its slice of the
+transport (:mod:`repro.runtime.transport`) layered on the role-based
+runtime fabric (:mod:`repro.runtime.fabric`), with three backends: the
+in-process reference, a multiprocess backend that hosts each worker in
+its own OS process, and a socket backend that reaches ``repro serve``
+endpoints over TCP (``ClusterConfig.backend`` / ``--backend`` on the
+CLI).  Routing itself scales the same way through the sharded dispatch
+stage (:mod:`repro.runtime.dispatch`, ``ClusterConfig.dispatch_backend``
+/ ``--dispatch-backend``): each dispatcher shard routes its slice of the
 stream on its own replica of the routing index, off the coordinator.
 See docs/ARCHITECTURE.md for the dataflow walkthrough.
 """
@@ -19,15 +21,32 @@ from .cluster import Cluster, ClusterConfig, MigrationRecord, PeriodSampleCollec
 from .dispatch import (
     DISPATCH_BACKENDS,
     DispatchBackend,
+    DispatchHost,
+    FabricDispatch,
     InProcessDispatch,
     MultiprocessDispatch,
     make_dispatch,
 )
 from .dispatcher import DispatcherNode, RoutingDecision
+from .fabric import (
+    Channel,
+    ClusterManifest,
+    Fleet,
+    FrameTruncated,
+    RoleHost,
+    load_manifest,
+    parse_address,
+    register_role,
+    resolve_role,
+    serve,
+    serve_loop,
+)
 from .merge import (
+    FabricMerge,
     InProcessMerge,
     MERGE_BACKENDS,
     MergeBackend,
+    MergeHost,
     MultiprocessMerge,
     SINK_KINDS,
     SinkSpec,
@@ -38,6 +57,7 @@ from .merge import (
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
 from .transport import (
+    FabricTransport,
     InProcessTransport,
     MergerStats,
     MultiprocessTransport,
@@ -45,21 +65,31 @@ from .transport import (
     Transport,
     TransportError,
     TRANSPORT_BACKENDS,
+    WorkerHost,
     make_transport,
 )
 from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
+    "Channel",
     "Cluster",
     "ClusterConfig",
+    "ClusterManifest",
     "DISPATCH_BACKENDS",
     "DispatchBackend",
+    "DispatchHost",
     "DispatcherNode",
+    "FabricDispatch",
+    "FabricMerge",
+    "FabricTransport",
+    "Fleet",
+    "FrameTruncated",
     "InProcessDispatch",
     "InProcessMerge",
     "InProcessTransport",
     "MERGE_BACKENDS",
     "MergeBackend",
+    "MergeHost",
     "MultiprocessDispatch",
     "MultiprocessMerge",
     "make_dispatch",
@@ -70,10 +100,17 @@ __all__ = [
     "MergerStats",
     "MigrationRecord",
     "MultiprocessTransport",
+    "RoleHost",
     "SINK_KINDS",
     "SinkSpec",
     "SubscriberSink",
     "build_sink",
+    "load_manifest",
+    "parse_address",
+    "register_role",
+    "resolve_role",
+    "serve",
+    "serve_loop",
     "PeriodSampleCollector",
     "QueryAssignment",
     "RoutingDecision",
@@ -82,6 +119,7 @@ __all__ = [
     "Transport",
     "TransportError",
     "TRANSPORT_BACKENDS",
+    "WorkerHost",
     "WorkerNode",
     "utilization_latency",
 ]

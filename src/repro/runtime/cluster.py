@@ -92,7 +92,7 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass, field
 from itertools import cycle, islice
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.costmodel import CostModel, LoadReport
 from ..core.geometry import Rect
@@ -104,6 +104,7 @@ from ..partitioning.base import PartitionPlan, WorkloadSample
 from ..workload.stream import iter_windows
 from .dispatch import DispatchBackend, RoutedWindow, group_triples, make_dispatch
 from .dispatcher import DispatcherNode, RoutingDecision
+from .fabric import load_manifest
 from .merge import MergeBackend, SinkSpec, make_merge
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
@@ -161,19 +162,28 @@ class ClusterConfig:
     migration_fixed_seconds: float = 0.05
     #: Worker transport backend: ``"inprocess"`` hosts every WorkerNode in
     #: the coordinator's interpreter (the reference), ``"multiprocess"``
-    #: runs each worker in its own OS process (real multi-core matching).
+    #: runs each worker in its own OS process (real multi-core matching),
+    #: ``"socket"`` reaches ``repro serve --role worker`` endpoints over
+    #: TCP (addresses from :attr:`manifest`, loopback-spawned otherwise).
     backend: str = "inprocess"
     #: Dispatch backend: ``"inline"`` routes on the coordinator (the
-    #: reference), ``"inprocess"`` / ``"multiprocess"`` shard routing
-    #: across ``num_dispatchers`` replicas of the routing index — the
-    #: latter one OS process per shard (real multi-core routing).
+    #: reference), ``"inprocess"`` / ``"multiprocess"`` / ``"socket"``
+    #: shard routing across ``num_dispatchers`` replicas of the routing
+    #: index — the latter two one OS process (or TCP endpoint) per shard.
     dispatch_backend: str = "inline"
     #: Merger backend: ``"inprocess"`` hosts the ``num_mergers`` merger
     #: shards in the coordinator's interpreter (the reference),
     #: ``"multiprocess"`` one OS process per shard — combined with the
     #: multiprocess worker backend, workers ship match results directly
-    #: to the shards and the coordinator never touches a result.
+    #: to the shards and the coordinator never touches a result —
+    #: ``"socket"`` one TCP endpoint per shard.
     merger_backend: str = "inprocess"
+    #: Host manifest for the socket backends: a path to the JSON manifest
+    #: (see :func:`repro.runtime.fabric.load_manifest`) or a
+    #: :class:`~repro.runtime.fabric.ClusterManifest`.  Tiers without
+    #: manifest addresses fall back to coordinator-spawned loopback
+    #: ``serve`` processes.
+    manifest: Optional[Any] = None
     #: Subscriber sink attached to every merger shard (null / memory /
     #: jsonl / callback; see :mod:`repro.runtime.merge`).
     sink: SinkSpec = field(default_factory=SinkSpec)
@@ -350,6 +360,10 @@ class Cluster:
             DispatcherNode(index, self.routing_index)
             for index in range(self.config.num_dispatchers)
         ]
+        self._closed = False
+        manifest = self.config.manifest
+        if isinstance(manifest, str):
+            manifest = load_manifest(manifest)
         # The merge backend owns the merger tier; it is built before the
         # transport because the multiprocess worker hosts inherit the
         # shard inboxes at spawn (direct worker→merger result shipping).
@@ -358,9 +372,10 @@ class Cluster:
             self.config.num_mergers,
             sink=self.config.sink,
             dedup_window=self.config.merger_dedup_window,
+            addresses=manifest.mergers if manifest else None,
         )
         # The transport owns the worker fleet: in-process workers are real
-        # WorkerNode objects, multiprocess workers are per-process proxies.
+        # WorkerNode objects, fabric workers are per-endpoint proxies.
         # Coordinator code only ever talks to them through the transport's
         # exchange()/stats surface or through the handles in self.workers.
         try:
@@ -372,6 +387,7 @@ class Cluster:
                 cost_model=self.config.cost_model,
                 term_statistics=plan.statistics,
                 merger_endpoints=self._merge.worker_endpoints(),
+                addresses=manifest.workers if manifest else None,
             )
         except Exception:
             self._merge.close()
@@ -405,7 +421,9 @@ class Cluster:
         self._routing_version = 0
         try:
             self._dispatch: Optional[DispatchBackend] = make_dispatch(
-                self.config.dispatch_backend, self.config.num_dispatchers
+                self.config.dispatch_backend,
+                self.config.num_dispatchers,
+                addresses=manifest.dispatchers if manifest else None,
             )
         except Exception:
             self.transport.close()
@@ -1921,19 +1939,36 @@ class Cluster:
             worker.reset_load_measurement()
 
     def close(self) -> None:
-        """Release the worker backend (terminates multiprocess workers).
+        """Release every backend (terminates out-of-process endpoints).
 
-        Idempotent; a no-op for the in-process backends.  Multiprocess
+        Idempotent; a no-op for the in-process backends.  Out-of-process
         clusters should be closed (or used as a context manager) once the
         run and its reports are done — worker state is unreachable after.
         Releases the dispatch shards (if any) and the merger tier
         alongside the worker fleet — workers first, so no producer still
-        holds a shard inbox when the mergers shut down.
+        holds a shard inbox when the mergers shut down.  Each tier is
+        closed even if an earlier tier's close raises (a dead worker
+        fleet must not leak dispatcher/merger processes; the first error
+        is re-raised once all three are down), and the fabric's shutdown
+        waits are poll-bounded, so closing mid-window — even with a
+        failed exchange outstanding — cannot hang on a pipe/queue drain.
         """
-        self.transport.close()
+        if self._closed:
+            return
+        self._closed = True
+        first_error: Optional[BaseException] = None
+        closers = [self.transport.close]
         if self._dispatch is not None:
-            self._dispatch.close()
-        self._merge.close()
+            closers.append(self._dispatch.close)
+        closers.append(self._merge.close)
+        for closer in closers:
+            try:
+                closer()
+            except BaseException as exc:  # noqa: BLE001 - close all tiers first
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "Cluster":
         return self

@@ -26,18 +26,20 @@ its **own replica** of the routing index:
   ordered ``RouteBatch`` messages the serial path would have produced —
   reports stay byte-identical to single-threaded routing.
 
-Two backends mirror the worker transport of :mod:`.transport`:
+Backends mirror the worker transport of :mod:`.transport`:
 
 * :class:`InProcessDispatch` — the reference.  Shard replicas live in the
   coordinator's interpreter (built by a pickle round trip, the same
   construction the remote hosts use) and ``submit_window`` routes
   synchronously.
-* :class:`MultiprocessDispatch` — one OS process per shard over a pickled
-  pipe.  ``submit_window`` only ships the slices; the coordinator
-  collects window ``K``'s replies *before* submitting ``K+1`` and runs
-  worker matching of window ``K`` *after* submitting ``K+1``, so shard
-  routing of the next window overlaps worker matching of the current one
-  (the dispatcher→worker pipelining of the paper's topology).
+* :class:`FabricDispatch` — one fabric endpoint per shard
+  (:mod:`repro.runtime.fabric`): a local OS process over a pickled pipe
+  (``multiprocess``) or a ``repro serve --role dispatcher`` endpoint over
+  TCP (``socket``).  ``submit_window`` only ships the slices; the
+  coordinator collects window ``K``'s replies *before* submitting ``K+1``
+  and runs worker matching of window ``K`` *after* submitting ``K+1``, so
+  shard routing of the next window overlaps worker matching of the
+  current one (the dispatcher→worker pipelining of the paper's topology).
 
 Replica consistency: stream updates keep the replicas in sync
 incrementally.  Out-of-band H1 mutations — Section V cell migrations,
@@ -58,20 +60,29 @@ always produce identical decisions and identical per-worker plans.
 
 from __future__ import annotations
 
-import multiprocessing
 import pickle
-import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.geometry import Point
 from ..core.objects import StreamTuple, TupleKind
 from ..indexes.grid import CellCoord
-from .transport import AdjustBarrier, BarrierAck, RemoteError, Shutdown, TransportError
+from .fabric import (
+    Fleet,
+    RoleHost,
+    TransportError,
+    assign_addresses,
+    connect_fleet,
+    register_role,
+    spawn_fleet,
+    spawn_socket_fleet,
+)
 
 __all__ = [
     "DISPATCH_BACKENDS",
     "DispatchBackend",
+    "DispatchHost",
+    "FabricDispatch",
     "InProcessDispatch",
     "MultiprocessDispatch",
     "RoutedWindow",
@@ -236,13 +247,13 @@ def _split_window(
 
 
 # ----------------------------------------------------------------------
-# The shard routing engine (shared by both backends)
+# The shard routing engine (shared by all backends)
 # ----------------------------------------------------------------------
 class _ShardRouter:
     """One dispatch shard: a routing-index replica plus its caches.
 
     Runs in the coordinator's interpreter (in-process backend) or inside a
-    shard host process (multiprocess backend); either way it executes the
+    shard host process (fabric backends); either way it executes the
     exact same :class:`~repro.indexes.gridt.GridTIndex` calls the serial
     engine would, so its decisions and plans are byte-identical to
     coordinator routing.
@@ -451,9 +462,9 @@ class DispatchBackend:
 class InProcessDispatch(DispatchBackend):
     """Reference backend: shard replicas in the coordinator's interpreter.
 
-    Replicas are built by the same pickle round trip the multiprocess
-    hosts perform, so any snapshot the remote backend could mis-handle
-    fails here first, in-process and debuggable.
+    Replicas are built by the same pickle round trip the remote hosts
+    perform, so any snapshot the fabric backends could mis-handle fails
+    here first, in-process and debuggable.
     """
 
     backend_name = "inprocess"
@@ -516,55 +527,43 @@ class InProcessDispatch(DispatchBackend):
 
 
 # ----------------------------------------------------------------------
-# Multiprocess backend
+# The dispatcher role host (served by the fabric's generic serve loop)
 # ----------------------------------------------------------------------
-def _dispatch_host(shard_id: int, num_shards: int, connection: Any) -> None:
-    """Entry point of one shard process: serve messages until Shutdown."""
-    router = _ShardRouter(shard_id, num_shards)
-    send = connection.send
-    while True:
-        try:
-            message = connection.recv()
-        except (EOFError, OSError):
-            break
-        try:
-            kind = type(message)
-            if kind is RouteWindow:
-                decisions, plans = router.route_window(
-                    message.objects, message.updates, message.base
-                )
-                send(WindowRouting(message.seq, decisions, plans))
-            elif kind is RouteProbe:
-                send(router.route_probe(message.x, message.y, message.terms))
-            elif kind is RouteUpdate:
-                send(router.route_update(message.item, message.owner))
-            elif kind is SyncRoutingIndex:
-                router.sync(pickle.loads(message.payload))
-                send(True)
-            elif kind is ShardMemoryRequest:
-                send(router.memory_bytes())
-            elif kind is AdjustBarrier:
-                # The host is single-threaded: every earlier window on
-                # this pipe was fully routed, so acking *is* the fence.
-                send(BarrierAck(message.epoch, shard_id))
-            elif kind is Shutdown:
-                send(True)
-                break
-            else:
-                send(RemoteError("unknown dispatch message %r" % (message,), ""))
-        except Exception as exc:  # pragma: no cover - exercised via coordinator
-            try:
-                send(RemoteError(repr(exc), traceback.format_exc()))
-            except Exception:
-                break
-    try:
-        connection.close()
-    except OSError:  # pragma: no cover - already torn down
-        pass
+class DispatchHost(RoleHost):
+    """One dispatch-shard endpoint: a :class:`_ShardRouter` behind the
+    typed-message surface.  ``init`` carries ``num_shards``."""
+
+    def __init__(self, shard_id: int, init: Mapping[str, Any]) -> None:
+        self.router = _ShardRouter(shard_id, init["num_shards"])
+
+    def handle(self, message: Any) -> Any:
+        kind = type(message)
+        router = self.router
+        if kind is RouteWindow:
+            decisions, plans = router.route_window(
+                message.objects, message.updates, message.base
+            )
+            return WindowRouting(message.seq, decisions, plans)
+        if kind is RouteProbe:
+            return router.route_probe(message.x, message.y, message.terms)
+        if kind is RouteUpdate:
+            return router.route_update(message.item, message.owner)
+        if kind is SyncRoutingIndex:
+            router.sync(pickle.loads(message.payload))
+            return True
+        if kind is ShardMemoryRequest:
+            return router.memory_bytes()
+        raise TransportError("unknown dispatch message %r" % (message,))
 
 
-class MultiprocessDispatch(DispatchBackend):
-    """Each dispatch shard is a separate OS process over a pickled pipe.
+register_role("dispatcher", DispatchHost)
+
+
+# ----------------------------------------------------------------------
+# Fabric-backed dispatch (multiprocess and socket deployments)
+# ----------------------------------------------------------------------
+class FabricDispatch(DispatchBackend):
+    """Each dispatch shard is a fabric endpoint (process or TCP service).
 
     ``submit_window`` ships every shard's slice without reading replies;
     the cluster collects window ``K`` before submitting ``K+1`` (at most
@@ -573,80 +572,22 @@ class MultiprocessDispatch(DispatchBackend):
     routing of the next window overlaps matching of the current one.
     """
 
-    backend_name = "multiprocess"
     supports_pipelining = True
 
-    def __init__(self, num_shards: int, *, start_method: Optional[str] = None) -> None:
-        if num_shards < 1:
-            raise ValueError("dispatch needs at least one shard")
-        self.num_shards = num_shards
+    def __init__(self, fleet: Fleet) -> None:
+        self._fleet = fleet
+        self.backend_name = fleet.backend_name
+        self.num_shards = len(fleet.endpoint_ids)
         self.synced_version = -1
         self._seq = 0
         self._inflight: Optional[int] = None
-        self._epoch = 0
-        self._closed = False
-        context = (
-            multiprocessing.get_context(start_method)
-            if start_method is not None
-            else multiprocessing.get_context()
-        )
-        self._connections: Dict[int, Any] = {}
-        self._processes: Dict[int, Any] = {}
-        try:
-            for shard_id in range(num_shards):
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=_dispatch_host,
-                    args=(shard_id, num_shards, child_end),
-                    name="repro-dispatch-%d" % shard_id,
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                self._connections[shard_id] = parent_end
-                self._processes[shard_id] = process
-        except Exception:
-            self.close()
-            raise
-
-    # -- plumbing ------------------------------------------------------
-    def _receive(self, shard_id: int) -> Any:
-        try:
-            reply = self._connections[shard_id].recv()
-        except (EOFError, OSError) as exc:
-            raise TransportError("dispatch shard %d died: %r" % (shard_id, exc)) from exc
-        if isinstance(reply, RemoteError):
-            raise TransportError(
-                "dispatch shard %d failed: %s\n%s"
-                % (shard_id, reply.message, reply.formatted_traceback)
-            )
-        return reply
-
-    def _collect(self, shard_ids: Iterable[int]) -> Dict[int, Any]:
-        """One reply per shard in ascending shard order, draining past errors."""
-        replies: Dict[int, Any] = {}
-        error: Optional[TransportError] = None
-        for shard_id in sorted(shard_ids):
-            try:
-                replies[shard_id] = self._receive(shard_id)
-            except TransportError as exc:
-                if error is None:
-                    error = exc
-        if error is not None:
-            raise error
-        return replies
-
-    def _broadcast(self, message: Any) -> Dict[int, Any]:
-        for connection in self._connections.values():
-            connection.send(message)
-        return self._collect(self._connections)
 
     # -- DispatchBackend surface --------------------------------------
     def sync(self, routing_index: Any, version: int) -> None:
         if self._inflight is not None:
             raise TransportError("cannot sync dispatch shards with a window in flight")
         blob = self._snapshot(routing_index)
-        self._broadcast(SyncRoutingIndex(blob, version))
+        self._fleet.broadcast(SyncRoutingIndex(blob, version))
         self.synced_version = version
 
     def submit_window(self, items: Sequence[StreamTuple], base: int) -> int:
@@ -657,8 +598,8 @@ class MultiprocessDispatch(DispatchBackend):
         self._seq += 1
         seq = self._seq
         object_slices, updates = _split_window(items, base, self.num_shards)
-        for shard_id, connection in self._connections.items():
-            connection.send(RouteWindow(seq, base, object_slices[shard_id], updates))
+        for shard_id in range(self.num_shards):
+            self._fleet.send(shard_id, RouteWindow(seq, base, object_slices[shard_id], updates))
         self._inflight = seq
         return seq
 
@@ -668,7 +609,7 @@ class MultiprocessDispatch(DispatchBackend):
                 "collecting dispatch window %d but %r is in flight" % (seq, self._inflight)
             )
         try:
-            replies = self._collect(self._connections)
+            replies = self._fleet.collect(sorted(self._fleet.endpoint_ids))
         finally:
             self._inflight = None
         for shard_id, reply in replies.items():
@@ -683,49 +624,25 @@ class MultiprocessDispatch(DispatchBackend):
         if item.kind is TupleKind.OBJECT:
             obj = item.payload
             location = obj.location
-            self._connections[owner].send(
-                RouteProbe(location.x, location.y, obj.terms)
+            return self._fleet.request(
+                owner, RouteProbe(location.x, location.y, obj.terms)
             )
-            return self._receive(owner)
-        for shard_id, connection in self._connections.items():
-            connection.send(RouteUpdate(item, shard_id == owner))
-        replies = self._collect(self._connections)
+        replies = self._fleet.exchange(
+            {
+                shard_id: RouteUpdate(item, shard_id == owner)
+                for shard_id in sorted(self._fleet.endpoint_ids)
+            }
+        )
         return replies[owner]
 
     def barrier(self) -> int:
-        self._epoch += 1
-        epoch = self._epoch
-        acks = self._broadcast(AdjustBarrier(epoch))
-        for shard_id, ack in acks.items():
-            if not isinstance(ack, BarrierAck) or ack.epoch != epoch:
-                raise TransportError(
-                    "dispatch shard %d broke the adjustment fence: %r" % (shard_id, ack)
-                )
-        return epoch
+        return self._fleet.barrier()
 
     def shard_memory(self) -> Dict[int, int]:
-        return self._broadcast(ShardMemoryRequest())
+        return self._fleet.broadcast(ShardMemoryRequest())
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for connection in self._connections.values():
-            try:
-                connection.send(Shutdown())
-                connection.recv()
-            except (EOFError, OSError, BrokenPipeError):
-                pass
-        for connection in self._connections.values():
-            try:
-                connection.close()
-            except OSError:
-                pass
-        for process in self._processes.values():
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=1.0)
+        self._fleet.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -734,20 +651,46 @@ class MultiprocessDispatch(DispatchBackend):
             pass
 
 
+#: Backwards-compatible name: the process-per-shard deployment is a
+#: FabricDispatch whose fleet was spawned locally.
+MultiprocessDispatch = FabricDispatch
+
+
 #: Registry of the selectable dispatch backends (``--dispatch-backend``).
 #: ``inline`` keeps routing on the coordinator (the pre-sharding engine).
-DISPATCH_BACKENDS = ("inline", "inprocess", "multiprocess")
+DISPATCH_BACKENDS = ("inline", "inprocess", "multiprocess", "socket")
 
 
-def make_dispatch(backend: str, num_shards: int) -> Optional[DispatchBackend]:
-    """Build the dispatch backend; ``None`` means inline (coordinator) routing."""
+def make_dispatch(
+    backend: str,
+    num_shards: int,
+    *,
+    addresses: Optional[Sequence[Tuple[str, int]]] = None,
+) -> Optional[DispatchBackend]:
+    """Build the dispatch backend; ``None`` means inline (coordinator) routing.
+
+    ``addresses`` (socket backend only) lists the ``repro serve --role
+    dispatcher`` endpoints from the cluster manifest; without it the
+    coordinator spawns loopback serve processes.
+    """
     if backend == "inline":
         return None
     if backend == "inprocess":
         return InProcessDispatch(num_shards)
+    if backend not in ("multiprocess", "socket"):
+        raise ValueError(
+            "unknown dispatch backend %r (expected one of %s)"
+            % (backend, ", ".join(DISPATCH_BACKENDS))
+        )
+    if num_shards < 1:
+        raise ValueError("dispatch needs at least one shard")
+    shard_ids = list(range(num_shards))
+    inits = {shard_id: {"num_shards": num_shards} for shard_id in shard_ids}
     if backend == "multiprocess":
-        return MultiprocessDispatch(num_shards)
-    raise ValueError(
-        "unknown dispatch backend %r (expected one of %s)"
-        % (backend, ", ".join(DISPATCH_BACKENDS))
-    )
+        fleet = spawn_fleet("dispatcher", inits, label="dispatch shard")
+    elif addresses:
+        endpoint_map = assign_addresses(addresses, shard_ids, "dispatcher")
+        fleet = connect_fleet("dispatcher", endpoint_map, inits, label="dispatch shard")
+    else:
+        fleet = spawn_socket_fleet("dispatcher", inits, label="dispatch shard")
+    return FabricDispatch(fleet)

@@ -12,19 +12,24 @@ before it could be deduplicated.  This module makes the tier real:
   already simulated, and one that is invariant under Section V
   migrations (a query keeps its merger wherever its cells move, so
   replicated matches keep meeting at the same shard);
-* two backends mirror the worker transport and the dispatch stage:
+* backends mirror the worker transport and the dispatch stage:
 
   - :class:`InProcessMerge` — the reference.  :class:`MergerNode` shards
     live in the coordinator's interpreter and delivery is a direct call,
     byte-identical to the pre-subsystem inline loop.
-  - :class:`MultiprocessMerge` — one OS process per merger shard.  Each
-    shard owns an **inbox** (a ``multiprocessing.SimpleQueue``) carrying
-    the data plane (:class:`~repro.runtime.transport.DeliverResults`)
-    and the control plane (stats, period resets, adjustment fences, sink
-    drains); replies come back on a per-shard pipe.  ``SimpleQueue.put``
-    writes synchronously in the calling thread, so a control message
-    enqueued after a delivery is guaranteed to be processed after it —
-    the inbox ordering *is* the fence.
+  - :class:`FabricMerge` — one fabric endpoint per merger shard
+    (:mod:`repro.runtime.fabric`).  In the ``multiprocess`` deployment
+    each shard owns an **inbox** (a ``multiprocessing.SimpleQueue``)
+    carrying the data plane
+    (:class:`~repro.runtime.transport.DeliverResults`) and the control
+    plane (stats, period resets, adjustment fences, sink drains), with
+    replies on a per-shard pipe; ``SimpleQueue.put`` writes synchronously
+    in the calling thread, so a control message enqueued after a delivery
+    is guaranteed to be processed after it — the inbox ordering *is* the
+    fence.  In the ``socket`` deployment each shard is a ``repro serve
+    --role merger`` endpoint over one TCP connection, which is equally
+    FIFO — the same fence argument holds because the coordinator is the
+    connection's only producer.
 
 * in the full multiprocess deployment (multiprocess workers **and**
   multiprocess mergers) the worker hosts ship match results straight
@@ -32,6 +37,9 @@ before it could be deduplicated.  This module makes the tier real:
   and reply to the coordinator with costs/counts only: dedup/delivery of
   window ``K`` overlaps matching of window ``K+1``, and the
   coordinator's result-hop counter (``Cluster.result_hops``) stays zero.
+  (The socket deployment routes results through the coordinator instead:
+  TCP gives no ordering across *different* connections, so direct
+  worker→merger shipping would need a distributed fence — future work.)
 
 Delivered results feed a pluggable **subscriber sink** (one instance per
 shard, built where the shard lives): ``null`` discards, ``memory``
@@ -51,34 +59,39 @@ distinct keys per shard to begin — far beyond any equivalence test.)
 from __future__ import annotations
 
 import json
-import multiprocessing
-import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.objects import MatchResult
+from .fabric import (
+    Fleet,
+    RoleHost,
+    TransportError,
+    assign_addresses,
+    connect_fleet,
+    register_role,
+    spawn_fleet,
+    spawn_socket_fleet,
+)
 from .merger import MergerNode
 from .transport import (
-    AdjustBarrier,
-    BarrierAck,
     DeliverResults,
     MergerReset,
     MergerStats,
     MergerStatsRequest,
-    RemoteError,
-    Shutdown,
     SinkDrain,
-    TransportError,
     ship_results,
 )
 
 __all__ = [
     "CallbackSink",
+    "FabricMerge",
     "InProcessMerge",
     "JsonlSink",
     "MERGE_BACKENDS",
     "MemorySink",
     "MergeBackend",
+    "MergeHost",
     "MultiprocessMerge",
     "NullSink",
     "SINK_KINDS",
@@ -133,7 +146,7 @@ class MemorySink(SubscriberSink):
 class JsonlSink(SubscriberSink):
     """Append one JSON line per delivery to a per-shard file.
 
-    Every shard writes its own file so multiprocess shards never
+    Every shard writes its own file so out-of-process shards never
     interleave writes: a ``{merger}`` placeholder in the path is
     substituted with the shard id, otherwise ``.m<id>`` is appended.
     """
@@ -173,10 +186,11 @@ class JsonlSink(SubscriberSink):
 class CallbackSink(SubscriberSink):
     """Invoke a callable per delivery.
 
-    On the multiprocess backend the callable crosses a process boundary,
-    so it must be picklable (a module-level function, not a closure) and
-    runs *in the shard process* — use it for side effects there, or use
-    the memory sink + ``drain_sinks`` to get deliveries back.
+    On the out-of-process backends the callable crosses a process
+    boundary, so it must be picklable (a module-level function, not a
+    closure) and runs *in the shard process* — use it for side effects
+    there, or use the memory sink + ``drain_sinks`` to get deliveries
+    back.
     """
 
     kind = "callback"
@@ -247,7 +261,8 @@ class MergeBackend:
     the reports, ``barrier`` at adjustment fences, ``reset_period`` /
     ``drain_sinks`` and ``worker_endpoints`` — the per-shard inboxes
     handed to the multiprocess worker transport for direct shipping
-    (``None`` when the tier lives in the coordinator's interpreter).
+    (``None`` when the tier lives in the coordinator's interpreter or
+    behind TCP).
     """
 
     backend_name = "abstract"
@@ -351,185 +366,87 @@ class InProcessMerge(MergeBackend):
 
 
 # ----------------------------------------------------------------------
-# Multiprocess backend
+# The merger role host (served by the fabric's generic serve loop)
 # ----------------------------------------------------------------------
-def _merge_host(
-    merger_id: int,
-    inbox: Any,
-    reply_connection: Any,
-    sink_spec: SinkSpec,
-    dedup_window: int,
-) -> None:
-    """Entry point of one merger shard process: serve its inbox until Shutdown.
+class MergeHost(RoleHost):
+    """One merger-shard endpoint: a :class:`MergerNode` behind the typed
+    surface.  ``init`` carries the picklable ``sink`` spec and the
+    ``dedup_window``; :class:`DeliverResults` is the fire-and-forget data
+    plane — the fabric parks a delivery failure and reports it on the
+    next control request (an unsolicited reply would desynchronise the
+    request/reply pairing)."""
 
-    Data-plane deliveries are fire-and-forget; control messages reply on
-    the dedicated pipe.  Because the inbox is a single FIFO, a control
-    reply proves every earlier delivery has been applied.
-    """
-    merger = MergerNode(
-        merger_id, dedup_window=dedup_window, sink=build_sink(sink_spec, merger_id)
-    )
-    send = reply_connection.send
-    # A data-plane failure cannot be reported inline — DeliverResults is
-    # fire-and-forget, and an unsolicited reply would desynchronise the
-    # request/reply pairing of every later control message.  The first
-    # such error is parked here and answers the next control request.
-    pending_error: Optional[RemoteError] = None
-    while True:
-        try:
-            message = inbox.get()
-        except (EOFError, OSError):
-            break
+    fire_and_forget = (DeliverResults,)
+
+    def __init__(self, merger_id: int, init: Mapping[str, Any]) -> None:
+        spec = init.get("sink") or SinkSpec()
+        self.merger = MergerNode(
+            merger_id,
+            dedup_window=init.get("dedup_window", 100_000),
+            sink=build_sink(spec, merger_id),
+        )
+
+    def handle(self, message: Any) -> Any:
         kind = type(message)
+        merger = self.merger
         if kind is DeliverResults:
-            try:
-                merger.handle_many(message.results)
-            except Exception as exc:
-                if pending_error is None:
-                    pending_error = RemoteError(repr(exc), traceback.format_exc())
-            continue
-        if pending_error is not None and kind is not Shutdown:
-            try:
-                send(pending_error)
-            except Exception:
-                break
-            pending_error = None
-            continue
-        try:
-            if kind is MergerStatsRequest:
-                send(_merger_stats(merger))
-            elif kind is MergerReset:
-                merger.reset_period()
-                send(True)
-            elif kind is SinkDrain:
-                send(merger.sink.drain())
-            elif kind is AdjustBarrier:
-                # The shard is single-threaded and the inbox is FIFO:
-                # every earlier delivery was applied, so acking is the fence.
-                send(BarrierAck(message.epoch, merger_id))
-            elif kind is Shutdown:
-                merger.sink.close()
-                send(True)
-                break
-            else:
-                send(RemoteError("unknown merge message %r" % (message,), ""))
-        except Exception as exc:  # pragma: no cover - exercised via coordinator
-            try:
-                send(RemoteError(repr(exc), traceback.format_exc()))
-            except Exception:
-                break
-    try:
-        reply_connection.close()
-    except OSError:  # pragma: no cover - already torn down
-        pass
+            merger.handle_many(message.results)
+            return None
+        if kind is MergerStatsRequest:
+            return _merger_stats(merger)
+        if kind is MergerReset:
+            merger.reset_period()
+            return True
+        if kind is SinkDrain:
+            return merger.sink.drain()
+        raise TransportError("unknown merge message %r" % (message,))
+
+    def close(self) -> None:
+        self.merger.sink.close()
 
 
-class MultiprocessMerge(MergeBackend):
-    """Each merger shard is a separate OS process fed through an inbox.
+register_role("merger", MergeHost)
 
-    The inbox (``SimpleQueue``) is shared by every producer — the
+
+# ----------------------------------------------------------------------
+# Fabric-backed merger tier (multiprocess and socket deployments)
+# ----------------------------------------------------------------------
+class FabricMerge(MergeBackend):
+    """Each merger shard is a fabric endpoint fed through a FIFO channel.
+
+    In the multiprocess deployment the channel's send side is the shard's
+    ``SimpleQueue`` inbox — shared by every producer, i.e. the
     coordinator and, in the full multiprocess deployment, the worker
     hosts shipping results directly.  ``SimpleQueue.put`` serialises and
     writes under the queue lock in the calling thread, so any message a
     producer enqueues *after* another producer's put has returned is
     dequeued after it: control requests the coordinator issues once an
     ``exchange`` has completed are guaranteed to observe every delivery
-    that exchange produced.
+    that exchange produced.  In the socket deployment the channel is one
+    TCP connection with the coordinator as sole producer; per-connection
+    FIFO gives the identical fence.
     """
 
-    backend_name = "multiprocess"
-
-    def __init__(
-        self,
-        num_mergers: int,
-        *,
-        sink: Optional[SinkSpec] = None,
-        dedup_window: int = 100_000,
-        start_method: Optional[str] = None,
-    ) -> None:
-        if num_mergers < 1:
-            raise ValueError("the merger tier needs at least one shard")
-        self.num_mergers = num_mergers
-        spec = sink if sink is not None else SinkSpec()
-        context = (
-            multiprocessing.get_context(start_method)
-            if start_method is not None
-            else multiprocessing.get_context()
-        )
-        self._inboxes: List[Any] = []
-        self._replies: Dict[int, Any] = {}
-        self._processes: Dict[int, Any] = {}
-        self._epoch = 0
-        self._closed = False
-        try:
-            for merger_id in range(num_mergers):
-                inbox = context.SimpleQueue()
-                receive_end, send_end = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=_merge_host,
-                    args=(merger_id, inbox, send_end, spec, dedup_window),
-                    name="repro-merger-%d" % merger_id,
-                    daemon=True,
-                )
-                process.start()
-                send_end.close()
-                self._inboxes.append(inbox)
-                self._replies[merger_id] = receive_end
-                self._processes[merger_id] = process
-        except Exception:
-            self.close()
-            raise
-
-    # -- plumbing ------------------------------------------------------
-    def _receive(self, merger_id: int) -> Any:
-        try:
-            reply = self._replies[merger_id].recv()
-        except (EOFError, OSError) as exc:
-            raise TransportError("merger shard %d died: %r" % (merger_id, exc)) from exc
-        if isinstance(reply, RemoteError):
-            raise TransportError(
-                "merger shard %d failed: %s\n%s"
-                % (merger_id, reply.message, reply.formatted_traceback)
-            )
-        return reply
-
-    def _broadcast(self, message_factory) -> Dict[int, Any]:
-        """Enqueue one control message per shard, then gather the replies.
-
-        Replies are collected in ascending shard id — with each reply
-        re-raised errors drain the remaining shards first — and the
-        result dict is keyed by that same order, so downstream merges are
-        deterministic regardless of which shard answered first.
-        """
-        for merger_id, inbox in enumerate(self._inboxes):
-            inbox.put(message_factory(merger_id))
-        replies: Dict[int, Any] = {}
-        error: Optional[TransportError] = None
-        for merger_id in range(self.num_mergers):
-            try:
-                replies[merger_id] = self._receive(merger_id)
-            except TransportError as exc:
-                if error is None:
-                    error = exc
-        if error is not None:
-            raise error
-        return replies
+    def __init__(self, fleet: Fleet) -> None:
+        self._fleet = fleet
+        self.backend_name = fleet.backend_name
+        self.num_mergers = len(fleet.endpoint_ids)
 
     # -- MergeBackend surface ------------------------------------------
     def deliver(self, results: Sequence[MatchResult]) -> None:
         ship_results(
             results,
             self.num_mergers,
-            lambda merger_id, batch: self._inboxes[merger_id].put(
-                DeliverResults(tuple(batch))
+            lambda merger_id, batch: self._fleet.send(
+                merger_id, DeliverResults(tuple(batch))
             ),
         )
 
     def worker_endpoints(self) -> Optional[Sequence[Any]]:
-        return tuple(self._inboxes)
+        return self._fleet.data_endpoints()
 
     def merger_stats(self) -> Dict[int, MergerStats]:
-        stats = self._broadcast(lambda merger_id: MergerStatsRequest())
+        stats = self._fleet.broadcast(MergerStatsRequest())
         # Merged sorted by merger id (the same determinism rule the worker
         # tier applies to StatsReport).
         return {merger_id: stats[merger_id] for merger_id in sorted(stats)}
@@ -538,45 +455,17 @@ class MultiprocessMerge(MergeBackend):
         return list(self.merger_stats().values())
 
     def barrier(self) -> int:
-        self._epoch += 1
-        epoch = self._epoch
-        acks = self._broadcast(lambda merger_id: AdjustBarrier(epoch))
-        for merger_id, ack in acks.items():
-            if not isinstance(ack, BarrierAck) or ack.epoch != epoch:
-                raise TransportError(
-                    "merger shard %d broke the adjustment fence: %r" % (merger_id, ack)
-                )
-        return epoch
+        return self._fleet.barrier()
 
     def reset_period(self) -> None:
-        self._broadcast(lambda merger_id: MergerReset())
+        self._fleet.broadcast(MergerReset())
 
     def drain_sinks(self) -> Dict[int, List[MatchResult]]:
-        drained = self._broadcast(lambda merger_id: SinkDrain())
+        drained = self._fleet.broadcast(SinkDrain())
         return {merger_id: drained[merger_id] for merger_id in sorted(drained)}
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for merger_id, inbox in enumerate(self._inboxes):
-            connection = self._replies.get(merger_id)
-            try:
-                inbox.put(Shutdown())
-                if connection is not None:
-                    connection.recv()
-            except (EOFError, OSError, BrokenPipeError):
-                pass
-        for connection in self._replies.values():
-            try:
-                connection.close()
-            except OSError:
-                pass
-        for process in self._processes.values():
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=1.0)
+        self._fleet.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -585,8 +474,13 @@ class MultiprocessMerge(MergeBackend):
             pass
 
 
+#: Backwards-compatible name: the process-per-shard deployment is a
+#: FabricMerge whose fleet was spawned locally.
+MultiprocessMerge = FabricMerge
+
+
 #: Registry of the selectable merger backends (``--merger-backend``).
-MERGE_BACKENDS = ("inprocess", "multiprocess")
+MERGE_BACKENDS = ("inprocess", "multiprocess", "socket")
 
 
 def make_merge(
@@ -595,13 +489,33 @@ def make_merge(
     *,
     sink: Optional[SinkSpec] = None,
     dedup_window: int = 100_000,
+    addresses: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> MergeBackend:
-    """Build the merger/delivery backend for a cluster deployment."""
+    """Build the merger/delivery backend for a cluster deployment.
+
+    ``addresses`` (socket backend only) lists the ``repro serve --role
+    merger`` endpoints from the cluster manifest; without it the
+    coordinator spawns loopback serve processes.
+    """
     if backend == "inprocess":
         return InProcessMerge(num_mergers, sink=sink, dedup_window=dedup_window)
+    if backend not in ("multiprocess", "socket"):
+        raise ValueError(
+            "unknown merger backend %r (expected one of %s)"
+            % (backend, ", ".join(MERGE_BACKENDS))
+        )
+    if num_mergers < 1:
+        raise ValueError("the merger tier needs at least one shard")
+    merger_ids = list(range(num_mergers))
+    inits = {
+        merger_id: {"sink": sink, "dedup_window": dedup_window}
+        for merger_id in merger_ids
+    }
     if backend == "multiprocess":
-        return MultiprocessMerge(num_mergers, sink=sink, dedup_window=dedup_window)
-    raise ValueError(
-        "unknown merger backend %r (expected one of %s)"
-        % (backend, ", ".join(MERGE_BACKENDS))
-    )
+        fleet = spawn_fleet("merger", inits, label="merger shard", queue_inbox=True)
+    elif addresses:
+        endpoint_map = assign_addresses(addresses, merger_ids, "merger")
+        fleet = connect_fleet("merger", endpoint_map, inits, label="merger shard")
+    else:
+        fleet = spawn_socket_fleet("merger", inits, label="merger shard")
+    return FabricMerge(fleet)

@@ -12,12 +12,13 @@ coordinator code can drive
   coordinator's process and every message is executed synchronously by a
   direct call, preserving the exact semantics (and float-for-float
   results) of the pre-transport engine; and
-* a :class:`MultiprocessTransport` — each worker runs in its own OS
-  process (``multiprocessing``).  Messages are pickled over pipes; one
-  window's worth of routed work is shipped per worker as a single
-  :class:`RouteBatch`, all batches are submitted before any reply is
-  collected, so workers match their object groups concurrently on
-  separate cores.
+* a :class:`FabricTransport` — each worker is a fabric endpoint
+  (:mod:`repro.runtime.fabric`): its own OS process served over a pickled
+  pipe (``multiprocess``), or a ``repro serve --role worker`` endpoint
+  reached over TCP (``socket``).  One window's worth of routed work is
+  shipped per worker as a single :class:`RouteBatch`, all batches are
+  submitted before any reply is collected, so workers match their object
+  groups concurrently on separate cores (or hosts).
 
 The message vocabulary mirrors the Storm streams of the paper:
 
@@ -43,16 +44,15 @@ The message vocabulary mirrors the Storm streams of the paper:
   busy-time, memory and population numbers the reports and the Section V
   adjusters read.
 
-Both backends produce byte-identical :class:`~repro.runtime.metrics.RunReport`
-values on the same stream (``tests/test_transport.py``); the multiprocess
-backend additionally turns the simulated parallelism into real multi-core
+Every backend produces byte-identical
+:class:`~repro.runtime.metrics.RunReport` values on the same stream
+(``tests/test_transport.py``); the process-per-worker backend
+additionally turns the simulated parallelism into real multi-core
 wall-clock speedups (``benchmarks/test_multiprocess_speedup.py``).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -62,6 +62,20 @@ from ..core.objects import MatchResult, QueryDeletion, QueryInsertion, SpatioTex
 from ..core.text import TermStatistics
 from ..indexes.gi2 import CellStats
 from ..indexes.grid import CellCoord
+from .fabric import (
+    AdjustBarrier,
+    BarrierAck,
+    Fleet,
+    RemoteError,
+    RoleHost,
+    Shutdown,
+    TransportError,
+    assign_addresses,
+    connect_fleet,
+    register_role,
+    spawn_fleet,
+    spawn_socket_fleet,
+)
 from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
@@ -73,6 +87,7 @@ __all__ = [
     "DeliverResults",
     "ExtractCells",
     "ExtractKeywords",
+    "FabricTransport",
     "InProcessTransport",
     "InsertPairs",
     "InsertQuery",
@@ -92,6 +107,7 @@ __all__ = [
     "Transport",
     "TransportError",
     "WorkerCall",
+    "WorkerHost",
     "WorkerProxy",
     "execute_ops",
     "make_result_shipper",
@@ -99,10 +115,6 @@ __all__ = [
     "partition_results",
     "ship_results",
 ]
-
-
-class TransportError(RuntimeError):
-    """A worker backend failed to execute a message."""
 
 
 # ----------------------------------------------------------------------
@@ -318,21 +330,6 @@ class CellStatsRequest:
 
 
 @dataclass(slots=True)
-class AdjustBarrier:
-    """Closed-loop adjustment fence: workers ack once fully drained."""
-
-    epoch: int
-
-
-@dataclass(slots=True)
-class BarrierAck:
-    """Worker→coordinator acknowledgement of an :class:`AdjustBarrier`."""
-
-    epoch: int
-    worker_id: int
-
-
-@dataclass(slots=True)
 class WorkerCall:
     """Generic escape hatch: call (or read) ``worker.<path[0]>.<path[1]>…``.
 
@@ -358,21 +355,8 @@ class RemoteCallable:
     name: str
 
 
-@dataclass(slots=True)
-class Shutdown:
-    """Terminate a worker host process."""
-
-
-@dataclass(slots=True)
-class RemoteError:
-    """Worker→coordinator: an exception raised while executing a message."""
-
-    message: str
-    formatted_traceback: str
-
-
 # ----------------------------------------------------------------------
-# Operation execution (shared by both backends — the reference semantics)
+# Operation execution (shared by all backends — the reference semantics)
 # ----------------------------------------------------------------------
 def execute_ops(
     worker: WorkerNode, ops: Sequence[WorkerOp], deliver=None
@@ -381,9 +365,9 @@ def execute_ops(
 
     This function *is* the transport seam's semantic contract: the
     in-process backend runs it directly against the coordinator's worker
-    objects and the multiprocess host runs it inside the worker process,
-    so both backends execute exactly the same :class:`WorkerNode` calls in
-    exactly the same order.  Matching ops reply with
+    objects and the fabric worker host runs it inside the worker process,
+    so every backend executes exactly the same :class:`WorkerNode` calls
+    in exactly the same order.  Matching ops reply with
     :class:`MatchResults`; update ops reply ``None`` (their costs are the
     fixed Definition-1 constants the coordinator already knows).
 
@@ -466,9 +450,9 @@ class Transport:
     """Coordinator-side surface for talking to the worker fleet.
 
     ``workers`` maps worker id → handle; for the in-process backend the
-    handle is the :class:`WorkerNode` itself, for the multiprocess backend
-    a :class:`WorkerProxy` forwarding the same surface over the pipe.  The
-    coordinator never assumes which one it holds.
+    handle is the :class:`WorkerNode` itself, for the fabric backends a
+    :class:`WorkerProxy` forwarding the same surface over the channel.
+    The coordinator never assumes which one it holds.
     """
 
     backend_name = "abstract"
@@ -555,7 +539,7 @@ class InProcessTransport(Transport):
 
 
 # ----------------------------------------------------------------------
-# Multiprocess backend
+# The worker role host (served by the fabric's generic serve loop)
 # ----------------------------------------------------------------------
 def make_result_shipper(merger_inboxes: Sequence[Any]):
     """Build the direct worker→merger shipping hook over shard inboxes.
@@ -579,62 +563,47 @@ def make_result_shipper(merger_inboxes: Sequence[Any]):
     return deliver
 
 
-def _worker_host(
-    worker_id: int,
-    ctor_kwargs: Dict[str, Any],
-    connection: Any,
-    merger_inboxes: Optional[Sequence[Any]] = None,
-) -> None:
-    """Entry point of one worker process: serve messages until Shutdown.
+class WorkerHost(RoleHost):
+    """One worker endpoint's role logic: a :class:`WorkerNode` plus the
+    typed-message surface the coordinator drives it through.
 
-    ``merger_inboxes`` (one queue per merger shard) enables direct
-    worker→merger result shipping: matching results leave through the
-    shard inboxes and only their costs/counts go back to the coordinator.
+    ``init`` carries the :class:`WorkerNode` constructor arguments under
+    ``"worker"`` and, for process-per-worker deployments that inherit the
+    merger shard inboxes at spawn, the ``"merger_endpoints"`` enabling
+    direct worker→merger result shipping.
     """
-    worker = WorkerNode(worker_id, **ctor_kwargs)
-    deliver = make_result_shipper(merger_inboxes) if merger_inboxes else None
-    send = connection.send
-    while True:
-        try:
-            message = connection.recv()
-        except (EOFError, OSError):
-            break
-        try:
-            kind = type(message)
-            if kind is RouteBatch:
-                send(execute_ops(worker, message.ops, deliver))
-            elif kind is StatsRequest:
-                send(_worker_stats(worker))
-            elif kind is CellStatsRequest:
-                send(worker.cell_stats())
-            elif kind is WorkerCall:
-                send(_resolve_call(worker, message))
-            elif kind is InstallQueries:
-                send(worker.install_queries(message.assignments))
-            elif kind is ExtractCells:
-                send(worker.extract_cells(message.cells))
-            elif kind is ExtractKeywords:
-                send(worker.extract_keywords(message.cell, message.keywords))
-            elif kind is AdjustBarrier:
-                # All earlier messages on this pipe were fully applied (the
-                # host is single-threaded), so acking *is* the fence.
-                send(BarrierAck(message.epoch, worker_id))
-            elif kind is Shutdown:
-                send(True)
-                break
-            else:
-                send(RemoteError("unknown message %r" % (message,), ""))
-        except Exception as exc:  # pragma: no cover - exercised via coordinator
-            try:
-                send(RemoteError(repr(exc), traceback.format_exc()))
-            except Exception:
-                break
-    try:
-        connection.close()
-    except OSError:  # pragma: no cover - already torn down
-        pass
+
+    def __init__(self, worker_id: int, init: Mapping[str, Any]) -> None:
+        self.worker = WorkerNode(worker_id, **init["worker"])
+        merger_inboxes = init.get("merger_endpoints")
+        self._deliver = make_result_shipper(merger_inboxes) if merger_inboxes else None
+
+    def handle(self, message: Any) -> Any:
+        kind = type(message)
+        worker = self.worker
+        if kind is RouteBatch:
+            return execute_ops(worker, message.ops, self._deliver)
+        if kind is StatsRequest:
+            return _worker_stats(worker)
+        if kind is CellStatsRequest:
+            return worker.cell_stats()
+        if kind is WorkerCall:
+            return _resolve_call(worker, message)
+        if kind is InstallQueries:
+            return worker.install_queries(message.assignments)
+        if kind is ExtractCells:
+            return worker.extract_cells(message.cells)
+        if kind is ExtractKeywords:
+            return worker.extract_keywords(message.cell, message.keywords)
+        raise TransportError("unknown message %r" % (message,))
 
 
+register_role("worker", WorkerHost)
+
+
+# ----------------------------------------------------------------------
+# Fabric-backed transport (multiprocess and socket deployments)
+# ----------------------------------------------------------------------
 class IndexProxy:
     """Forwards ``worker.index.<name>`` access over the transport.
 
@@ -645,7 +614,7 @@ class IndexProxy:
     worker and cached after the first fetch.
     """
 
-    def __init__(self, transport: "MultiprocessTransport", worker_id: int) -> None:
+    def __init__(self, transport: "FabricTransport", worker_id: int) -> None:
         self._transport = transport
         self._worker_id = worker_id
         self._grid = None
@@ -675,13 +644,13 @@ class IndexProxy:
 
 
 class WorkerProxy:
-    """Coordinator-side handle of one remote worker process.
+    """Coordinator-side handle of one remote worker endpoint.
 
     Exposes the :class:`WorkerNode` surface the coordinator and the
     Section V adjusters use, each method forwarding one typed message.
     """
 
-    def __init__(self, transport: "MultiprocessTransport", worker_id: int) -> None:
+    def __init__(self, transport: "FabricTransport", worker_id: int) -> None:
         self.worker_id = worker_id
         self._transport = transport
         self.index = IndexProxy(transport, worker_id)
@@ -733,135 +702,45 @@ class WorkerProxy:
         return "WorkerProxy(id=%d)" % self.worker_id
 
 
-class MultiprocessTransport(Transport):
-    """Each worker is a separate OS process served over a pickled pipe.
+class FabricTransport(Transport):
+    """Worker fleet behind fabric channels: one endpoint per worker.
 
     All of a window's :class:`RouteBatch` messages are written before any
-    reply is read (:meth:`exchange`), so worker processes execute their
-    object-matching groups concurrently; the coordinator then collects the
-    replies in deterministic order.  Worker construction arguments are
-    pickled to the child, so the backend works under ``fork`` and
-    ``spawn`` start methods alike.
+    reply is read (:meth:`exchange`), so worker endpoints execute their
+    object-matching groups concurrently; the coordinator then collects
+    the replies in deterministic order.  The same class serves the
+    ``multiprocess`` deployment (one local OS process per worker over a
+    pipe) and the ``socket`` deployment (``repro serve`` endpoints over
+    TCP) — only the fleet construction differs.
     """
 
-    backend_name = "multiprocess"
-
-    def __init__(
-        self,
-        worker_ids: Sequence[int],
-        *,
-        bounds: Rect,
-        granularity: int,
-        cost_model: CostModel,
-        term_statistics: Optional[TermStatistics],
-        start_method: Optional[str] = None,
-        merger_endpoints: Optional[Sequence[Any]] = None,
-    ) -> None:
-        context = (
-            multiprocessing.get_context(start_method)
-            if start_method is not None
-            else multiprocessing.get_context()
-        )
-        ctor_kwargs = {
-            "bounds": bounds,
-            "granularity": granularity,
-            "cost_model": cost_model,
-            "term_statistics": term_statistics,
-        }
-        self._connections: Dict[int, Any] = {}
-        self._processes: Dict[int, Any] = {}
-        self._epoch = 0
-        self._closed = False
-        endpoints = tuple(merger_endpoints) if merger_endpoints else None
-        try:
-            for worker_id in worker_ids:
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=_worker_host,
-                    args=(worker_id, ctor_kwargs, child_end, endpoints),
-                    name="repro-worker-%d" % worker_id,
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                self._connections[worker_id] = parent_end
-                self._processes[worker_id] = process
-        except Exception:
-            self.close()
-            raise
+    def __init__(self, fleet: Fleet) -> None:
+        self._fleet = fleet
+        self.backend_name = fleet.backend_name
         self.workers: Dict[int, WorkerProxy] = {
-            worker_id: WorkerProxy(self, worker_id) for worker_id in worker_ids
+            worker_id: WorkerProxy(self, worker_id) for worker_id in fleet.endpoint_ids
         }
 
     # -- plumbing ------------------------------------------------------
-    def _receive(self, worker_id: int) -> Any:
-        try:
-            reply = self._connections[worker_id].recv()
-        except (EOFError, OSError) as exc:
-            raise TransportError("worker %d died: %r" % (worker_id, exc)) from exc
-        if isinstance(reply, RemoteError):
-            raise TransportError(
-                "worker %d failed: %s\n%s" % (worker_id, reply.message, reply.formatted_traceback)
-            )
-        return reply
-
     def request(self, worker_id: int, message: Any) -> Any:
         """Synchronous round trip of one control-plane message."""
-        self._connections[worker_id].send(message)
-        return self._receive(worker_id)
-
-    def _collect(self, worker_ids: Iterable[int]) -> Dict[int, Any]:
-        """Gather one reply per worker, consuming every pending reply.
-
-        A failing worker must not leave the other workers' replies queued
-        on their pipes (a later request would read the stale message), so
-        the loop keeps draining after the first error and re-raises it
-        once every expected reply has been consumed.
-        """
-        replies: Dict[int, Any] = {}
-        error: Optional[TransportError] = None
-        for worker_id in worker_ids:
-            try:
-                replies[worker_id] = self._receive(worker_id)
-            except TransportError as exc:
-                if error is None:
-                    error = exc
-        if error is not None:
-            raise error
-        return replies
-
-    def _broadcast(self, message_factory) -> Dict[int, Any]:
-        """Send to every worker first, then gather (replies run in parallel)."""
-        for worker_id, connection in self._connections.items():
-            connection.send(message_factory(worker_id))
-        return self._collect(self._connections)
+        return self._fleet.request(worker_id, message)
 
     # -- Transport surface --------------------------------------------
     def exchange(
         self, batches: Mapping[int, RouteBatch]
     ) -> Dict[int, List[Optional[MatchResults]]]:
-        connections = self._connections
-        for worker_id, batch in batches.items():
-            connections[worker_id].send(batch)
-        return self._collect(batches)
+        return self._fleet.exchange(batches)
 
     def worker_stats(self) -> Dict[int, StatsReport]:
-        stats = self._broadcast(lambda worker_id: StatsRequest())
+        stats = self._fleet.broadcast(StatsRequest())
         # Replies are gathered in whatever order the fleet is polled;
         # re-key sorted by worker id so downstream merges are deterministic
         # regardless of reply arrival order.
         return {worker_id: stats[worker_id] for worker_id in sorted(stats)}
 
     def barrier(self) -> int:
-        self._epoch += 1
-        epoch = self._epoch
-        acks = self._broadcast(lambda worker_id: AdjustBarrier(epoch))
-        for worker_id, ack in acks.items():
-            if not isinstance(ack, BarrierAck) or ack.epoch != epoch:
-                raise TransportError(
-                    "worker %d broke the adjustment fence: %r" % (worker_id, ack)
-                )
-        return epoch
+        return self._fleet.barrier()
 
     def call(
         self,
@@ -873,25 +752,7 @@ class MultiprocessTransport(Transport):
         return self.request(worker_id, WorkerCall(path, args, kwargs))
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for worker_id, connection in self._connections.items():
-            try:
-                connection.send(Shutdown())
-                connection.recv()
-            except (EOFError, OSError, BrokenPipeError):
-                pass
-        for connection in self._connections.values():
-            try:
-                connection.close()
-            except OSError:
-                pass
-        for process in self._processes.values():
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=1.0)
+        self._fleet.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -900,8 +761,13 @@ class MultiprocessTransport(Transport):
             pass
 
 
+#: Backwards-compatible name: the process-per-worker deployment is a
+#: FabricTransport whose fleet was spawned locally.
+MultiprocessTransport = FabricTransport
+
+
 #: Registry of the selectable transport backends (``--backend`` on the CLI).
-TRANSPORT_BACKENDS = ("inprocess", "multiprocess")
+TRANSPORT_BACKENDS = ("inprocess", "multiprocess", "socket")
 
 
 def make_transport(
@@ -913,6 +779,7 @@ def make_transport(
     cost_model: CostModel,
     term_statistics: Optional[TermStatistics],
     merger_endpoints: Optional[Sequence[Any]] = None,
+    addresses: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> Transport:
     """Build the transport (and its workers) for a cluster deployment.
 
@@ -920,7 +787,15 @@ def make_transport(
     merger tier runs out of process) turns on direct worker→merger result
     shipping in the multiprocess backend; the in-process backend ignores
     it — its workers reply to the coordinator, which forwards to the
-    merge backend itself.
+    merge backend itself.  The socket backend also ignores it: queue
+    inboxes cannot cross a TCP connection, and per-connection ordering
+    gives no fence across producers, so socket workers return results to
+    the coordinator, which delivers to the merger shards itself (reports
+    are unaffected — delivery hops are not part of the RunReport).
+
+    ``addresses`` (socket backend only) lists the ``repro serve --role
+    worker`` endpoints from the cluster manifest, one per worker id in
+    order; without it the coordinator spawns loopback serve processes.
     """
     if backend == "inprocess":
         workers = {
@@ -934,16 +809,29 @@ def make_transport(
             for worker_id in worker_ids
         }
         return InProcessTransport(workers)
-    if backend == "multiprocess":
-        return MultiprocessTransport(
-            worker_ids,
-            bounds=bounds,
-            granularity=granularity,
-            cost_model=cost_model,
-            term_statistics=term_statistics,
-            merger_endpoints=merger_endpoints,
+    if backend not in ("multiprocess", "socket"):
+        raise ValueError(
+            "unknown transport backend %r (expected one of %s)"
+            % (backend, ", ".join(TRANSPORT_BACKENDS))
         )
-    raise ValueError(
-        "unknown transport backend %r (expected one of %s)"
-        % (backend, ", ".join(TRANSPORT_BACKENDS))
-    )
+    worker_init = {
+        "bounds": bounds,
+        "granularity": granularity,
+        "cost_model": cost_model,
+        "term_statistics": term_statistics,
+    }
+    if backend == "multiprocess":
+        endpoints = tuple(merger_endpoints) if merger_endpoints else None
+        inits = {
+            worker_id: {"worker": worker_init, "merger_endpoints": endpoints}
+            for worker_id in worker_ids
+        }
+        fleet = spawn_fleet("worker", inits, label="worker")
+    else:
+        inits = {worker_id: {"worker": worker_init} for worker_id in worker_ids}
+        if addresses:
+            endpoint_map = assign_addresses(addresses, worker_ids, "worker")
+            fleet = connect_fleet("worker", endpoint_map, inits, label="worker")
+        else:
+            fleet = spawn_socket_fleet("worker", inits, label="worker")
+    return FabricTransport(fleet)

@@ -2,8 +2,9 @@
 
 The acceptance contract of the dispatch stage: routing on ``N`` dispatcher
 shards — each owning its own replica of the routing index, in the
-coordinator's interpreter (``inprocess``) or one OS process per shard
-(``multiprocess``) — must produce **byte-identical**
+coordinator's interpreter (``inprocess``), one OS process per shard
+(``multiprocess``) or one loopback TCP endpoint per shard (``socket``) —
+must produce **byte-identical**
 :class:`~repro.runtime.metrics.RunReport` values to the serial ``inline``
 engine on the same stream, for the per-tuple and batched paths, on both
 worker transport backends, and through closed-loop Section V adjustment
@@ -26,12 +27,13 @@ from repro.runtime import (
     Cluster,
     ClusterConfig,
     InProcessDispatch,
-    MultiprocessDispatch,
     TransportError,
 )
 from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
 
-DISPATCH_BACKENDS = ["inprocess", "multiprocess"]
+from test_transport import require_backend
+
+DISPATCH_BACKENDS = ["inprocess", "multiprocess", "socket"]
 
 WORKER_SIDE_FIELDS = [
     "tuples_processed",
@@ -81,6 +83,7 @@ class TestDispatchParity:
     @pytest.mark.parametrize("dispatch", DISPATCH_BACKENDS)
     def test_sharded_routing_identical_reports(self, dispatch, batch_size):
         """Per-tuple and batched paths: sharded == inline, field for field."""
+        require_backend(dispatch)
         plan, tuples = make_workload()
         ref, _ = run_cluster(plan, tuples, dispatch="inline", batch_size=batch_size)
         sharded, _ = run_cluster(plan, tuples, dispatch=dispatch, batch_size=batch_size)
@@ -90,6 +93,7 @@ class TestDispatchParity:
     @pytest.mark.parametrize("dispatch", DISPATCH_BACKENDS)
     def test_identical_on_multiprocess_workers(self, dispatch):
         """Sharded routing composes with the multiprocess worker backend."""
+        require_backend(dispatch)
         plan, tuples = make_workload()
         ref, _ = run_cluster(
             plan, tuples, dispatch="inline", worker_backend="multiprocess",
@@ -110,6 +114,7 @@ class TestDispatchParity:
         adjuster to actually migrate cells mid-stream, so this exercises
         the dispatch shards' snapshot re-sync after H1 mutations.
         """
+        require_backend(dispatch)
         plan, tuples = make_workload(
             mu=300, seed=3, num_objects=800, partitioner=MetricTextPartitioner()
         )
@@ -142,6 +147,7 @@ class TestDispatchParity:
     @pytest.mark.parametrize("dispatch", DISPATCH_BACKENDS)
     def test_global_adjuster_repartition_identical(self, dispatch):
         """The dual-routing drain falls back inline and re-syncs after."""
+        require_backend(dispatch)
         plan, tuples = make_workload(
             mu=250, seed=3, num_objects=700, partitioner=MetricTextPartitioner()
         )
@@ -225,7 +231,7 @@ class TestDispatchMechanics:
         config = ClusterConfig(num_dispatchers=2, num_workers=2,
                                dispatch_backend="multiprocess")
         with Cluster(plan, config) as cluster:
-            assert isinstance(cluster._dispatch, MultiprocessDispatch)
+            assert cluster._dispatch.backend_name == "multiprocess"
             assert cluster._dispatch.barrier() == 1
             assert cluster._dispatch.barrier() == 2
 
@@ -242,7 +248,7 @@ class TestDispatchMechanics:
         config = ClusterConfig(num_dispatchers=2, num_workers=2,
                                dispatch_backend="multiprocess")
         cluster = Cluster(plan, config)
-        processes = list(cluster._dispatch._processes.values())
+        processes = list(cluster._dispatch._fleet.processes.values())
         assert all(process.is_alive() for process in processes)
         cluster.close()
         cluster.close()

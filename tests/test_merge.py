@@ -2,7 +2,8 @@
 
 The acceptance contract of the merger tier: deduplicating and delivering
 match results on ``M`` merger shards — in the coordinator's interpreter
-(``inprocess``) or one OS process per shard (``multiprocess``) — must
+(``inprocess``), one OS process per shard (``multiprocess``) or one
+loopback TCP endpoint per shard (``socket``) — must
 produce **byte-identical** :class:`~repro.runtime.metrics.RunReport`
 values on the same stream, for the per-tuple and batched engines, on
 both worker transport backends, and through closed-loop Section V
@@ -31,12 +32,15 @@ from repro.runtime import (
     ClusterConfig,
     InProcessMerge,
     MergerNode,
-    MultiprocessMerge,
     SinkSpec,
 )
 from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
 
-MERGE_BACKENDS = ["inprocess", "multiprocess"]
+from test_transport import available_backends, require_backend
+
+MERGE_BACKENDS = ["inprocess", "multiprocess", "socket"]
+#: The out-of-process merger deployments pinned against the reference.
+REMOTE_MERGE_BACKENDS = ["multiprocess", "socket"]
 WORKER_BACKENDS = ["inprocess", "multiprocess"]
 BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
 
@@ -132,12 +136,14 @@ def run_cluster(plan, tuples, *, merger="inprocess", worker_backend="inprocess",
 
 class TestMergerParity:
     @pytest.mark.parametrize("batch_size", [0, 128])
-    def test_sharded_merge_identical_reports(self, batch_size):
+    @pytest.mark.parametrize("merger", REMOTE_MERGE_BACKENDS)
+    def test_sharded_merge_identical_reports(self, merger, batch_size):
         """Per-tuple and batched engines: sharded merge == inline, field for field."""
+        require_backend(merger)
         plan, tuples = make_duplication_workload()
         ref, _, _ = run_cluster(plan, tuples, merger="inprocess", batch_size=batch_size)
         sharded, _, _ = run_cluster(
-            plan, tuples, merger="multiprocess", batch_size=batch_size
+            plan, tuples, merger=merger, batch_size=batch_size
         )
         assert ref.matches_delivered > 0
         assert ref.matches_produced > ref.matches_delivered, (
@@ -147,22 +153,26 @@ class TestMergerParity:
         assert sharded == ref
 
     @pytest.mark.parametrize("worker_backend", WORKER_BACKENDS)
-    def test_identical_on_worker_backends(self, worker_backend):
+    @pytest.mark.parametrize("merger", REMOTE_MERGE_BACKENDS)
+    def test_identical_on_worker_backends(self, merger, worker_backend):
         """The merge backends compose with both worker transport backends."""
+        require_backend(merger)
         plan, tuples = make_duplication_workload()
         ref, _, _ = run_cluster(
             plan, tuples, merger="inprocess", worker_backend=worker_backend,
             batch_size=128,
         )
         sharded, _, _ = run_cluster(
-            plan, tuples, merger="multiprocess", worker_backend=worker_backend,
+            plan, tuples, merger=merger, worker_backend=worker_backend,
             batch_size=128,
         )
         assert sharded == ref
 
     @pytest.mark.parametrize("worker_backend", WORKER_BACKENDS)
-    def test_closed_loop_adjustment_round_identical(self, worker_backend):
+    @pytest.mark.parametrize("merger", REMOTE_MERGE_BACKENDS)
+    def test_closed_loop_adjustment_round_identical(self, merger, worker_backend):
         """Section V rounds — fences, migrations, merger snapshots — match."""
+        require_backend(merger)
         plan, tuples = make_stream_workload()
 
         def run(merger_backend):
@@ -175,7 +185,7 @@ class TestMergerParity:
             return report, triggered, adjuster.history
 
         ref_report, ref_triggered, ref_history = run("inprocess")
-        report, triggered, history = run("multiprocess")
+        report, triggered, history = run(merger)
         assert ref_triggered > 0, "the adjustment loop must actually fire"
         assert triggered == ref_triggered
         assert report == ref_report
@@ -240,6 +250,7 @@ class TestDirectShipping:
 class TestSubscriberSinks:
     @pytest.mark.parametrize("merger", MERGE_BACKENDS)
     def test_memory_sink_collects_exactly_the_deliveries(self, merger):
+        require_backend(merger)
         plan, tuples = make_duplication_workload()
         report, _, drained = run_cluster(
             plan, tuples, merger=merger, batch_size=128,
@@ -259,7 +270,7 @@ class TestSubscriberSinks:
     def test_memory_sink_contents_identical_across_backends(self):
         plan, tuples = make_duplication_workload()
         contents = {}
-        for merger in MERGE_BACKENDS:
+        for merger in available_backends(MERGE_BACKENDS):
             _, _, drained = run_cluster(
                 plan, tuples, merger=merger, batch_size=128,
                 sink=SinkSpec(kind="memory"),
@@ -268,10 +279,12 @@ class TestSubscriberSinks:
                 merger_id: sorted(result.key() for result in results)
                 for merger_id, results in drained.items()
             }
-        assert contents["inprocess"] == contents["multiprocess"]
+        for merger, drained in contents.items():
+            assert drained == contents["inprocess"], merger
 
     @pytest.mark.parametrize("merger", MERGE_BACKENDS)
     def test_jsonl_sink_writes_per_shard_files(self, merger, tmp_path):
+        require_backend(merger)
         plan, tuples = make_duplication_workload()
         path = str(tmp_path / ("deliveries-%s.jsonl" % merger))
         report, _, _ = run_cluster(
@@ -338,7 +351,7 @@ class TestMergerMechanics:
 
     def test_merger_stats_sorted_by_id(self):
         plan, tuples = make_duplication_workload(num_objects=150)
-        for merger in MERGE_BACKENDS:
+        for merger in available_backends(MERGE_BACKENDS):
             config = ClusterConfig(num_workers=4, num_mergers=3, merger_backend=merger)
             with Cluster(plan, config) as cluster:
                 cluster.run_batched(tuples, batch_size=128)
@@ -351,7 +364,7 @@ class TestMergerMechanics:
         config = ClusterConfig(num_workers=2, num_mergers=2,
                                merger_backend="multiprocess")
         with Cluster(plan, config) as cluster:
-            assert isinstance(cluster._merge, MultiprocessMerge)
+            assert cluster._merge.backend_name == "multiprocess"
             assert cluster._merge.barrier() == 1
             assert cluster._merge.barrier() == 2
 
@@ -366,7 +379,7 @@ class TestMergerMechanics:
         config = ClusterConfig(num_workers=2, num_mergers=2,
                                merger_backend="multiprocess")
         cluster = Cluster(plan, config)
-        processes = list(cluster._merge._processes.values())
+        processes = list(cluster._merge._fleet.processes.values())
         assert all(process.is_alive() for process in processes)
         cluster.close()
         cluster.close()
@@ -405,7 +418,7 @@ class TestMergerMechanics:
 
     def test_reset_period_clears_merger_counters(self):
         plan, tuples = make_duplication_workload(num_objects=150)
-        for merger in MERGE_BACKENDS:
+        for merger in available_backends(MERGE_BACKENDS):
             config = ClusterConfig(num_workers=4, merger_backend=merger)
             with Cluster(plan, config) as cluster:
                 cluster.run_batched(tuples, batch_size=128)

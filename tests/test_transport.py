@@ -1,12 +1,13 @@
 """Equivalence tests for the pluggable worker transport.
 
 The acceptance contract of the transport layer: the ``multiprocess``
-backend (one OS process per worker, pickled ``RouteBatch`` messages) must
+backend (one OS process per worker, pickled ``RouteBatch`` messages) and
+the ``socket`` backend (``repro serve`` endpoints over loopback TCP) must
 produce **byte-identical** :class:`~repro.runtime.metrics.RunReport`
 values to the ``inprocess`` reference backend on the same stream — same
 execution path, same batch size, same closed-loop adjustment schedule.
 Unlike the batched-vs-per-tuple equivalence (which tolerates 1e-9 float
-drift from summation-order differences), the two backends execute the
+drift from summation-order differences), the backends execute the
 exact same operation sequence per worker, so every field compares with
 ``==``.
 
@@ -16,6 +17,8 @@ one core; the wall-clock speedup at scale is measured by the opt-in
 ``benchmarks/test_multiprocess_speedup.py``.
 """
 
+import socket as socket_module
+
 import pytest
 
 from repro.adjustment import GlobalAdjuster, GreedySelector, LocalLoadAdjuster
@@ -24,10 +27,42 @@ from repro.runtime import (
     Cluster,
     ClusterConfig,
     InProcessTransport,
-    MultiprocessTransport,
     TransportError,
 )
 from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
+
+
+def loopback_available():
+    """Whether loopback TCP sockets work in this sandbox."""
+    try:
+        listener = socket_module.create_server(("127.0.0.1", 0))
+        listener.close()
+        return True
+    except OSError:  # pragma: no cover - environment-dependent
+        return False
+
+
+def require_loopback():
+    """Skip when loopback TCP sockets are unavailable in the sandbox."""
+    if not loopback_available():  # pragma: no cover - environment-dependent
+        pytest.skip("loopback sockets unavailable")
+
+
+def require_backend(backend):
+    if backend == "socket":
+        require_loopback()
+
+
+def available_backends(backends):
+    """Filter a backend list down to the ones this sandbox can run."""
+    return [
+        backend for backend in backends
+        if backend != "socket" or loopback_available()
+    ]
+
+
+#: The out-of-process deployments pinned against the in-process reference.
+REMOTE_BACKENDS = ["multiprocess", "socket"]
 
 REPORT_FIELDS = [
     "tuples_processed",
@@ -77,21 +112,25 @@ def run_backend(plan, tuples, backend, *, batch_size=0, workers=4, **run_kwargs)
 
 
 class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", REMOTE_BACKENDS)
     @pytest.mark.parametrize("batch_size", [0, 64, 256])
-    def test_fig07_slice_identical_reports(self, batch_size):
+    def test_fig07_slice_identical_reports(self, batch_size, backend):
         """Per-tuple and batched paths: reports match field for field."""
+        require_backend(backend)
         plan, tuples = make_workload()
         ref_report, _ = run_backend(plan, tuples, "inprocess", batch_size=batch_size)
-        mp_report, _ = run_backend(plan, tuples, "multiprocess", batch_size=batch_size)
+        remote_report, _ = run_backend(plan, tuples, backend, batch_size=batch_size)
         assert ref_report.deletions_processed > 0, "stream must exercise deletions"
-        assert_identical(ref_report, mp_report)
+        assert_identical(ref_report, remote_report)
 
-    def test_closed_loop_adjustment_round_identical(self):
+    @pytest.mark.parametrize("backend", REMOTE_BACKENDS)
+    def test_closed_loop_adjustment_round_identical(self, backend):
         """One (and more) Section V rounds fire identically across backends.
 
         Uses metric text partitioning, which concentrates load enough for
         the local adjuster to actually trigger migrations mid-stream.
         """
+        require_backend(backend)
         tweets = make_dataset("us", seed=3)
         queries = QueryGenerator(tweets, seed=4)
         stream = WorkloadStream(tweets, queries, StreamConfig(mu=300, group="Q1"), seed=5)
@@ -99,21 +138,21 @@ class TestBackendEquivalence:
         plan = MetricTextPartitioner().partition(sample, 4)
         tuples = list(stream.tuples(800))
 
-        def run(backend):
+        def run(which):
             adjuster = LocalLoadAdjuster(GreedySelector(), sigma=1.2)
             report, migrations = run_backend(
-                plan, tuples, backend,
+                plan, tuples, which,
                 batch_size=128, adjust_every=400, local_adjuster=adjuster,
             )
             triggered = sum(1 for entry in adjuster.history if entry.triggered)
             return report, migrations, triggered
 
         ref_report, ref_migrations, ref_triggered = run("inprocess")
-        mp_report, mp_migrations, mp_triggered = run("multiprocess")
+        remote_report, remote_migrations, remote_triggered = run(backend)
         assert ref_triggered > 0, "the adjustment loop must actually fire"
-        assert mp_triggered == ref_triggered
-        assert mp_migrations == ref_migrations
-        assert_identical(ref_report, mp_report)
+        assert remote_triggered == ref_triggered
+        assert remote_migrations == ref_migrations
+        assert_identical(ref_report, remote_report)
 
     def test_global_adjuster_repartition_identical(self):
         """Dual-routing drain + finalise reconcile worker state identically."""
@@ -180,7 +219,7 @@ class TestTransportMechanics:
         plan, _ = make_workload(num_objects=0)
         config = ClusterConfig(num_dispatchers=1, num_workers=2, backend="multiprocess")
         with Cluster(plan, config) as cluster:
-            assert isinstance(cluster.transport, MultiprocessTransport)
+            assert cluster.transport.backend_name == "multiprocess"
             assert cluster.transport.barrier() == 1
             assert cluster.transport.barrier() == 2
 
@@ -211,9 +250,27 @@ class TestTransportMechanics:
         plan, _ = make_workload(num_objects=0)
         config = ClusterConfig(num_dispatchers=1, num_workers=2, backend="multiprocess")
         cluster = Cluster(plan, config)
-        processes = list(cluster.transport._processes.values())
+        processes = list(cluster.transport._fleet.processes.values())
         assert all(process.is_alive() for process in processes)
         cluster.close()
+        cluster.close()
+        assert all(not process.is_alive() for process in processes)
+
+    def test_socket_backend_spawns_loopback_serve_processes(self):
+        require_loopback()
+        plan, _ = make_workload(num_objects=0)
+        config = ClusterConfig(num_dispatchers=1, num_workers=2, backend="socket")
+        cluster = Cluster(plan, config)
+        try:
+            assert cluster.transport.backend_name == "socket"
+            processes = list(cluster.transport._fleet.processes.values())
+            assert len(processes) == 2
+            assert all(process.is_alive() for process in processes)
+            assert cluster.transport.barrier() == 1
+            stats = cluster.transport.worker_stats()
+            assert set(stats) == {0, 1}
+        finally:
+            cluster.close()
         cluster.close()
         assert all(not process.is_alive() for process in processes)
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI smoke of the multi-host socket deployment over loopback.
+
+Stands up the full operator topology on one machine: 2 workers, 1
+dispatcher shard and 1 merger shard as separate ``python -m repro
+serve`` processes, a host manifest naming their announced addresses,
+and a ``python -m repro run`` coordinator wiring the cluster from the
+manifest with every tier on the ``socket`` backend.  Fails loudly if
+any serve process dies, the run exits non-zero, or the endpoints do not
+shut down cleanly when the coordinator closes the cluster.
+
+Usage::
+
+    python tools/socket_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+ENV = dict(os.environ)
+ENV["PYTHONPATH"] = SRC + os.pathsep + ENV.get("PYTHONPATH", "")
+
+TOPOLOGY = [("workers", "worker", 2), ("dispatchers", "dispatcher", 1),
+            ("mergers", "merger", 1)]
+
+RUN_ARGS = [
+    "run", "--partitioner", "hybrid", "--group", "Q1", "--mu", "500",
+    "--objects", "800", "--batch-size", "256", "--workers", "2",
+    "--dispatchers", "1", "--mergers", "1",
+    "--backend", "socket", "--dispatch-backend", "socket",
+    "--merger-backend", "socket",
+]
+
+
+def spawn_endpoint(role):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--role", role,
+         "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=ENV,
+    )
+    line = process.stdout.readline().strip()
+    prefix = "serving role=%s on " % role
+    if not line.startswith(prefix):
+        process.kill()
+        raise SystemExit("serve --role %s announced %r, expected %r..."
+                         % (role, line, prefix))
+    address = line[len(prefix):]
+    print("spawned %s endpoint at %s (pid %d)" % (role, address, process.pid))
+    return process, address
+
+
+def main():
+    manifest = {tier: [] for tier, _role, _count in TOPOLOGY}
+    endpoints = []
+    try:
+        for tier, role, count in TOPOLOGY:
+            for _ in range(count):
+                process, address = spawn_endpoint(role)
+                endpoints.append((role, process))
+                manifest[tier].append(address)
+
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as handle:
+            json.dump(manifest, handle)
+            manifest_path = handle.name
+        print("manifest: %s" % json.dumps(manifest))
+
+        run = subprocess.run(
+            [sys.executable, "-m", "repro"] + RUN_ARGS
+            + ["--cluster", manifest_path], env=ENV,
+        )
+        if run.returncode != 0:
+            raise SystemExit("coordinator run exited %d" % run.returncode)
+
+        # Cluster.close() sent Shutdown to every endpoint; each serve
+        # process must drain and exit 0 on its own.
+        for role, process in endpoints:
+            try:
+                code = process.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                raise SystemExit("%s endpoint pid %d did not shut down"
+                                 % (role, process.pid))
+            if code != 0:
+                raise SystemExit("%s endpoint pid %d exited %d"
+                                 % (role, process.pid, code))
+        print("socket smoke OK: every endpoint served and shut down cleanly")
+    finally:
+        for _role, process in endpoints:
+            if process.poll() is None:
+                process.kill()
+
+
+if __name__ == "__main__":
+    main()
