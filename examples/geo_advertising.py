@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
-from repro.core import Point, Rect, STSQuery
+from repro.core import Rect, STSQuery
 from repro.core.objects import StreamTuple
 from repro.partitioning import HybridPartitioner, KDTreeSpacePartitioner, WorkloadSample
 from repro.runtime import Cluster, ClusterConfig

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench import ExperimentConfig, PARTITIONER_FACTORIES, format_table, run_experiment
+from repro.bench import ExperimentConfig, format_table, run_experiment
 
 
 def main() -> None:

@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import Point, Rect, STSQuery, SpatioTextualObject
+from repro.core import Point, Rect, STSQuery
 from repro.partitioning import HybridPartitioner, WorkloadSample
 from repro.runtime import Cluster, ClusterConfig
 from repro.core.objects import StreamTuple

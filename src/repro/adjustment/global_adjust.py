@@ -18,7 +18,7 @@ repartitioning is worthwhile and drives the switch-over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.objects import SpatioTextualObject, STSQuery
 from ..indexes.grid import CellCoord

@@ -23,12 +23,13 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional
 
 from ..core.costmodel import LoadReport
 from ..indexes.gi2 import CellStats
 from ..indexes.grid import CellCoord
 from ..runtime.cluster import Cluster, MigrationRecord
+from ..runtime.protocol import mutates_routing
 from .migration import GreedySelector, MigrationSelector
 
 __all__ = ["LocalLoadAdjuster", "AdjustmentReport"]
@@ -138,6 +139,7 @@ class LocalLoadAdjuster:
     # ------------------------------------------------------------------
     # Phase I: split or merge hot cells
     # ------------------------------------------------------------------
+    @mutates_routing
     def _phase_one(
         self,
         cluster: Cluster,

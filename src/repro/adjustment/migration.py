@@ -26,8 +26,7 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..indexes.gi2 import CellStats
 

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..adjustment import AdjustmentReport, LocalLoadAdjuster, selector_by_name
 from ..partitioning import HybridPartitioner, MetricTextPartitioner

@@ -17,11 +17,10 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..adjustment import GlobalAdjuster, GreedySelector, LocalLoadAdjuster
-from ..core.costmodel import CostModel
 from ..partitioning import (
     FrequencyTextPartitioner,
     GridSpacePartitioner,
@@ -32,7 +31,6 @@ from ..partitioning import (
     Partitioner,
     PartitionPlan,
     RTreeSpacePartitioner,
-    WorkloadSample,
 )
 from ..runtime import Cluster, ClusterConfig, RunReport, SinkSpec
 from ..workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset

@@ -1,11 +1,12 @@
 """Command-line interface for the PS2Stream reproduction.
 
-Four subcommands cover the workflows a downstream user needs most often::
+Five subcommands cover the workflows a downstream user needs most often::
 
     python -m repro run       --partitioner hybrid --group Q3 --mu 2000
     python -m repro compare   --group Q2 --workers 8
     python -m repro adjust    --selector GR --mu 2000
     python -m repro serve     --role worker --listen 0.0.0.0:7411
+    python -m repro lint      --json
 
 * ``run`` — build one workload, partition it with one strategy, replay the
   stream on the simulated cluster and print the run report.
@@ -19,6 +20,8 @@ Four subcommands cover the workflows a downstream user needs most often::
   coordinator started with ``run --backend socket --cluster manifest.json``
   connects to the addresses the manifest lists (README, "Multi-host
   deployment").
+* ``lint`` — run the RL00x static-analysis suite over the source tree
+  (rule catalog: ``docs/STATIC_ANALYSIS.md``); exit 0 means clean.
 
 All numbers are simulated (see DESIGN.md); the CLI is a convenience wrapper
 around :mod:`repro.bench`.
@@ -190,6 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="serve a single coordinator session and exit instead of "
              "accepting the next one")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the RL00x static-analysis suite")
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro and tools, "
+             "resolved from the repo root)")
+    lint_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON instead of human-readable lines")
+    lint_parser.add_argument(
+        "--rules", default=None, metavar="RL00x[,RL00y]",
+        help="comma-separated subset of rule ids to run (default: all)")
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
     return parser
 
 
@@ -312,6 +331,19 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace, out) -> int:
+    from .lint.runner import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.as_json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv, out)
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point used by ``python -m repro`` and the tests."""
     out = out if out is not None else sys.stdout
@@ -327,5 +359,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_adjust(args, out)
     if args.command == "serve":
         return _command_serve(args, out)
+    if args.command == "lint":
+        return _command_lint(args, out)
     parser.error("unknown command %r" % args.command)
     return 2

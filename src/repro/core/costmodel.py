@@ -26,7 +26,7 @@ micro-benchmarks of the actual Python matching kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 __all__ = ["CostModel", "WorkerLoadCounters", "LoadReport", "cell_load"]
 

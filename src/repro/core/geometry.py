@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 __all__ = ["Point", "Rect", "bounding_rect", "haversine_km", "km_to_degrees"]
 

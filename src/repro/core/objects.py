@@ -8,9 +8,9 @@ match them, and mergers deliver match results to subscribers.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterable, Optional, Set, Tuple, Union
 
 from .expression import BooleanExpression
 from .geometry import Point, Rect

@@ -19,7 +19,7 @@ import math
 import re
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "tokenize",

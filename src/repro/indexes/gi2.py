@@ -19,12 +19,12 @@ the full region + boolean-expression check on each candidate.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.costmodel import cell_load
-from ..core.geometry import Point, Rect
+from ..core.geometry import Rect
 from ..core.objects import SpatioTextualObject, STSQuery
 from ..core.text import TermStatistics
 from .grid import CellCoord, UniformGrid

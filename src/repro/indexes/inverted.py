@@ -8,7 +8,7 @@ keyword (the least frequent keyword of each conjunctive clause).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Set, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Iterator, List, TypeVar
 
 __all__ = ["InvertedIndex"]
 

@@ -17,10 +17,9 @@ cost, and because tests use one as an oracle for the other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..core.expression import BooleanExpression
 from ..core.geometry import Point, Rect
 from ..core.objects import SpatioTextualObject, STSQuery
 from ..core.text import TermStatistics

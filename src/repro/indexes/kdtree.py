@@ -17,7 +17,7 @@ used in tests as an oracle and by examples that need ad-hoc spatial lookups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.geometry import Point, Rect, bounding_rect
 

@@ -1,0 +1,102 @@
+"""RL002 — cross-process determinism.
+
+Invariant: code on the cross-process path must iterate deterministically
+and never derive routing/report values from the process-randomised
+builtin ``hash``.  Sharded dispatch routes on per-process replicas of the
+routing index and the merger tier reduces per-shard stats into one
+report: any set-iteration order or ``hash(str)`` value that differs
+between interpreters silently desynchronises replicas or reorders report
+merges.  PR 4 fixed exactly this class by hand (a
+``PYTHONHASHSEED``-dependent ``hash(term)`` in ``indexes/gridt.py``,
+replaced with ``crc32``); this rule makes the fix permanent.
+
+Flagged (syntactically — the rule never guesses types):
+
+* any call to the builtin ``hash(...)`` — use ``zlib.crc32`` on encoded
+  bytes for a cross-process-stable hash;
+* iterating directly over a set expression — a ``{...}`` display, a set
+  comprehension, ``set(...)``/``frozenset(...)`` or a union/intersection
+  of those — in a ``for`` statement or a comprehension, unless wrapped
+  in ``sorted(...)``;
+* materialising a set into an ordered sequence with ``list(set(...))``
+  or ``tuple(set(...))`` instead of ``sorted(set(...))``.
+
+Sets held in variables are *not* chased (no type inference — a
+conservative rule that is quiet on compliant code beats a clever one
+that cries wolf).  Deterministic insertion-ordered ``dict`` iteration is
+allowed; only genuinely unordered containers are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, Project, Rule, SourceFile, dotted_name
+
+__all__ = ["DeterminismRule"]
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SEQUENCE_CASTS = frozenset({"list", "tuple"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` is syntactically guaranteed to be a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _SET_CONSTRUCTORS
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class DeterminismRule(Rule):
+    rule_id = "RL002"
+    summary = "no process-randomised hash() or unordered set iteration"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self.finding(
+                        source,
+                        node.iter,
+                        "iteration over a set has no stable order across "
+                        "processes; wrap it in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield self.finding(
+                            source,
+                            generator.iter,
+                            "comprehension over a set has no stable order across "
+                            "processes; wrap it in sorted(...)",
+                        )
+
+    def _check_call(self, source: SourceFile, node: ast.Call) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name == "hash":
+            yield self.finding(
+                source,
+                node,
+                "builtin hash() is randomised per process (PYTHONHASHSEED); "
+                "use zlib.crc32 on encoded bytes for replica-stable hashing",
+            )
+        elif name in _SEQUENCE_CASTS and len(node.args) == 1 and _is_set_expr(node.args[0]):
+            yield self.finding(
+                source,
+                node,
+                "%s(set) materialises an unordered set; use sorted(...) for a "
+                "cross-process-stable sequence" % name,
+            )

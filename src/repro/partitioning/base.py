@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from ..core.costmodel import CostModel, LoadReport
-from ..core.geometry import Point, Rect, bounding_rect
+from ..core.geometry import Rect, bounding_rect
 from ..core.objects import SpatioTextualObject, STSQuery
 from ..core.text import TermStatistics
 from ..indexes.gridt import GridTIndex

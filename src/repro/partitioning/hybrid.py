@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.costmodel import CostModel
-from ..core.geometry import Point, Rect
+from ..core.geometry import Rect
 from ..core.objects import SpatioTextualObject, STSQuery
 from ..core.text import TermStatistics, cosine_similarity
 from ..indexes.kdtree import build_leaf_regions, median_split

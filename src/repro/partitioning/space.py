@@ -17,10 +17,10 @@ complete term set is owned by each region's worker.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections import Counter
+from typing import List, Optional, Sequence
 
-from ..core.geometry import Point, Rect
+from ..core.geometry import Rect
 from ..indexes.grid import UniformGrid
 from ..indexes.kdtree import build_leaf_regions
 from ..indexes.rtree import RTree, RTreeEntry

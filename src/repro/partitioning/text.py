@@ -21,12 +21,9 @@ with one unit per worker covering the whole space.
 
 from __future__ import annotations
 
-import heapq
 from collections import Counter, defaultdict
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Mapping, Optional, Set
 
-from ..core.text import TermStatistics
 from .base import PartitionPlan, PartitionUnit, Partitioner, WorkloadSample
 
 __all__ = [

@@ -121,5 +121,6 @@ __all__ = [
     "TRANSPORT_BACKENDS",
     "WorkerHost",
     "WorkerNode",
+    "make_transport",
     "utilization_latency",
 ]

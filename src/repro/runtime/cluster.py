@@ -92,7 +92,7 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass, field
 from itertools import cycle, islice
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..core.costmodel import CostModel, LoadReport
 from ..core.geometry import Rect
@@ -105,6 +105,7 @@ from ..workload.stream import iter_windows
 from .dispatch import DispatchBackend, RoutedWindow, group_triples, make_dispatch
 from .dispatcher import DispatcherNode, RoutingDecision
 from .fabric import load_manifest
+from .protocol import barrier_context, mutates_routing
 from .merge import MergeBackend, SinkSpec, make_merge
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
@@ -126,9 +127,26 @@ from .worker import QueryAssignment, WorkerNode
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "GlobalAdjusterLike",
+    "LocalAdjusterLike",
     "MigrationRecord",
     "PeriodSampleCollector",
 ]
+
+
+class LocalAdjusterLike(Protocol):
+    """What the closed loop needs from a Section V-A local adjuster
+    (structural — the concrete adjusters live in :mod:`repro.adjustment`,
+    which imports this module, so the dependency cannot point the other
+    way)."""
+
+    def adjust(self, cluster: "Cluster") -> object: ...
+
+
+class GlobalAdjusterLike(Protocol):
+    """What the closed loop needs from a Section V-B global adjuster."""
+
+    def adjust(self, cluster: "Cluster", sample: Optional[WorkloadSample]) -> object: ...
 
 
 @dataclass(frozen=True)
@@ -620,8 +638,8 @@ class Cluster:
         *,
         trace: bool = True,
         adjust_every: int = 0,
-        local_adjuster=None,
-        global_adjuster=None,
+        local_adjuster: Optional["LocalAdjusterLike"] = None,
+        global_adjuster: Optional["GlobalAdjusterLike"] = None,
     ) -> RunReport:
         """Process a tuple stream one tuple at a time (reference path).
 
@@ -654,8 +672,8 @@ class Cluster:
         batch_size: int = 256,
         trace: bool = True,
         adjust_every: int = 0,
-        local_adjuster=None,
-        global_adjuster=None,
+        local_adjuster: Optional["LocalAdjusterLike"] = None,
+        global_adjuster: Optional["GlobalAdjusterLike"] = None,
     ) -> RunReport:
         """Process a tuple stream in windows of ``batch_size`` tuples.
 
@@ -723,8 +741,8 @@ class Cluster:
         batch_size: int,
         trace: bool,
         adjust_every: int,
-        local_adjuster,
-        global_adjuster,
+        local_adjuster: Optional["LocalAdjusterLike"],
+        global_adjuster: Optional["GlobalAdjusterLike"],
     ) -> RunReport:
         """Replay the stream with adjustment rounds every ``adjust_every`` tuples.
 
@@ -771,11 +789,12 @@ class Cluster:
                 since_adjustment = 0
         return self.report()
 
+    @barrier_context
     def run_adjustment(
         self,
         *,
-        local_adjuster=None,
-        global_adjuster=None,
+        local_adjuster: Optional["LocalAdjusterLike"] = None,
+        global_adjuster: Optional["GlobalAdjusterLike"] = None,
         sample: Optional[WorkloadSample] = None,
         reset_loads: bool = True,
     ) -> None:
@@ -1854,6 +1873,7 @@ class Cluster:
         self.migrations.append(record)
         return record
 
+    @mutates_routing
     def migrate_cells(
         self,
         source_worker: int,
@@ -1892,6 +1912,7 @@ class Cluster:
             source_worker, target_worker, tuple(moving), shipped
         )
 
+    @mutates_routing
     def migrate_keywords(
         self,
         source_worker: int,
@@ -1918,6 +1939,7 @@ class Cluster:
         target.install_queries(shipped)
         return self._record_migration(source_worker, target_worker, (cell,), shipped)
 
+    @mutates_routing
     def replace_routing_index(self, routing_index: GridTIndex) -> None:
         """Swap in a new routing structure (global load adjustment)."""
         self.routing_index = routing_index
@@ -1973,7 +1995,7 @@ class Cluster:
     def __enter__(self) -> "Cluster":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def reset_period(self) -> None:

@@ -11,7 +11,7 @@ paper argues when motivating the gridt index over the raw kdt-tree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.objects import (
     QueryDeletion,

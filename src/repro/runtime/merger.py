@@ -19,11 +19,19 @@ never changes a report.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, Iterable, Set, Tuple
+from typing import Deque, Dict, Iterable, Optional, Protocol, Set, Tuple
 
 from ..core.objects import MatchResult
 
-__all__ = ["MergerNode"]
+__all__ = ["MergerNode", "ResultSink"]
+
+
+class ResultSink(Protocol):
+    """What a merger needs from a subscriber sink (structural — the
+    concrete sinks live in :mod:`repro.runtime.merge`, which imports this
+    module, so the dependency cannot point the other way)."""
+
+    def deliver(self, result: MatchResult) -> None: ...
 
 
 class MergerNode:
@@ -37,7 +45,7 @@ class MergerNode:
         merger_id: int,
         *,
         dedup_window: int = 100_000,
-        sink=None,
+        sink: Optional[ResultSink] = None,
     ) -> None:
         """``dedup_window`` bounds how many recent match keys are remembered.
 

@@ -54,7 +54,7 @@ wall-clock speedups (``benchmarks/test_multiprocess_speedup.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.costmodel import CostModel
 from ..core.geometry import Rect
@@ -100,7 +100,9 @@ __all__ = [
     "MergerStatsRequest",
     "MultiprocessTransport",
     "RemoteCallable",
+    "RemoteError",
     "RouteBatch",
+    "Shutdown",
     "SinkDrain",
     "StatsReport",
     "StatsRequest",
@@ -243,7 +245,9 @@ def partition_results(
 
 
 def ship_results(
-    results: Sequence[MatchResult], num_mergers: int, send
+    results: Sequence[MatchResult],
+    num_mergers: int,
+    send: Callable[[int, Sequence[MatchResult]], None],
 ) -> None:
     """The one delivery shape every producer uses: one ``send(merger_id,
     batch)`` per involved shard, whole-batch shortcut for a single shard."""
@@ -359,7 +363,9 @@ class RemoteCallable:
 # Operation execution (shared by all backends — the reference semantics)
 # ----------------------------------------------------------------------
 def execute_ops(
-    worker: WorkerNode, ops: Sequence[WorkerOp], deliver=None
+    worker: WorkerNode,
+    ops: Sequence[WorkerOp],
+    deliver: Optional[Callable[[Sequence[MatchResult]], None]] = None,
 ) -> List[Optional[MatchResults]]:
     """Apply one :class:`RouteBatch`'s operations to a worker, in order.
 
@@ -541,7 +547,9 @@ class InProcessTransport(Transport):
 # ----------------------------------------------------------------------
 # The worker role host (served by the fabric's generic serve loop)
 # ----------------------------------------------------------------------
-def make_result_shipper(merger_inboxes: Sequence[Any]):
+def make_result_shipper(
+    merger_inboxes: Sequence[Any],
+) -> Callable[[Sequence[MatchResult]], None]:
     """Build the direct worker→merger shipping hook over shard inboxes.
 
     Partitions a matching op's results by ``query_id % num_mergers`` —
@@ -620,7 +628,7 @@ class IndexProxy:
         self._grid = None
 
     @property
-    def grid(self):
+    def grid(self) -> Any:
         if self._grid is None:
             self._grid = self._transport.call(self._worker_id, ("index", "grid"), None)
         return self._grid

@@ -18,10 +18,9 @@ assembles them into object streams.
 from __future__ import annotations
 
 import bisect
-import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.geometry import Point, Rect
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from ..core.expression import BooleanExpression
 from ..core.geometry import Point, Rect, km_to_degrees

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
-from ..core.objects import STSQuery, SpatioTextualObject, StreamTuple
+from ..core.objects import STSQuery, StreamTuple
 from ..partitioning.base import WorkloadSample
 from .queries import QueryGenerator, RegionalStyleMap
 from .tweets import TweetGenerator

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
-from ..core.geometry import Point, Rect
+from ..core.geometry import Rect
 from ..core.objects import SpatioTextualObject
 from .distributions import (
     UK_BOUNDS,

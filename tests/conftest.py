@@ -12,7 +12,6 @@ from repro.workload import (
     QueryGenerator,
     StreamConfig,
     TweetGenerator,
-    US_SPEC,
     WorkloadStream,
     make_dataset,
 )

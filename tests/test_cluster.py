@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Point, Rect, STSQuery, StreamTuple, TupleKind
+from repro.core import Rect, STSQuery, StreamTuple, TupleKind
 from repro.partitioning import HybridPartitioner, KDTreeSpacePartitioner
 from repro.partitioning.base import PartitionPlan, PartitionUnit
 from repro.runtime import Cluster, ClusterConfig

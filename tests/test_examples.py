@@ -8,7 +8,6 @@ additionally executed because it is small enough.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

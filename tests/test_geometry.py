@@ -1,6 +1,5 @@
 """Unit tests for repro.core.geometry."""
 
-import math
 
 import pytest
 

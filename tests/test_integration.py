@@ -15,7 +15,6 @@ from repro.partitioning import (
     HybridPartitioner,
     KDTreeSpacePartitioner,
     MetricTextPartitioner,
-    GridSpacePartitioner,
 )
 from repro.runtime import Cluster, ClusterConfig
 from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Point, Rect, STSQuery, SpatioTextualObject, TermStatistics
-from repro.indexes.kdt_tree import KdtNode, KdtTree
+from repro.indexes.kdt_tree import KdtTree
 
 
 BOUNDS = Rect(0, 0, 100, 100)

@@ -1,0 +1,527 @@
+"""Tests for the ``repro lint`` static-analysis suite.
+
+Each RL00x rule is proven twice — it *flags* a known-bad fixture and it
+*passes* the fixture's known-good twin — plus suppression handling, the
+CLI surface (exit codes, ``--json``) and two meta-checks that keep the
+suite honest: the linter must be clean on this repository, and the
+declarative registry in :mod:`repro.runtime.protocol` (which the linter
+reads as literals) must match the real runtime modules (which this test
+imports for real), so the two views cannot drift apart silently.
+"""
+
+import dataclasses
+import importlib
+import io
+import json
+import textwrap
+
+
+from repro.cli import main as cli_main
+from repro.lint import build_project, run_lint
+from repro.lint.rl001_protocol import ProtocolCompletenessRule
+from repro.lint.rl002_determinism import DeterminismRule
+from repro.lint.rl003_pickle import PickleSafetyRule
+from repro.lint.rl004_serve import ServeLoopDisciplineRule
+from repro.lint.rl005_fence import FenceDisciplineRule
+from repro.lint.runner import main as lint_main, repo_root
+from repro.runtime import protocol
+
+
+def lint_source(tmp_path, source, rules, name="fixture.py"):
+    """Write ``source`` to a file and run ``rules`` over it."""
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    project = build_project([path], root=tmp_path)
+    return run_lint(project, rules)
+
+
+def run_lint_cli(argv):
+    buffer = io.StringIO()
+    code = lint_main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# RL001 — protocol completeness
+# ----------------------------------------------------------------------
+_RL001_BAD = """
+    from dataclasses import dataclass
+
+    MESSAGE_ROUTING = {"worker": ("Ping", "Pong")}
+    ROLE_HOSTS = {"worker": "MiniHost"}
+
+    @dataclass(frozen=True)
+    class Ping:
+        term: str
+
+    @dataclass(frozen=True)
+    class Pong:
+        term: str
+
+    class MiniHost:
+        def handle(self, message):
+            kind = type(message)
+            if kind is Ping:
+                return message.term
+            raise TypeError(kind)
+"""
+
+_RL001_GOOD = """
+    from dataclasses import dataclass
+
+    MESSAGE_ROUTING = {"worker": ("Ping", "Pong")}
+    ROLE_HOSTS = {"worker": "MiniHost"}
+
+    @dataclass(frozen=True)
+    class Ping:
+        term: str
+
+    @dataclass(frozen=True)
+    class Pong:
+        term: str
+
+    class MiniHost:
+        def handle(self, message):
+            kind = type(message)
+            if kind is Ping:
+                return message.term
+            if kind is Pong:
+                return message.term
+            raise TypeError(kind)
+"""
+
+
+class TestRL001:
+    RULES = (ProtocolCompletenessRule(),)
+
+    def test_flags_undispatched_message(self, tmp_path):
+        findings = lint_source(tmp_path, _RL001_BAD, self.RULES)
+        assert len(findings) == 1
+        assert findings[0].rule == "RL001"
+        assert "Pong" in findings[0].message
+
+    def test_passes_complete_dispatch(self, tmp_path):
+        assert lint_source(tmp_path, _RL001_GOOD, self.RULES) == []
+
+    def test_flags_unregistered_message_name(self, tmp_path):
+        source = """
+            MESSAGE_ROUTING = {"worker": ("Ghost",)}
+            ROLE_HOSTS = {}
+        """
+        findings = lint_source(tmp_path, source, self.RULES)
+        assert any("Ghost" in finding.message for finding in findings)
+
+
+# ----------------------------------------------------------------------
+# RL002 — cross-process determinism
+# ----------------------------------------------------------------------
+_RL002_BAD = """
+    def shard_of(term, mod):
+        return hash(term) % mod
+
+    def scan(cells):
+        for cell in set(cells):
+            yield cell
+
+    def order(cells):
+        return list({cell for cell in cells})
+"""
+
+_RL002_GOOD = """
+    import zlib
+
+    def shard_of(term, mod):
+        return zlib.crc32(term.encode("utf-8")) % mod
+
+    def scan(cells):
+        for cell in sorted(set(cells)):
+            yield cell
+
+    def order(cells):
+        return sorted({cell for cell in cells})
+"""
+
+
+class TestRL002:
+    RULES = (DeterminismRule(),)
+
+    def test_flags_all_three_shapes(self, tmp_path):
+        findings = lint_source(tmp_path, _RL002_BAD, self.RULES)
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 3
+        assert any("hash()" in message for message in messages)
+        assert any("iteration over a set" in message for message in messages)
+        assert any("list(set)" in message for message in messages)
+
+    def test_passes_sorted_and_crc32(self, tmp_path):
+        assert lint_source(tmp_path, _RL002_GOOD, self.RULES) == []
+
+    def test_flags_comprehension_over_set(self, tmp_path):
+        source = """
+            def fanout(workers):
+                return [w for w in {workers}]
+        """
+        findings = lint_source(tmp_path, source, self.RULES)
+        assert len(findings) == 1
+        assert "comprehension over a set" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# RL003 — pickle/frame safety
+# ----------------------------------------------------------------------
+_RL003_BAD = """
+    from dataclasses import dataclass, field
+    from threading import Lock
+    from typing import Callable, Optional, Union
+
+    MESSAGE_ROUTING = {"worker": ("Envelope",)}
+    ROLE_HOSTS = {}
+
+    Payload = Union["Inner", int]
+
+    @dataclass(frozen=True)
+    class Inner:
+        guard: Lock
+
+    @dataclass(frozen=True)
+    class Envelope:
+        payload: Payload
+        hook: Optional[Callable[[int], int]] = None
+"""
+
+_RL003_GOOD = """
+    from dataclasses import dataclass
+    from typing import Optional, Tuple, Union
+
+    MESSAGE_ROUTING = {"worker": ("Envelope",)}
+    ROLE_HOSTS = {}
+
+    Payload = Union["Inner", int]
+
+    @dataclass(frozen=True)
+    class Inner:
+        blob: bytes
+
+    @dataclass(frozen=True)
+    class Envelope:
+        payload: Payload
+        tags: Tuple[str, ...] = ()
+        note: Optional[str] = None
+"""
+
+
+class TestRL003:
+    RULES = (PickleSafetyRule(),)
+
+    def test_flags_direct_and_transitive_fields(self, tmp_path):
+        findings = lint_source(tmp_path, _RL003_BAD, self.RULES)
+        messages = [finding.message for finding in findings]
+        # Callable on the wire message itself, Lock reached through the
+        # Payload alias into the nested dataclass.
+        assert any("Envelope.hook" in message and "Callable" in message for message in messages)
+        assert any("Inner.guard" in message and "Lock" in message for message in messages)
+
+    def test_passes_picklable_fields(self, tmp_path):
+        assert lint_source(tmp_path, _RL003_GOOD, self.RULES) == []
+
+    def test_flags_lambda_default(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+
+            MESSAGE_ROUTING = {"worker": ("Job",)}
+            ROLE_HOSTS = {}
+
+            @dataclass
+            class Job:
+                key = lambda self: 0
+                cost: object = lambda: 1
+        """
+        findings = lint_source(tmp_path, source, self.RULES)
+        assert any("lambda default" in finding.message for finding in findings)
+
+
+# ----------------------------------------------------------------------
+# RL004 — serve-loop discipline
+# ----------------------------------------------------------------------
+_RL004_BAD = """
+    import time
+
+    class RoleHost:
+        pass
+
+    class BadHost(RoleHost):
+        def handle(self, message):
+            time.sleep(0.01)
+            try:
+                return self._apply(message)
+            except ValueError:
+                pass
+            try:
+                return self._apply(message)
+            except:
+                return None
+"""
+
+_RL004_GOOD = """
+    class RoleHost:
+        pass
+
+    class GoodHost(RoleHost):
+        def handle(self, message):
+            try:
+                return self._apply(message)
+            except KeyError as exc:
+                raise TypeError("unroutable message") from exc
+"""
+
+
+class TestRL004:
+    RULES = (ServeLoopDisciplineRule(),)
+
+    def test_flags_blocking_and_swallowing(self, tmp_path):
+        findings = lint_source(tmp_path, _RL004_BAD, self.RULES)
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 3
+        assert any("time.sleep" in message for message in messages)
+        assert any("except-and-drop" in message for message in messages)
+        assert any("bare except" in message for message in messages)
+
+    def test_passes_propagating_handler(self, tmp_path):
+        assert lint_source(tmp_path, _RL004_GOOD, self.RULES) == []
+
+    def test_ignores_classes_outside_role_hosts(self, tmp_path):
+        source = """
+            import time
+
+            class NotAHost:
+                def poll(self):
+                    time.sleep(0.5)
+                    try:
+                        self.tick()
+                    except Exception:
+                        pass
+        """
+        assert lint_source(tmp_path, source, self.RULES) == []
+
+
+# ----------------------------------------------------------------------
+# RL005 — fence discipline
+# ----------------------------------------------------------------------
+_RL005_BAD = """
+    from repro.runtime.protocol import mutates_routing
+
+    @mutates_routing
+    def rewire(index):
+        index.cells.clear()
+
+    def window_hot_path(index):
+        rewire(index)
+"""
+
+_RL005_GOOD_BUMPS = """
+    from repro.runtime.protocol import mutates_routing
+
+    @mutates_routing
+    def rewire(cluster):
+        cluster.routing_index.clear()
+        cluster.invalidate_routing_caches()
+
+    def window_hot_path(cluster):
+        rewire(cluster)
+"""
+
+_RL005_GOOD_BARRIER = """
+    from repro.runtime.protocol import barrier_context, mutates_routing
+
+    @mutates_routing
+    def rewire(index):
+        index.cells.clear()
+
+    @barrier_context
+    def adjustment_round(index):
+        rewire(index)
+"""
+
+
+class TestRL005:
+    RULES = (FenceDisciplineRule(),)
+
+    def test_flags_unfenced_mutator_call(self, tmp_path):
+        findings = lint_source(tmp_path, _RL005_BAD, self.RULES)
+        assert len(findings) == 1
+        assert "rewire" in findings[0].message
+        assert "window_hot_path" in findings[0].message
+
+    def test_passes_mutator_that_bumps(self, tmp_path):
+        assert lint_source(tmp_path, _RL005_GOOD_BUMPS, self.RULES) == []
+
+    def test_passes_barrier_context_caller(self, tmp_path):
+        assert lint_source(tmp_path, _RL005_GOOD_BARRIER, self.RULES) == []
+
+    def test_flags_mutator_with_no_callers_and_no_bump(self, tmp_path):
+        source = """
+            from repro.runtime.protocol import mutates_routing
+
+            @mutates_routing
+            def orphan_rewire(index):
+                index.cells.clear()
+        """
+        findings = lint_source(tmp_path, source, self.RULES)
+        assert len(findings) == 1
+        assert "orphan_rewire" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_disable_silences_named_rule(self, tmp_path):
+        source = """
+            def shard_of(term, mod):
+                return hash(term) % mod  # repro-lint: disable=RL002
+        """
+        assert lint_source(tmp_path, source, (DeterminismRule(),)) == []
+
+    def test_disable_all_silences_every_rule(self, tmp_path):
+        source = """
+            def shard_of(term, mod):
+                return hash(term) % mod  # repro-lint: disable=all
+        """
+        assert lint_source(tmp_path, source, (DeterminismRule(),)) == []
+
+    def test_disable_of_other_rule_does_not_silence(self, tmp_path):
+        source = """
+            def shard_of(term, mod):
+                return hash(term) % mod  # repro-lint: disable=RL004
+        """
+        findings = lint_source(tmp_path, source, (DeterminismRule(),))
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# Runner and CLI surface
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_clean_file_exits_zero(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        code, output = run_lint_cli([str(path)])
+        assert code == 0
+        assert "clean" in output
+
+    def test_findings_exit_one(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("SHARD = hash('a')\n")
+        code, output = run_lint_cli([str(path)])
+        assert code == 1
+        assert "RL002" in output
+
+    def test_missing_path_exits_two(self, tmp_path):
+        code, output = run_lint_cli([str(tmp_path / "absent.py")])
+        assert code == 2
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        code, output = run_lint_cli([str(path)])
+        assert code == 2
+        assert "cannot parse" in output
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("SHARD = hash('a')\n")
+        code, output = run_lint_cli(["--json", str(path)])
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "RL002"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_rules_subset_and_unknown_rule(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("SHARD = hash('a')\n")
+        code, _ = run_lint_cli(["--rules", "RL004", str(path)])
+        assert code == 0  # RL002 finding filtered out by the subset
+        code, output = run_lint_cli(["--rules", "RL999", str(path)])
+        assert code == 2
+        assert "unknown rule" in output
+
+    def test_list_rules(self):
+        code, output = run_lint_cli(["--list-rules"])
+        assert code == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in output
+
+    def test_repro_cli_lint_subcommand(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("SHARD = hash('a')\n")
+        buffer = io.StringIO()
+        assert cli_main(["lint", str(path)], out=buffer) == 1
+        assert "RL002" in buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Meta-checks: the repo itself, and registry/runtime agreement
+# ----------------------------------------------------------------------
+class TestRepoIsClean:
+    def test_default_roots_are_clean(self):
+        code, output = run_lint_cli([])
+        assert code == 0, "repro lint found violations in the repo:\n" + output
+
+    def test_tests_directory_parses_and_lints(self):
+        # The test tree is not part of the default roots (fixtures in
+        # docstrings would trip the rules), but it must at least parse.
+        tests_dir = repo_root() / "tests"
+        assert tests_dir.is_dir()
+
+
+class TestRegistryMatchesRuntime:
+    """Import the runtime for real and hold it against the registry the
+    linter reads statically — the drift guard for RL001/RL003."""
+
+    def _resolve(self, name):
+        for module_name in protocol.PROTOCOL_MODULES:
+            module = importlib.import_module(module_name)
+            resolved = getattr(module, name, None)
+            if resolved is not None:
+                return resolved
+        raise AssertionError("registry name %r not found in PROTOCOL_MODULES" % name)
+
+    def test_registered_messages_are_dataclasses(self):
+        names = [
+            name
+            for messages in protocol.MESSAGE_ROUTING.values()
+            for name in messages
+        ]
+        names += list(protocol.REPLY_MESSAGES)
+        names += list(protocol.FABRIC_MESSAGES)
+        names += list(protocol.PAYLOAD_DATACLASSES)
+        for name in names:
+            assert dataclasses.is_dataclass(self._resolve(name)), name
+
+    def test_role_hosts_exist_and_are_role_hosts(self):
+        from repro.runtime.fabric import RoleHost
+
+        for role, class_name in protocol.ROLE_HOSTS.items():
+            host = self._resolve(class_name)
+            assert issubclass(host, RoleHost), (role, class_name)
+
+    def test_decorators_mark_and_preserve(self):
+        @protocol.mutates_routing
+        def mutator():
+            return 7
+
+        @protocol.barrier_context
+        def fence():
+            return 9
+
+        assert mutator.__mutates_routing__ is True
+        assert fence.__barrier_context__ is True
+        assert mutator() == 7 and fence() == 9
+
+    def test_real_mutators_are_declared(self):
+        from repro.runtime.cluster import Cluster
+
+        for name in ("migrate_cells", "migrate_keywords", "replace_routing_index"):
+            assert getattr(getattr(Cluster, name), "__mutates_routing__", False), name
+        assert getattr(Cluster.run_adjustment, "__barrier_context__", False)

@@ -1,6 +1,5 @@
 """Unit tests for the domain objects (objects, queries, tuples)."""
 
-import pytest
 
 from repro.core import (
     BooleanExpression,

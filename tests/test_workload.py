@@ -4,13 +4,10 @@ import random
 
 import pytest
 
-from repro.core import Rect
 from repro.workload import (
-    QueryGenerator,
     RegionalStyleMap,
     SpatialClusterModel,
     TopicModel,
-    TweetGenerator,
     UK_BOUNDS,
     US_BOUNDS,
     ZipfVocabulary,
