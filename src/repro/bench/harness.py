@@ -32,7 +32,7 @@ from ..partitioning import (
     PartitionPlan,
     RTreeSpacePartitioner,
 )
-from ..runtime import Cluster, ClusterConfig, RunReport, SinkSpec
+from ..runtime import Cluster, ClusterConfig, FaultPlan, RunReport, SinkSpec
 from ..workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
 
 __all__ = [
@@ -125,6 +125,15 @@ class ExperimentConfig:
     #: Path of a host-manifest JSON file for the socket backends; None
     #: makes the cluster spawn loopback ``serve`` processes itself.
     manifest: Optional[str] = None
+    #: Checkpoint the workers' query assignments every N tuples (0
+    #: disables checkpointing and worker recovery; see
+    #: docs/ARCHITECTURE.md, "Checkpoint & recovery").
+    checkpoint_every: int = 0
+    #: Optional JSONL path the checkpoint store appends snapshots to.
+    checkpoint_path: Optional[str] = None
+    #: Chaos-harness fault plan installed into the fleets (``--fault-plan``
+    #: on the CLI; :func:`repro.runtime.fabric.parse_fault_plan`).
+    fault_plan: Optional[FaultPlan] = None
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -161,6 +170,9 @@ class ExperimentConfig:
             config.sink,
             config.sink_path,
             config.manifest,
+            config.checkpoint_every,
+            config.checkpoint_path,
+            config.fault_plan,
             partitioner_name,
         )
 
@@ -218,6 +230,9 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
         merger_backend=scaled.merger_backend,
         sink=SinkSpec(kind=scaled.sink, path=scaled.sink_path),
         manifest=scaled.manifest,
+        checkpoint_every=scaled.checkpoint_every,
+        checkpoint_path=scaled.checkpoint_path,
+        fault_plan=scaled.fault_plan,
     )
     cluster = Cluster(plan, cluster_config)
 

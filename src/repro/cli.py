@@ -40,6 +40,7 @@ from .bench import (
     run_experiment,
     run_migration_experiment,
 )
+from .runtime.fabric import parse_fault_plan
 
 __all__ = ["main", "build_parser"]
 
@@ -133,6 +134,26 @@ def build_parser() -> argparse.ArgumentParser:
             "--sink-path", default=None,
             help="output path of the jsonl sink; each merger shard writes "
                  "<path>.m<id> (or substitutes a {merger} placeholder)")
+        sub.add_argument(
+            "--checkpoint-every", type=int, default=0,
+            help="tuples between worker-partition checkpoints (docs/"
+                 "ARCHITECTURE.md, 'Checkpoint & recovery'); every K tuples "
+                 "the coordinator fences the pipeline and snapshots each "
+                 "worker's query assignments, enabling recovery of a dead "
+                 "worker onto a survivor; 0 disables checkpointing and "
+                 "recovery (default: 0)")
+        sub.add_argument(
+            "--checkpoint-path", default=None,
+            help="optional JSONL file the checkpoint store appends encoded "
+                 "snapshots to (for post-mortem inspection)")
+        sub.add_argument(
+            "--fault-plan", default=None, metavar="PLAN",
+            help="chaos-harness fault plan: inline JSON (e.g. "
+                 "'[{\"action\": \"kill\", \"role\": \"worker\", "
+                 "\"endpoint_id\": 1, \"after_sends\": 5}]') or the path of "
+                 "a JSON file; faults fire inside the coordinator's fleets "
+                 "on the multiprocess/socket backends (actions: kill, drop, "
+                 "truncate, delay)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -232,6 +253,11 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         sink=args.sink,
         sink_path=args.sink_path,
         manifest=args.cluster,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        fault_plan=(
+            parse_fault_plan(args.fault_plan) if args.fault_plan else None
+        ),
     )
 
 
@@ -257,6 +283,12 @@ def _command_run(args: argparse.Namespace, out) -> int:
         {"metric": "matches delivered", "value": report.matches_delivered},
         {"metric": "delivery latency (ms)", "value": report.delivery_mean_latency_ms},
     ]
+    recovery = report.recovery
+    if recovery is not None:
+        rows.append({"metric": "checkpoints taken", "value": recovery.checkpoints_taken})
+        rows.append({"metric": "workers recovered", "value": len(recovery.events)})
+        if recovery.events:
+            rows.append({"metric": "tuples lost to recovery", "value": recovery.lost_tuples})
     title = "%s on STS-%s-%s (mu=%d, %d workers)" % (
         args.partitioner, args.dataset.upper(), args.group, args.mu, args.workers)
     out.write(format_table(title, rows))

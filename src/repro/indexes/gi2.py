@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.costmodel import cell_load
 from ..core.geometry import Rect
@@ -593,6 +593,24 @@ class GI2Index:
             for query_id, recorded in self._query_postings.items()
             if query_id not in pending
         }
+
+    def iter_live_postings(self) -> Iterator[Tuple[STSQuery, Tuple[Tuple[CellCoord, str], ...]]]:
+        """Every live query with its recorded posting pairs, read-only.
+
+        The checkpoint fast path: one pass over the recorded postings
+        with no intermediate per-query dict or lookup round trips —
+        :meth:`posting_pairs_by_query` plus :meth:`get_query` fused.
+        Queries pending lazy deletion are excluded, matching both.
+        """
+        pending = self._pending_deletions
+        queries = self._queries
+        for query_id, recorded in self._query_postings.items():
+            if query_id in pending:
+                continue
+            query = queries.get(query_id)
+            if query is None:
+                continue
+            yield query, tuple(recorded)
 
     def extract_cell_assignments(
         self, cells: Iterable[CellCoord]

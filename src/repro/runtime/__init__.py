@@ -17,6 +17,16 @@ stream on its own replica of the routing index, off the coordinator.
 See docs/ARCHITECTURE.md for the dataflow walkthrough.
 """
 
+from .checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    RecoveryEvent,
+    RecoveryReport,
+    SnapshotAssignments,
+    WorkerSnapshot,
+    decode_checkpoint,
+    encode_checkpoint,
+)
 from .cluster import Cluster, ClusterConfig, MigrationRecord, PeriodSampleCollector
 from .dispatch import (
     DISPATCH_BACKENDS,
@@ -31,11 +41,14 @@ from .dispatcher import DispatcherNode, RoutingDecision
 from .fabric import (
     Channel,
     ClusterManifest,
+    FaultPlan,
+    FaultSpec,
     Fleet,
     FrameTruncated,
     RoleHost,
     load_manifest,
     parse_address,
+    parse_fault_plan,
     register_role,
     resolve_role,
     serve,
@@ -72,6 +85,8 @@ from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
     "Channel",
+    "Checkpoint",
+    "CheckpointStore",
     "Cluster",
     "ClusterConfig",
     "ClusterManifest",
@@ -82,6 +97,8 @@ __all__ = [
     "FabricDispatch",
     "FabricMerge",
     "FabricTransport",
+    "FaultPlan",
+    "FaultSpec",
     "Fleet",
     "FrameTruncated",
     "InProcessDispatch",
@@ -107,20 +124,27 @@ __all__ = [
     "build_sink",
     "load_manifest",
     "parse_address",
+    "parse_fault_plan",
     "register_role",
     "resolve_role",
     "serve",
     "serve_loop",
     "PeriodSampleCollector",
     "QueryAssignment",
+    "RecoveryEvent",
+    "RecoveryReport",
     "RoutingDecision",
     "RunReport",
+    "SnapshotAssignments",
     "StatsReport",
     "Transport",
     "TransportError",
     "TRANSPORT_BACKENDS",
     "WorkerHost",
     "WorkerNode",
+    "WorkerSnapshot",
+    "decode_checkpoint",
+    "encode_checkpoint",
     "make_transport",
     "utilization_latency",
 ]

@@ -1,0 +1,262 @@
+"""Worker checkpoint/recovery state (the fault-tolerance subsystem).
+
+A worker owns one partition of the ``(cell, posting keyword)`` assignment
+space; until this module existed, a dead worker only had its replies
+drained and its partition was simply lost.  Checkpointing reuses the
+exact state the Section V migration protocol already serializes: at each
+adjustment-barrier quiescent point (and on a standalone checkpoint
+cadence), every worker exports its live
+:class:`~repro.runtime.worker.QueryAssignment` list — the same unit
+``extract_cells`` ships during a migration — and the coordinator records
+the full per-worker map as a :class:`Checkpoint` in a
+:class:`CheckpointStore` (in-memory ring, optionally mirrored to JSONL).
+
+On endpoint death (pipe EOF, socket reset or
+:class:`~repro.runtime.fabric.FrameTruncated`), the coordinator restores
+the dead worker's partition from the latest checkpoint onto a surviving
+worker via ``install_queries``, replays the routing-table updates shipped
+since that checkpoint, remaps every routing cell that referenced the dead
+worker, and resumes — losing at most the one in-flight window, which is
+accounted in :class:`RecoveryReport` (surfaced as ``RunReport.recovery``).
+
+Wire footprint: :class:`SnapshotAssignments` (coordinator→worker request)
+and :class:`WorkerSnapshot` (its reply) are registered in
+:mod:`repro.runtime.protocol`; everything else here is coordinator-side
+state that never crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.expression import BooleanExpression
+from ..core.geometry import Rect
+from ..core.objects import STSQuery
+from .worker import QueryAssignment
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryEvent",
+    "RecoveryReport",
+    "SnapshotAssignments",
+    "WorkerSnapshot",
+    "decode_checkpoint",
+    "encode_checkpoint",
+]
+
+
+@dataclass(slots=True)
+class SnapshotAssignments:
+    """Coordinator→worker: export your live query assignments."""
+
+
+@dataclass(slots=True)
+class WorkerSnapshot:
+    """Worker→coordinator reply: one worker's full assignment partition."""
+
+    worker_id: int
+    assignments: Tuple[QueryAssignment, ...]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One quiescent-point snapshot of every worker's partition.
+
+    ``epoch`` is the store's own monotonic counter (not the fabric's
+    barrier epoch, which differs across backends); ``tuples_processed``
+    anchors the checkpoint in the stream so recovery can bound the loss
+    window it reports.
+    """
+
+    epoch: int
+    tuples_processed: int
+    assignments: Mapping[int, Tuple[QueryAssignment, ...]]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovered worker death, as accounted in ``RunReport.recovery``.
+
+    ``lost_object_ids`` / ``lost_query_ids`` identify the in-flight
+    window's tuples whose effects may be partially applied: the
+    convergence contract is delivered-results equality with the
+    single-process reference *after excluding results involving them*.
+    """
+
+    worker_id: int
+    target_worker: int
+    epoch: int
+    queries_reinstalled: int
+    updates_replayed: int
+    cells_remapped: int
+    lost_tuples: int
+    lost_object_ids: Tuple[int, ...] = ()
+    lost_query_ids: Tuple[int, ...] = ()
+    during_adjustment: bool = False
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """The checkpoint/recovery section of a run report.
+
+    Present on every checkpointed run; ``events`` is empty when nothing
+    died, so fault-free checkpointed runs stay byte-identical across
+    backends.
+    """
+
+    checkpoints_taken: int = 0
+    events: Tuple[RecoveryEvent, ...] = ()
+
+    @property
+    def lost_tuples(self) -> int:
+        """Total in-flight tuples lost across all recoveries."""
+        return sum(event.lost_tuples for event in self.events)
+
+
+# ----------------------------------------------------------------------
+# JSONL codec (field-level, so checkpoints survive process restarts
+# without depending on pickle compatibility across versions)
+# ----------------------------------------------------------------------
+def _encode_query(query: STSQuery) -> Dict[str, Any]:
+    return {
+        "query_id": query.query_id,
+        "clauses": [sorted(clause) for clause in query.expression.clauses],
+        "region": [
+            query.region.min_x,
+            query.region.min_y,
+            query.region.max_x,
+            query.region.max_y,
+        ],
+        "subscriber_id": query.subscriber_id,
+        "timestamp": query.timestamp,
+    }
+
+
+def _decode_query(raw: Mapping[str, Any]) -> STSQuery:
+    min_x, min_y, max_x, max_y = raw["region"]
+    return STSQuery(
+        query_id=raw["query_id"],
+        expression=BooleanExpression.from_clauses(raw["clauses"]),
+        region=Rect(min_x, min_y, max_x, max_y),
+        subscriber_id=raw["subscriber_id"],
+        timestamp=raw["timestamp"],
+    )
+
+
+def _encode_assignment(assignment: QueryAssignment) -> List[Any]:
+    return [
+        _encode_query(assignment.query),
+        [[coord[0], coord[1], key] for coord, key in assignment.pairs],
+        assignment.moved,
+    ]
+
+
+def _decode_assignment(raw: Sequence[Any]) -> QueryAssignment:
+    query_raw, pairs_raw, moved = raw
+    return QueryAssignment(
+        query=_decode_query(query_raw),
+        pairs=tuple(((column, row), key) for column, row, key in pairs_raw),
+        moved=moved,
+    )
+
+
+def encode_checkpoint(checkpoint: Checkpoint) -> str:
+    """One checkpoint as one JSON line (the JSONL record format)."""
+    return json.dumps(
+        {
+            "epoch": checkpoint.epoch,
+            "tuples_processed": checkpoint.tuples_processed,
+            "assignments": {
+                str(worker_id): [
+                    _encode_assignment(assignment)
+                    for assignment in checkpoint.assignments[worker_id]
+                ]
+                for worker_id in sorted(checkpoint.assignments)
+            },
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_checkpoint(line: str) -> Checkpoint:
+    """Parse one JSONL record back into a :class:`Checkpoint`."""
+    raw = json.loads(line)
+    return Checkpoint(
+        epoch=raw["epoch"],
+        tuples_processed=raw["tuples_processed"],
+        assignments={
+            int(worker_id): tuple(_decode_assignment(entry) for entry in entries)
+            for worker_id, entries in raw["assignments"].items()
+        },
+    )
+
+
+class CheckpointStore:
+    """Bounded in-memory checkpoint ring, optionally mirrored to JSONL.
+
+    ``record`` assigns each checkpoint the store's next epoch and keeps
+    the most recent ``keep`` snapshots in memory (recovery only ever
+    needs the latest; the ring exists so tests can inspect history).
+    With ``path`` set, every checkpoint is also appended as one JSON
+    line — the durable form :meth:`load` reads back.
+    """
+
+    def __init__(self, path: Optional[str] = None, keep: int = 4) -> None:
+        self.path = path
+        self.keep = max(1, keep)
+        self._checkpoints: List[Checkpoint] = []
+        self._taken = 0
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8"):
+                pass  # a fresh run starts a fresh log
+
+    @property
+    def checkpoints_taken(self) -> int:
+        """Total checkpoints recorded over the store's lifetime."""
+        return self._taken
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def record(
+        self,
+        assignments: Mapping[int, Sequence[QueryAssignment]],
+        tuples_processed: int,
+    ) -> Checkpoint:
+        """Record one quiescent-point snapshot; returns the checkpoint."""
+        self._taken += 1
+        checkpoint = Checkpoint(
+            epoch=self._taken,
+            tuples_processed=tuples_processed,
+            assignments={
+                worker_id: tuple(assignments[worker_id])
+                for worker_id in sorted(assignments)
+            },
+        )
+        self._checkpoints.append(checkpoint)
+        if len(self._checkpoints) > self.keep:
+            del self._checkpoints[: len(self._checkpoints) - self.keep]
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(encode_checkpoint(checkpoint) + "\n")
+        return checkpoint
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent checkpoint, or ``None`` before the first one."""
+        if not self._checkpoints:
+            return None
+        return self._checkpoints[-1]
+
+    @classmethod
+    def load(cls, path: str) -> List[Checkpoint]:
+        """Read every checkpoint from a JSONL log (restore/inspection)."""
+        checkpoints: List[Checkpoint] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    checkpoints.append(decode_checkpoint(line))
+        return checkpoints

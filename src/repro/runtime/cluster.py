@@ -102,9 +102,10 @@ from ..indexes.grid import CellCoord
 from ..indexes.gridt import GridTIndex
 from ..partitioning.base import PartitionPlan, WorkloadSample
 from ..workload.stream import iter_windows
+from .checkpoint import CheckpointStore, RecoveryEvent, RecoveryReport
 from .dispatch import DispatchBackend, RoutedWindow, group_triples, make_dispatch
 from .dispatcher import DispatcherNode, RoutingDecision
-from .fabric import load_manifest
+from .fabric import FaultPlan, TransportError, load_manifest
 from .protocol import barrier_context, mutates_routing
 from .merge import MergeBackend, SinkSpec, make_merge
 from .merger import MergerNode
@@ -208,6 +209,25 @@ class ClusterConfig:
     #: How many recent (query, object) keys each merger shard remembers
     #: for deduplication.
     merger_dedup_window: int = 100_000
+    #: Checkpoint the workers' query assignments every N tuples (0 — the
+    #: default — disables checkpointing *and* worker recovery).  Checkpoints
+    #: ride the same quiescent point as adjustment rounds: the closed-loop
+    #: driver fences all three tiers, snapshots every worker's
+    #: ``(cell, posting keyword)`` assignments into the cluster's
+    #: :class:`~repro.runtime.checkpoint.CheckpointStore`, and an
+    #: adjustment round doubles as a checkpoint.  A fault-free
+    #: checkpointed run stays byte-identical across backends
+    #: (``RunReport.recovery`` records only checkpoint counts and
+    #: recovery events, never wall-clock state).
+    checkpoint_every: int = 0
+    #: Optional JSONL path the checkpoint store also appends encoded
+    #: checkpoints to (for post-mortem inspection / cold restore).
+    checkpoint_path: Optional[str] = None
+    #: Chaos-harness fault plan: per-role
+    #: :class:`~repro.runtime.fabric.FaultSpec` entries installed into the
+    #: worker / merger / dispatcher fleets at construction (no-op on the
+    #: in-process backends, which have no fleet to kill).
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass(frozen=True)
@@ -447,6 +467,24 @@ class Cluster:
             self.transport.close()
             self._merge.close()
             raise
+        # Checkpoint/recovery state: the store holds barrier-point
+        # snapshots of every worker's query assignments, the update log
+        # records which worker received each query update since the last
+        # checkpoint (so recovery can replay the dead worker's share),
+        # and the events feed RunReport.recovery.
+        self._checkpoints: Optional[CheckpointStore] = (
+            CheckpointStore(path=self.config.checkpoint_path)
+            if self.config.checkpoint_every > 0
+            else None
+        )
+        self._update_log: List[Tuple[int, Any]] = []
+        self._recovery_events: List[RecoveryEvent] = []
+        fault_plan = self.config.fault_plan
+        if fault_plan:
+            self.transport.install_fault_plan(fault_plan.for_role("worker"))
+            self._merge.install_fault_plan(fault_plan.for_role("merger"))
+            if self._dispatch is not None:
+                self._dispatch.install_fault_plan(fault_plan.for_role("dispatcher"))
 
     def _compute_cells_aligned(self) -> bool:
         """True when the routing grid matches the workers' GI2 grids.
@@ -586,19 +624,30 @@ class Cluster:
         kind = item.kind
         known_workers = self.workers
         batches: Dict[int, RouteBatch] = {}
+        log = self._update_log if self._checkpoints is not None else None
         for worker_id in decision.workers:
             if worker_id not in known_workers:
                 continue
             if kind is TupleKind.OBJECT:
                 op = MatchOne(item.payload)
             elif kind is TupleKind.INSERT:
-                op = InsertQuery(
-                    item.payload,
-                    assignments.get(worker_id) if assignments is not None else None,
-                    self._cells_aligned,
-                )
+                pairs = assignments.get(worker_id) if assignments is not None else None
+                op = InsertQuery(item.payload, pairs, self._cells_aligned)
+                if log is not None:
+                    # Exact-pairs registrations replay via install_queries
+                    # (which extends an existing registration); a
+                    # full-footprint insert (pairs unknown) replays as the
+                    # op itself — idempotent because every routed worker
+                    # registers the identical full footprint.
+                    log.append(
+                        (worker_id, QueryAssignment(item.payload.query, tuple(pairs), True))
+                        if pairs is not None
+                        else (worker_id, op)
+                    )
             else:
                 op = DeleteQuery(item.payload)
+                if log is not None:
+                    log.append((worker_id, item.payload.query_id))
             batches[worker_id] = RouteBatch((op,))
         if batches:
             cost_model = self.config.cost_model
@@ -647,9 +696,11 @@ class Cluster:
         driver: after every ``adjust_every`` tuples the attached adjusters
         run one Section V round (see :meth:`run_adjustment`).  This is the
         per-tuple reference the batched closed loop is equivalence-tested
-        against.
+        against.  With ``checkpoint_every > 0`` on the config the driver
+        additionally snapshots worker assignments at window barriers (and
+        recovers dead workers from the latest snapshot).
         """
-        if adjust_every > 0:
+        if adjust_every > 0 or self._checkpoints is not None:
             return self._run_with_adjustment(
                 tuples,
                 batch_size=1,
@@ -683,9 +734,12 @@ class Cluster:
         loop runs Section V adjustment rounds at window barriers: windows
         are clipped so none spans an adjustment point, hence the schedule
         — and every simulated outcome — matches the per-tuple path with
-        the same ``adjust_every``.
+        the same ``adjust_every``.  Checkpointed runs also use the
+        closed-loop driver (checkpoints need the same window barriers;
+        recovery's at-most-one-lost-window guarantee rules out the
+        pipelined overlap below).
         """
-        if adjust_every > 0:
+        if adjust_every > 0 or self._checkpoints is not None:
             return self._run_with_adjustment(
                 tuples,
                 batch_size=batch_size,
@@ -751,8 +805,20 @@ class Cluster:
         clipped at the adjustment boundary, so an adjustment round always
         sits on a window barrier and fires at the exact same stream
         position under either engine.
+
+        Checkpointing rides the same loop as a second cadence: windows
+        are additionally clipped at ``checkpoint_every`` boundaries, a
+        checkpoint is taken at stream start and at every boundary, and an
+        adjustment round doubles as a checkpoint (both counters reset —
+        the adjusters may have migrated assignments, so the pre-round
+        snapshot is stale anyway).  Every window and every round runs
+        under worker-death recovery (:meth:`_recover_from`): at most the
+        in-flight window is lost.
         """
-        if adjust_every <= 0:
+        checkpoint_every = (
+            self.config.checkpoint_every if self._checkpoints is not None else 0
+        )
+        if adjust_every <= 0 and checkpoint_every <= 0:
             raise ValueError("adjust_every must be positive")
         collector = (
             PeriodSampleCollector(self.bounds) if global_adjuster is not None else None
@@ -760,34 +826,259 @@ class Cluster:
         iterator = iter(tuples)
         batched = batch_size > 1
         since_adjustment = 0
+        since_checkpoint = 0
+        if self._checkpoints is not None and not len(self._checkpoints):
+            self._checkpoint_recovering()
         while True:
             if batched:
-                take = adjust_every - since_adjustment
-                window: Sequence[StreamTuple] = list(
-                    islice(iterator, take if take < batch_size else batch_size)
-                )
+                take = batch_size
+                if adjust_every > 0:
+                    remaining = adjust_every - since_adjustment
+                    take = remaining if remaining < take else take
+                if checkpoint_every > 0:
+                    remaining = checkpoint_every - since_checkpoint
+                    take = remaining if remaining < take else take
+                window: Sequence[StreamTuple] = list(islice(iterator, take))
                 if not window:
                     break
-                self.process_batch(window, trace=trace)
             else:
                 item = next(iterator, None)
                 if item is None:
                     break
-                self.process(item, trace=trace)
                 window = (item,)
+            self._process_window_recovering(window, trace, batched)
             if collector is not None:
                 collector.observe(window)
             since_adjustment += len(window)
-            if since_adjustment >= adjust_every:
-                self.run_adjustment(
-                    local_adjuster=local_adjuster,
-                    global_adjuster=global_adjuster,
-                    sample=collector.sample() if collector is not None else None,
+            since_checkpoint += len(window)
+            if adjust_every > 0 and since_adjustment >= adjust_every:
+                self._run_adjustment_recovering(
+                    local_adjuster, global_adjuster, collector
                 )
                 if collector is not None:
                     collector.reset()
                 since_adjustment = 0
+                since_checkpoint = 0
+            elif checkpoint_every > 0 and since_checkpoint >= checkpoint_every:
+                self._checkpoint_recovering()
+                since_checkpoint = 0
         return self.report()
+
+    def _process_window_recovering(
+        self, window: Sequence[StreamTuple], trace: bool, batched: bool
+    ) -> None:
+        """Process one window, recovering a dead worker on the way.
+
+        A worker death surfaces from the transport exchange as a
+        :class:`TransportError` with ``died=True``; the window in flight
+        is abandoned (its tuples are the at-most-one-window loss the
+        recovery contract permits — accounted in the
+        :class:`~repro.runtime.checkpoint.RecoveryEvent`), the dead
+        worker's partition is re-installed from the latest checkpoint and
+        the run resumes with the next window.
+        """
+        try:
+            if batched:
+                self.process_batch(window, trace=trace)
+            else:
+                self.process(window[0], trace=trace)
+        except TransportError as exc:
+            self._recover_from(exc, window, during_adjustment=False)
+
+    def _run_adjustment_recovering(
+        self,
+        local_adjuster: Optional["LocalAdjusterLike"],
+        global_adjuster: Optional["GlobalAdjusterLike"],
+        collector: Optional[PeriodSampleCollector],
+    ) -> None:
+        """One adjustment round under recovery; doubles as a checkpoint.
+
+        A worker dying at the round's barrier fence (or under an
+        adjuster's migrations) aborts the rest of the round — the
+        recovery itself rebalances the lost partition, and no window was
+        in flight, so nothing is lost.
+        """
+        try:
+            self.run_adjustment(
+                local_adjuster=local_adjuster,
+                global_adjuster=global_adjuster,
+                sample=collector.sample() if collector is not None else None,
+            )
+        except TransportError as exc:
+            self._recover_from(exc, (), during_adjustment=True)
+        else:
+            if self._checkpoints is not None:
+                self._take_checkpoint()
+
+    def _checkpoint_recovering(self) -> None:
+        """Take one scheduled checkpoint, recovering a death at its fence."""
+        try:
+            self.checkpoint_now()
+        except TransportError as exc:
+            self._recover_from(exc, (), during_adjustment=True)
+
+    @barrier_context
+    def checkpoint_now(self) -> None:
+        """Snapshot every worker's query assignments at a quiescent point.
+
+        Fences all three tiers exactly like :meth:`run_adjustment` (so
+        every shipped window is applied and every in-flight result is
+        merged), then records one
+        :class:`~repro.runtime.checkpoint.Checkpoint` in the store and
+        clears the update log — the log only ever spans
+        checkpoint-to-checkpoint.
+        """
+        if self._checkpoints is None:
+            raise ValueError("checkpointing is disabled (checkpoint_every == 0)")
+        self.transport.barrier()
+        if self._dispatch is not None:
+            self._dispatch.barrier()
+        self._merge.barrier()
+        self._take_checkpoint()
+
+    def _take_checkpoint(self) -> None:
+        """Record the fleet's assignments (caller guarantees quiescence)."""
+        store = self._checkpoints
+        assert store is not None
+        store.record(self.transport.snapshot_assignments(), self._tuples_processed)
+        self._update_log.clear()
+
+    def _recover_from(
+        self,
+        exc: TransportError,
+        window: Sequence[StreamTuple],
+        *,
+        during_adjustment: bool,
+    ) -> None:
+        """Recover from one worker death, or re-raise anything else.
+
+        Only a *worker* endpoint death is recoverable, and only when a
+        checkpoint exists to restore from and at least one worker
+        survives; every other transport failure (merger/dispatcher death,
+        remote exceptions, a second fault during recovery) propagates.
+        The abandoned window's object/query ids are recorded on the
+        :class:`~repro.runtime.checkpoint.RecoveryEvent` so tests (and
+        delivery accounting) can subtract exactly the lost in-flight
+        work.  A fresh checkpoint is taken immediately after recovery —
+        the restored assignment is the new baseline.
+        """
+        store = self._checkpoints
+        worker_id = exc.endpoint_id
+        if (
+            store is None
+            or store.latest() is None
+            or not exc.died
+            or exc.label != "worker"
+            or worker_id is None
+            or worker_id not in self.workers
+            or len(self.workers) <= 1
+        ):
+            raise exc
+        lost_object_ids: List[int] = []
+        lost_query_ids: List[int] = []
+        for item in window:
+            if item.kind is TupleKind.OBJECT:
+                lost_object_ids.append(item.payload.object_id)
+            else:
+                lost_query_ids.append(item.payload.query_id)
+        self.recover_worker(
+            worker_id,
+            lost_tuples=len(window),
+            lost_object_ids=tuple(lost_object_ids),
+            lost_query_ids=tuple(lost_query_ids),
+            during_adjustment=during_adjustment,
+        )
+        self._take_checkpoint()
+
+    @mutates_routing
+    def recover_worker(
+        self,
+        worker_id: int,
+        *,
+        lost_tuples: int = 0,
+        lost_object_ids: Tuple[int, ...] = (),
+        lost_query_ids: Tuple[int, ...] = (),
+        during_adjustment: bool = False,
+    ) -> Optional[RecoveryEvent]:
+        """Re-install a dead worker's partition onto a survivor.
+
+        The recovery protocol of the tentpole: discard the dead endpoint
+        (fencing and re-aligning the survivors via the fleet's resync
+        barrier), re-install the worker's checkpointed query assignments
+        onto the lowest-id survivor through the migration machinery
+        (:meth:`WorkerNode.install_queries` extends registrations, so a
+        query split across the dead worker and the target merges its
+        postings), replay the update log entries addressed to the dead
+        worker since that checkpoint, and point every routing cell the
+        dead worker owned — H1 defaults, text-split term owners and H2
+        posting owners alike — at the target.  Idempotent: recovering an
+        already-recovered (or never-known) worker returns ``None``.
+        """
+        store = self._checkpoints
+        if store is None:
+            raise ValueError("checkpointing is disabled (checkpoint_every == 0)")
+        checkpoint = store.latest()
+        if checkpoint is None:
+            raise ValueError("no checkpoint to recover from")
+        if worker_id not in self.workers:
+            return None
+        self.transport.discard_worker(worker_id)
+        survivors = sorted(self.workers)
+        if not survivors:
+            raise TransportError("no surviving workers to recover onto")
+        target = survivors[0]
+        target_worker = self.workers[target]
+        assignments = list(checkpoint.assignments.get(worker_id, ()))
+        reinstalled = target_worker.install_queries(assignments) if assignments else 0
+        # Replay the dead worker's post-checkpoint updates in stream
+        # order, re-keying them to the target (so a later recovery of the
+        # *target* replays them again).
+        replayed = 0
+        new_log: List[Tuple[int, Any]] = []
+        for owner, entry in self._update_log:
+            if owner != worker_id:
+                new_log.append((owner, entry))
+                continue
+            replayed += 1
+            if isinstance(entry, QueryAssignment):
+                target_worker.install_queries([entry])
+            elif isinstance(entry, int):
+                self.transport.exchange({target: RouteBatch((DeleteById(entry),))})
+            else:
+                self.transport.exchange({target: RouteBatch((entry,))})
+            new_log.append((target, entry))
+        self._update_log[:] = new_log
+        # Routing remap: every cell that still names the dead worker —
+        # as H1 default, term owner or H2 posting owner — moves to the
+        # target wholesale.
+        routing = self.routing_index
+        cells_remapped = 0
+        cells_fn = getattr(routing, "cells", None)
+        migrate_bulk = getattr(routing, "migrate_cells", None)
+        if cells_fn is not None and migrate_bulk is not None:
+            coords = [
+                coord
+                for coord, cell in cells_fn().items()
+                if worker_id in cell.workers()
+            ]
+            if coords:
+                migrate_bulk(coords, worker_id, target)
+                cells_remapped = len(coords)
+        self.invalidate_routing_caches()
+        event = RecoveryEvent(
+            worker_id=worker_id,
+            target_worker=target,
+            epoch=checkpoint.epoch,
+            queries_reinstalled=reinstalled,
+            updates_replayed=replayed,
+            cells_remapped=cells_remapped,
+            lost_tuples=lost_tuples,
+            lost_object_ids=lost_object_ids,
+            lost_query_ids=lost_query_ids,
+            during_adjustment=during_adjustment,
+        )
+        self._recovery_events.append(event)
+        return event
 
     @barrier_context
     def run_adjustment(
@@ -1145,12 +1436,15 @@ class Cluster:
                         [coords[local] for local in locals_],
                     )
                 ]
+        log = self._update_log if self._checkpoints is not None else None
         for _, is_insert, payload, per_worker, _ in updates:
             if is_insert:
                 query = payload.query
                 for worker_id, pairs in per_worker.items():
                     if worker_id not in workers_map:
                         continue
+                    if log is not None:
+                        log.append((worker_id, QueryAssignment(query, tuple(pairs), True)))
                     ops = batch_ops.get(worker_id)
                     if ops is None:
                         batch_ops[worker_id] = [InsertPairs(query, pairs)]
@@ -1161,6 +1455,8 @@ class Cluster:
                 for worker_id in per_worker:
                     if worker_id not in workers_map:
                         continue
+                    if log is not None:
+                        log.append((worker_id, query_id))
                     ops = batch_ops.get(worker_id)
                     if ops is None:
                         batch_ops[worker_id] = [DeleteById(query_id)]
@@ -1550,6 +1846,7 @@ class Cluster:
         handled = 0
         cells_aligned = self._cells_aligned
         cost_model = self.config.cost_model
+        log = self._update_log if self._checkpoints is not None else None
         if item.kind is TupleKind.INSERT:
             dispatcher.account_insertion(cost)
             self.transport.exchange(
@@ -1564,6 +1861,10 @@ class Cluster:
             for worker_id in sorted(per_worker):
                 if worker_id not in workers_map:
                     continue
+                if log is not None:
+                    log.append(
+                        (worker_id, QueryAssignment(query, tuple(per_worker[worker_id]), True))
+                    )
                 handled += 1
                 worker_costs.append((worker_id, cost_model.insert_handling))
             self._insertions += 1
@@ -1580,6 +1881,8 @@ class Cluster:
             for worker_id in sorted(per_worker):
                 if worker_id not in workers_map:
                     continue
+                if log is not None:
+                    log.append((worker_id, query.query_id))
                 worker_costs.append((worker_id, cost_model.delete_handling))
             self._deletions += 1
         self._tuples_processed += 1
@@ -1833,6 +2136,14 @@ class Cluster:
             merger_duplicates={m: s.duplicates for m, s in merger_stats.items()},
             delivery_mean_latency_ms=delivery_mean,
             delivery_latency_buckets=delivery_buckets,
+            recovery=(
+                RecoveryReport(
+                    checkpoints_taken=self._checkpoints.checkpoints_taken,
+                    events=tuple(self._recovery_events),
+                )
+                if self._checkpoints is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -422,6 +422,12 @@ class DispatchBackend:
         """Measured routing-structure bytes per shard replica (Figure 9)."""
         raise NotImplementedError
 
+    def install_fault_plan(self, faults: Sequence[Any]) -> None:
+        """Arm injected faults on this backend's send path (chaos tests).
+
+        The in-process reference has no transport to fault; default no-op.
+        """
+
     def close(self) -> None:
         """Release backend resources (terminates shard processes)."""
 
@@ -640,6 +646,9 @@ class FabricDispatch(DispatchBackend):
 
     def shard_memory(self) -> Dict[int, int]:
         return self._fleet.broadcast(ShardMemoryRequest())
+
+    def install_fault_plan(self, faults: Sequence[Any]) -> None:
+        self._fleet.install_fault_plan(faults)
 
     def close(self) -> None:
         self._fleet.close()

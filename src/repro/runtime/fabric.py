@@ -60,6 +60,7 @@ import pickle
 import select
 import socket
 import struct
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -69,6 +70,8 @@ __all__ = [
     "BarrierAck",
     "Channel",
     "ClusterManifest",
+    "FaultPlan",
+    "FaultSpec",
     "Fleet",
     "FrameTruncated",
     "InboxChannel",
@@ -88,6 +91,7 @@ __all__ = [
     "load_message",
     "pack_frame",
     "parse_address",
+    "parse_fault_plan",
     "read_frame",
     "register_role",
     "resolve_role",
@@ -99,7 +103,21 @@ __all__ = [
 
 
 class TransportError(RuntimeError):
-    """A cluster backend failed to execute a message."""
+    """A cluster backend failed to execute a message.
+
+    When the failure maps to one endpoint, :attr:`label` /
+    :attr:`endpoint_id` name it and :attr:`died` distinguishes endpoint
+    death (pipe EOF, socket reset, truncated frame) from a remote
+    exception on a live endpoint — the recovery machinery keys on these
+    to decide whether a partition was lost.
+    """
+
+    #: Tier label of the failed endpoint ("worker", "merger shard", ...).
+    label: Optional[str] = None
+    #: Endpoint id within the tier, when the failure maps to one.
+    endpoint_id: Optional[int] = None
+    #: True when the endpoint process/connection died (not a remote error).
+    died: bool = False
 
 
 class FrameTruncated(ConnectionError):
@@ -155,6 +173,90 @@ class Init:
     role: str
     endpoint_id: int
     init: Mapping[str, Any]
+
+
+# ----------------------------------------------------------------------
+# Fault injection (the chaos-testing seam of the fleet send path)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, armed on the coordinator's send path.
+
+    Coordinator-side state only — a spec never crosses the wire, so the
+    same plan drives every backend (multiprocess pipes, queue-inbox
+    mergers, TCP sockets) without endpoint cooperation.  The spec fires
+    once, on the ``after_sends``-th send to ``endpoint_id`` of tier
+    ``role`` whose message type matches ``message_type`` (any type when
+    ``None``):
+
+    * ``kill`` — kill the endpoint process (or sever its channel) and
+      swallow the send; death surfaces on the next receive;
+    * ``drop`` — silently swallow one send (a lost frame);
+    * ``truncate`` — ship a partial frame and sever the channel, so the
+      peer sees :class:`FrameTruncated` mid-message (socket channels;
+      degrades to ``kill`` elsewhere, where frames cannot be split);
+    * ``delay`` — sleep ``delay_seconds`` before delivering normally.
+    """
+
+    action: str
+    role: str = "worker"
+    endpoint_id: int = 0
+    after_sends: int = 0
+    message_type: Optional[str] = None
+    delay_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of :class:`FaultSpec`\\ s, split per tier at install time."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def for_role(self, role: str) -> Tuple[FaultSpec, ...]:
+        """The specs targeting one tier (installed on that tier's fleet)."""
+        return tuple(spec for spec in self.faults if spec.role == role)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse a fault plan from a JSON literal or a JSON file path.
+
+    The ``--fault-plan`` CLI form: either an inline JSON array/object
+    (recognised by its first character) or the path of a file holding
+    one.  Accepted shapes::
+
+        [{"action": "kill", "role": "worker", "endpoint_id": 1,
+          "after_sends": 3, "message_type": "RouteBatch"}]
+        {"faults": [ ... ]}
+    """
+    stripped = text.strip()
+    if stripped.startswith("[") or stripped.startswith("{"):
+        raw = json.loads(stripped)
+    else:
+        with open(text, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    if isinstance(raw, dict):
+        raw = raw.get("faults", [])
+    if not isinstance(raw, list):
+        raise ValueError("fault plan must be a JSON array or {'faults': [...]}")
+    specs = []
+    for entry in raw:
+        if not isinstance(entry, dict) or "action" not in entry:
+            raise ValueError("each fault needs at least an 'action': %r" % (entry,))
+        unknown = set(entry) - {
+            "action",
+            "role",
+            "endpoint_id",
+            "after_sends",
+            "message_type",
+            "delay_seconds",
+        }
+        if unknown:
+            raise ValueError("unknown fault keys %s" % ", ".join(sorted(unknown)))
+        specs.append(FaultSpec(**entry))
+    return FaultPlan(tuple(specs))
 
 
 # ----------------------------------------------------------------------
@@ -531,6 +633,12 @@ class Fleet:
         self._data_endpoints = tuple(data_endpoints) if data_endpoints else None
         self._epoch = 0
         self._closed = False
+        #: endpoint id -> reason, for every endpoint observed dead (on the
+        #: request path, via fault injection, or during :meth:`close`).
+        self.dead_endpoints: Dict[int, str] = {}
+        self._fault_specs: Tuple[FaultSpec, ...] = ()
+        #: spec index -> matching sends seen so far (-1 once fired).
+        self._fault_counts: Dict[int, int] = {}
 
     # -- introspection -------------------------------------------------
     @property
@@ -547,29 +655,103 @@ class Fleet:
         (the merger tier's direct worker→merger shipping), or ``None``."""
         return self._data_endpoints
 
+    # -- fault injection (testing seam) --------------------------------
+    def install_fault_plan(self, faults: Sequence[FaultSpec]) -> None:
+        """Arm fault specs on this fleet's send path (chaos tests)."""
+        self._fault_specs = tuple(faults)
+        self._fault_counts = {index: 0 for index in range(len(self._fault_specs))}
+
+    def _maybe_inject(self, endpoint_id: int, message: Any) -> bool:
+        """Fire any armed fault matching this send; True swallows the send."""
+        for index, spec in enumerate(self._fault_specs):
+            if spec.endpoint_id != endpoint_id:
+                continue
+            if spec.message_type is not None and type(message).__name__ != spec.message_type:
+                continue
+            seen = self._fault_counts.get(index, -1)
+            if seen < 0:
+                continue  # one-shot: already fired
+            if seen < spec.after_sends:
+                self._fault_counts[index] = seen + 1
+                continue
+            self._fault_counts[index] = -1
+            if spec.action == "delay":
+                time.sleep(spec.delay_seconds)
+                return False
+            if spec.action == "drop":
+                return True
+            if spec.action == "truncate":
+                self._truncate_endpoint(endpoint_id, message)
+                return True
+            if spec.action == "kill":
+                self.kill_endpoint(endpoint_id)
+                return True
+            raise ValueError("unknown fault action %r" % spec.action)
+        return False
+
+    def kill_endpoint(self, endpoint_id: int) -> None:
+        """Forcibly kill one endpoint: the process if local, else its link.
+
+        The fault-injection primitive — death is *not* reported here; it
+        surfaces on the next send/receive exactly the way an organic
+        crash would, so recovery code sees the same signal either way.
+        """
+        process = self._processes.get(endpoint_id)
+        if process is not None:
+            process.kill()
+            process.join(timeout=10.0)
+        channel = self._channels.get(endpoint_id)
+        if channel is not None:
+            channel.close()
+
+    def _truncate_endpoint(self, endpoint_id: int, message: Any) -> None:
+        """Ship a partial frame and sever the link (socket channels)."""
+        channel = self._channels.get(endpoint_id)
+        if isinstance(channel, SocketChannel):
+            frame = dump_message(message)
+            try:
+                channel._socket.sendall(frame[: max(1, len(frame) // 2)])
+            except OSError:
+                pass
+            channel.close()
+        else:
+            # Pipes/queues move whole pickled objects; a partial frame
+            # cannot be expressed, so degrade to endpoint death.
+            self.kill_endpoint(endpoint_id)
+
+    def _death(self, endpoint_id: int, exc: BaseException) -> TransportError:
+        """Record one endpoint death and build its structured error."""
+        self.dead_endpoints.setdefault(endpoint_id, repr(exc))
+        error = TransportError("%s %d died: %r" % (self.label, endpoint_id, exc))
+        error.label = self.label
+        error.endpoint_id = endpoint_id
+        error.died = True
+        return error
+
     # -- messaging -----------------------------------------------------
     def send(self, endpoint_id: int, message: Any) -> None:
         """Ship one message without waiting for a reply."""
+        if self._fault_specs and self._maybe_inject(endpoint_id, message):
+            return
         try:
             self._channels[endpoint_id].send(message)
         except (EOFError, OSError) as exc:
-            raise TransportError(
-                "%s %d died: %r" % (self.label, endpoint_id, exc)
-            ) from exc
+            raise self._death(endpoint_id, exc) from exc
 
     def receive(self, endpoint_id: int) -> Any:
         """Read one reply, surfacing endpoint death and remote errors."""
         try:
             reply = self._channels[endpoint_id].recv()
         except (EOFError, OSError) as exc:
-            raise TransportError(
-                "%s %d died: %r" % (self.label, endpoint_id, exc)
-            ) from exc
+            raise self._death(endpoint_id, exc) from exc
         if isinstance(reply, RemoteError):
-            raise TransportError(
+            error = TransportError(
                 "%s %d failed: %s\n%s"
                 % (self.label, endpoint_id, reply.message, reply.formatted_traceback)
             )
+            error.label = self.label
+            error.endpoint_id = endpoint_id
+            raise error
         return reply
 
     def request(self, endpoint_id: int, message: Any) -> Any:
@@ -603,17 +785,33 @@ class Fleet:
         The parallelism primitive of the fabric: all endpoints execute
         their messages concurrently, and the reply dict preserves
         ``messages``'s iteration order so downstream merges stay
-        deterministic across backends.
+        deterministic across backends.  A send failure does not stop the
+        submit loop — survivors still receive their batches (they must
+        not diverge from the coordinator just because another endpoint
+        died first) — and the first error is re-raised once every
+        successfully submitted endpoint has been collected.
         """
+        error: Optional[TransportError] = None
+        submitted: List[int] = []
         for endpoint_id, message in messages.items():
-            self.send(endpoint_id, message)
-        return self.collect(messages)
+            try:
+                self.send(endpoint_id, message)
+            except TransportError as exc:
+                if error is None:
+                    error = exc
+                continue
+            submitted.append(endpoint_id)
+        try:
+            replies = self.collect(submitted)
+        except TransportError as collect_error:
+            raise error or collect_error
+        if error is not None:
+            raise error
+        return replies
 
     def broadcast(self, message: Any) -> Dict[int, Any]:
         """Send one message to every endpoint, then gather all replies."""
-        for endpoint_id in self._channels:
-            self.send(endpoint_id, message)
-        return self.collect(self._channels)
+        return self.exchange({endpoint_id: message for endpoint_id in self._channels})
 
     def barrier(self) -> int:
         """Run one :class:`AdjustBarrier` fence; returns the new epoch."""
@@ -628,6 +826,68 @@ class Fleet:
                 )
         return epoch
 
+    # -- recovery ------------------------------------------------------
+    def discard(self, endpoint_id: int, reason: str = "discarded after failure") -> None:
+        """Drop one endpoint from the fleet (the recovery path).
+
+        Closes its channel, reaps its local process if any, and records
+        it in :attr:`dead_endpoints`.  Idempotent; the endpoint simply
+        stops participating in ``exchange``/``broadcast``/``barrier``.
+        """
+        channel = self._channels.pop(endpoint_id, None)
+        if channel is not None:
+            channel.close()
+        process = self._processes.pop(endpoint_id, None)
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        self.dead_endpoints.setdefault(endpoint_id, reason)
+
+    def resync(self, max_retries: int = 4) -> None:
+        """Re-align surviving channels after an endpoint death.
+
+        An aborted window may have left un-collected replies queued on
+        surviving endpoints; a fresh :class:`AdjustBarrier` is sent to
+        each and its channel drained up to the matching ack, discarding
+        stale replies, so the next request/reply pair starts clean.  A
+        parked fire-and-forget error is flushed by the serve loop *as*
+        the reply to the barrier (which it swallows), so on a
+        :class:`RemoteError` reply the barrier is re-sent — bounded by
+        ``max_retries``.  Endpoints that fail during the resync are
+        discarded rather than raising: resync is the cleanup step of a
+        recovery already in progress.
+        """
+        self._epoch += 1
+        epoch = self._epoch
+        for endpoint_id in list(self._channels):
+            channel = self._channels[endpoint_id]
+            try:
+                channel.send(AdjustBarrier(epoch))
+            except Exception as exc:
+                self.discard(endpoint_id, repr(exc))
+                continue
+            retries = 0
+            while True:
+                try:
+                    reply = channel.recv()
+                except Exception as exc:
+                    self.discard(endpoint_id, repr(exc))
+                    break
+                if isinstance(reply, BarrierAck) and reply.epoch == epoch:
+                    break
+                if isinstance(reply, RemoteError):
+                    retries += 1
+                    if retries > max_retries:
+                        self.discard(endpoint_id, "kept raising during resync")
+                        break
+                    try:
+                        channel.send(AdjustBarrier(epoch))
+                    except Exception as exc:
+                        self.discard(endpoint_id, repr(exc))
+                        break
+                # Anything else is a stale reply of the aborted window.
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         """Shut every endpoint down; idempotent and hang-safe.
@@ -635,8 +895,10 @@ class Fleet:
         Shutdown is best-effort per endpoint: the ack wait is bounded by
         ``poll`` (a wedged endpoint cannot hang the coordinator), stale
         in-flight replies queued before the ack are drained past, and a
-        dead endpoint is simply skipped.  Local processes are then
-        joined, with a terminate fallback.
+        dead endpoint is skipped — but *recorded* in
+        :attr:`dead_endpoints` (endpoint id -> reason), so callers and
+        tests can tell which endpoints were already gone at close time.
+        A poll timeout is treated as wedged-but-alive, not dead.
         """
         if self._closed:
             return
@@ -644,7 +906,8 @@ class Fleet:
         for endpoint_id, channel in self._channels.items():
             try:
                 channel.send(Shutdown())
-            except Exception:
+            except Exception as exc:
+                self.dead_endpoints.setdefault(endpoint_id, repr(exc))
                 continue
             # Drain until the shutdown ack (True); a submitted-but-not-
             # collected window's reply may be queued ahead of it.
@@ -654,7 +917,8 @@ class Fleet:
                         break
                     if channel.recv() is True:
                         break
-                except Exception:
+                except Exception as exc:
+                    self.dead_endpoints.setdefault(endpoint_id, repr(exc))
                     break
         for channel in self._channels.values():
             channel.close()

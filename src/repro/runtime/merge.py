@@ -302,6 +302,12 @@ class MergeBackend:
         """Drain every shard's sink buffer, keyed by merger id."""
         raise NotImplementedError
 
+    def install_fault_plan(self, faults: Sequence[Any]) -> None:
+        """Arm injected faults on this backend's send path (chaos tests).
+
+        The in-process reference has no transport to fault; default no-op.
+        """
+
     def close(self) -> None:
         """Release backend resources (terminates merger processes)."""
 
@@ -466,6 +472,9 @@ class FabricMerge(MergeBackend):
     def drain_sinks(self) -> Dict[int, List[MatchResult]]:
         drained = self._fleet.broadcast(SinkDrain())
         return {merger_id: drained[merger_id] for merger_id in sorted(drained)}
+
+    def install_fault_plan(self, faults: Sequence[Any]) -> None:
+        self._fleet.install_fault_plan(faults)
 
     def close(self) -> None:
         self._fleet.close()

@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .checkpoint import RecoveryReport
+
 __all__ = ["LatencyTracker", "LatencyBuckets", "RunReport", "utilization_latency"]
 
 
@@ -139,6 +141,11 @@ class RunReport:
     #: inflated by merger utilisation — the Figure 8 / 15 delivery path).
     delivery_mean_latency_ms: float = 0.0
     delivery_latency_buckets: Optional[LatencyBuckets] = None
+    #: Checkpoint/recovery accounting: ``None`` on non-checkpointed runs;
+    #: on checkpointed runs a RecoveryReport whose ``events`` record every
+    #: recovered worker death (empty when nothing died, so fault-free
+    #: checkpointed runs stay byte-identical across backends).
+    recovery: Optional[RecoveryReport] = None
 
     @property
     def total_load(self) -> float:

@@ -62,6 +62,7 @@ PROTOCOL_MODULES: Tuple[str, ...] = (
     "repro.runtime.transport",
     "repro.runtime.dispatch",
     "repro.runtime.merge",
+    "repro.runtime.checkpoint",
 )
 
 #: role -> request messages its host's ``handle`` method must dispatch.
@@ -74,6 +75,7 @@ MESSAGE_ROUTING: Mapping[str, Tuple[str, ...]] = {
         "InstallQueries",
         "ExtractCells",
         "ExtractKeywords",
+        "SnapshotAssignments",
     ),
     "dispatcher": (
         "RouteWindow",
@@ -110,6 +112,7 @@ REPLY_MESSAGES: Tuple[str, ...] = (
     "StatsReport",
     "TupleRouting",
     "WindowRouting",
+    "WorkerSnapshot",
 )
 
 #: Dataclasses that cross the wire only inside another message (worker
@@ -126,8 +129,17 @@ PAYLOAD_DATACLASSES: Tuple[str, ...] = (
 )
 
 #: Dataclasses in the protocol modules that never cross a process
-#: boundary (coordinator-side merge results, host manifests).
-INTERNAL_DATACLASSES: Tuple[str, ...] = ("RoutedWindow", "ClusterManifest")
+#: boundary (coordinator-side merge results, host manifests, checkpoint
+#: state and the fault-injection specs of the chaos harness).
+INTERNAL_DATACLASSES: Tuple[str, ...] = (
+    "RoutedWindow",
+    "ClusterManifest",
+    "Checkpoint",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryEvent",
+    "RecoveryReport",
+)
 
 
 _F = TypeVar("_F", bound=Callable[..., object])

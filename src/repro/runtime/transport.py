@@ -62,9 +62,11 @@ from ..core.objects import MatchResult, QueryDeletion, QueryInsertion, SpatioTex
 from ..core.text import TermStatistics
 from ..indexes.gi2 import CellStats
 from ..indexes.grid import CellCoord
+from .checkpoint import SnapshotAssignments, WorkerSnapshot
 from .fabric import (
     AdjustBarrier,
     BarrierAck,
+    FaultSpec,
     Fleet,
     RemoteError,
     RoleHost,
@@ -104,6 +106,7 @@ __all__ = [
     "RouteBatch",
     "Shutdown",
     "SinkDrain",
+    "SnapshotAssignments",
     "StatsReport",
     "StatsRequest",
     "Transport",
@@ -111,6 +114,7 @@ __all__ = [
     "WorkerCall",
     "WorkerHost",
     "WorkerProxy",
+    "WorkerSnapshot",
     "execute_ops",
     "make_result_shipper",
     "make_transport",
@@ -492,6 +496,30 @@ class Transport:
         """Invoke (or, with ``args=None``, read) an attribute path on a worker."""
         raise NotImplementedError
 
+    def snapshot_assignments(self) -> Dict[int, List[QueryAssignment]]:
+        """Every worker's live assignment partition, keyed by worker id.
+
+        The checkpoint primitive: one :class:`SnapshotAssignments`
+        request per worker at a quiescent point, replies re-keyed in
+        sorted worker order so checkpoints are deterministic across
+        backends.
+        """
+        raise NotImplementedError
+
+    def install_fault_plan(self, faults: Sequence[FaultSpec]) -> None:
+        """Arm injected faults on this backend's send path (chaos tests).
+
+        The in-process reference has no transport to fault; default no-op.
+        """
+
+    def discard_worker(self, worker_id: int) -> None:
+        """Drop a dead worker from the fleet (the recovery path).
+
+        After this, the worker no longer participates in exchanges,
+        stats, or barriers; idempotent for an already-discarded id.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release backend resources (terminates worker processes)."""
 
@@ -542,6 +570,15 @@ class InProcessTransport(Transport):
         kwargs: Optional[Dict[str, Any]] = None,
     ) -> Any:
         return _resolve_call(self.workers[worker_id], WorkerCall(path, args, kwargs))
+
+    def snapshot_assignments(self) -> Dict[int, List[QueryAssignment]]:
+        return {
+            worker_id: self.workers[worker_id].snapshot_assignments()
+            for worker_id in sorted(self.workers)
+        }
+
+    def discard_worker(self, worker_id: int) -> None:
+        self.workers.pop(worker_id, None)
 
 
 # ----------------------------------------------------------------------
@@ -603,6 +640,10 @@ class WorkerHost(RoleHost):
             return worker.extract_cells(message.cells)
         if kind is ExtractKeywords:
             return worker.extract_keywords(message.cell, message.keywords)
+        if kind is SnapshotAssignments:
+            return WorkerSnapshot(
+                worker.worker_id, tuple(worker.snapshot_assignments())
+            )
         raise TransportError("unknown message %r" % (message,))
 
 
@@ -691,6 +732,10 @@ class WorkerProxy:
     def install_queries(self, assignments: Iterable[QueryAssignment]) -> int:
         return self._transport.request(self.worker_id, InstallQueries(tuple(assignments)))
 
+    def snapshot_assignments(self) -> List[QueryAssignment]:
+        snapshot = self._transport.request(self.worker_id, SnapshotAssignments())
+        return list(snapshot.assignments)
+
     def reconcile_queries(self, *args: Any, **kwargs: Any) -> int:
         """One bulk reconciliation message (§V-B finalisation) per round.
 
@@ -758,6 +803,30 @@ class FabricTransport(Transport):
         kwargs: Optional[Dict[str, Any]] = None,
     ) -> Any:
         return self.request(worker_id, WorkerCall(path, args, kwargs))
+
+    def snapshot_assignments(self) -> Dict[int, List[QueryAssignment]]:
+        snapshots = self._fleet.broadcast(SnapshotAssignments())
+        return {
+            worker_id: list(snapshots[worker_id].assignments)
+            for worker_id in sorted(snapshots)
+        }
+
+    def install_fault_plan(self, faults: Sequence[FaultSpec]) -> None:
+        self._fleet.install_fault_plan(faults)
+
+    def discard_worker(self, worker_id: int) -> None:
+        """Drop a dead endpoint and re-align the surviving channels.
+
+        The fleet-level discard closes the channel and reaps the
+        process; the resync barrier then drains any replies the aborted
+        window left queued on survivors, so the transport's next
+        request/reply pair starts clean.
+        """
+        if worker_id not in self.workers:
+            return
+        self._fleet.discard(worker_id)
+        self._fleet.resync()
+        self.workers.pop(worker_id, None)
 
     def close(self) -> None:
         self._fleet.close()

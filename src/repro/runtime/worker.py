@@ -247,6 +247,20 @@ class WorkerNode:
             assignments.append(QueryAssignment(query, tuple(moving_pairs), removed))
         return assignments
 
+    def snapshot_assignments(self) -> List[QueryAssignment]:
+        """Non-destructively export every live query's posting assignment.
+
+        The checkpoint half of the fault-tolerance machinery: the same
+        ``(cell, posting keyword)`` unit :meth:`extract_cells` ships
+        during a migration, but read-only and for the whole partition —
+        nothing is removed from this worker.  Restoring the snapshot on
+        another worker is exactly :meth:`install_queries`.
+        """
+        return [
+            QueryAssignment(query, pairs, True)
+            for query, pairs in self.index.iter_live_postings()
+        ]
+
     def reconcile_queries(
         self,
         removals: Sequence[int] = (),

@@ -29,6 +29,7 @@ from repro.runtime import (
     serve,
 )
 from repro.runtime.fabric import (
+    Fleet,
     Init,
     RemoteError,
     SocketChannel,
@@ -217,6 +218,47 @@ class TestServeHandshake:
             serve("stoker", "127.0.0.1", 0)
 
 
+class TestSocketPeerDeath:
+    def test_peer_dying_mid_frame_is_endpoint_death_not_a_hang(self):
+        """Satellite regression: a socket peer that dies inside a reply
+        frame surfaces as a structured endpoint death (``died=True``,
+        caused by :class:`FrameTruncated`) on the bounded-wait receive
+        path — never as a hang — and ``Fleet.close()`` afterwards still
+        completes, reporting the endpoint in ``dead_endpoints``."""
+        require_loopback()
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()
+
+        def peer():
+            conn, _ = listener.accept()
+            # Drain the request frame first — closing with unread inbound
+            # data would RST the connection instead of truncating the reply.
+            load_message(conn.recv)
+            frame = dump_message({"reply": "never finishes"})
+            conn.sendall(frame[: len(frame) // 2])
+            conn.close()
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+        channel = SocketChannel(socket.create_connection(address, timeout=10.0))
+        fleet = Fleet("worker", {0: channel}, backend_name="socket")
+        try:
+            with pytest.raises(TransportError) as excinfo:
+                fleet.request(0, {"ping": 1})
+            error = excinfo.value
+            assert error.died
+            assert error.label == "worker"
+            assert error.endpoint_id == 0
+            assert isinstance(error.__cause__, FrameTruncated)
+            assert 0 in fleet.dead_endpoints
+        finally:
+            fleet.close()
+            thread.join(timeout=10.0)
+            listener.close()
+        # close() keeps (and never clears) the death record.
+        assert 0 in fleet.dead_endpoints
+
+
 class TestClusterCloseResilience:
     def test_close_survives_backend_killed_mid_run(self):
         """Satellite regression: a dead worker process fails the run with a
@@ -238,6 +280,9 @@ class TestClusterCloseResilience:
             not process.is_alive()
             for process in cluster.transport._fleet.processes.values()
         )
+        # Satellite: close() reports *which* endpoints were already dead.
+        assert 0 in cluster.transport._fleet.dead_endpoints
+        assert 1 not in cluster.transport._fleet.dead_endpoints
 
     def test_close_survives_killed_merger_shard(self):
         plan, _ = make_workload(num_objects=0)
@@ -253,6 +298,8 @@ class TestClusterCloseResilience:
             not process.is_alive()
             for process in cluster._merge._fleet.processes.values()
         )
+        # Satellite: the dead shard (and only it) is reported by close().
+        assert set(cluster._merge._fleet.dead_endpoints) == {1}
 
     def test_close_runs_every_backend_despite_errors(self, monkeypatch):
         """One failing ``close`` neither hides the error nor skips the rest."""

@@ -112,6 +112,81 @@ class TestRL001:
         assert any("Ghost" in finding.message for finding in findings)
 
 
+# The checkpoint/recovery protocol (PR 8) rides the same registry: a
+# recovery-shaped message dataclass living in a PROTOCOL_MODULES module
+# but absent from every classification table must fail RL001.
+_RECOVERY_REGISTRY = """
+    MESSAGE_ROUTING = {"worker": ("SnapshotAssignments",)}
+    ROLE_HOSTS = {"worker": "MiniWorkerHost"}
+    REPLY_MESSAGES = ("WorkerSnapshot",)
+    PROTOCOL_MODULES = ("recovery_fixture",)
+
+    class MiniWorkerHost:
+        def handle(self, message):
+            kind = type(message)
+            if kind is SnapshotAssignments:
+                return WorkerSnapshot(0, ())
+            raise TypeError(kind)
+"""
+
+_RECOVERY_MODULE = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class SnapshotAssignments:
+        pass
+
+    @dataclass(frozen=True)
+    class WorkerSnapshot:
+        worker_id: int
+        assignments: tuple
+
+    @dataclass(frozen=True)
+    class RequestRecovery:
+        worker_id: int
+        epoch: int
+"""
+
+
+class TestRL001RecoveryProtocol:
+    RULES = (ProtocolCompletenessRule(),)
+
+    def lint_fixture(self, tmp_path, registry_source, module_source):
+        registry = tmp_path / "registry.py"
+        registry.write_text(textwrap.dedent(registry_source))
+        src = tmp_path / "src"
+        src.mkdir()
+        module = src / "recovery_fixture.py"
+        module.write_text(textwrap.dedent(module_source))
+        project = build_project([registry, module], root=tmp_path)
+        return run_lint(project, self.RULES)
+
+    def test_unregistered_recovery_message_fails(self, tmp_path):
+        findings = self.lint_fixture(tmp_path, _RECOVERY_REGISTRY, _RECOVERY_MODULE)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "RL001"
+        assert "RequestRecovery" in finding.message
+        assert "not classified" in finding.message
+        assert finding.path.endswith("recovery_fixture.py")
+
+    def test_registered_recovery_protocol_passes(self, tmp_path):
+        registry = _RECOVERY_REGISTRY.replace(
+            'REPLY_MESSAGES = ("WorkerSnapshot",)',
+            'REPLY_MESSAGES = ("WorkerSnapshot",)\n'
+            '    INTERNAL_DATACLASSES = ("RequestRecovery",)',
+        )
+        assert self.lint_fixture(tmp_path, registry, _RECOVERY_MODULE) == []
+
+    def test_real_recovery_messages_are_registered(self):
+        """Drift guard: the real snapshot protocol is classified today."""
+        assert "SnapshotAssignments" in protocol.MESSAGE_ROUTING["worker"]
+        assert "WorkerSnapshot" in protocol.REPLY_MESSAGES
+        assert "repro.runtime.checkpoint" in protocol.PROTOCOL_MODULES
+        for name in ("Checkpoint", "RecoveryEvent", "RecoveryReport"):
+            assert name in protocol.INTERNAL_DATACLASSES
+
+
 # ----------------------------------------------------------------------
 # RL002 — cross-process determinism
 # ----------------------------------------------------------------------

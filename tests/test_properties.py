@@ -250,3 +250,69 @@ def test_selectors_meet_tau_or_return_everything(spec, fraction):
             assert sum(cell.load for cell in selected) >= tau
         else:
             assert sum(cell.load for cell in selected) == total
+
+
+# ----------------------------------------------------------------------
+# Checkpoint round-trip property (runtime/checkpoint.py)
+# ----------------------------------------------------------------------
+from functools import lru_cache
+
+from repro.runtime import Cluster, ClusterConfig, CheckpointStore, decode_checkpoint, encode_checkpoint
+from repro.runtime.worker import WorkerNode
+from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
+
+
+@lru_cache(maxsize=4)
+def _fig07_slice(seed):
+    """One cached fig 7(a)-style slice per seed (plan + tuples)."""
+    from repro.partitioning import HybridPartitioner
+
+    tweets = make_dataset("us", seed=seed)
+    queries = QueryGenerator(tweets, seed=seed + 1)
+    stream = WorkloadStream(
+        tweets, queries, StreamConfig(mu=200, group="Q1"), seed=seed + 2
+    )
+    sample = stream.partitioning_sample(400)
+    plan = HybridPartitioner().partition(sample, 4)
+    return plan, tuple(stream.tuples(350))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=40, max_value=300),
+)
+def test_checkpoint_roundtrip_restores_posting_parity(seed, start, length):
+    """Seeded fuzz: snapshot -> JSONL codec -> restore == original postings.
+
+    A random slice of a fig 7(a) workload is replayed on the in-process
+    cluster; every worker's snapshotted assignments survive the
+    encode/decode round trip exactly, and installing them onto a *fresh*
+    worker set reproduces each GI2 index's live posting registrations
+    pair for pair (the recovery guarantee the chaos tests build on).
+    """
+    plan, tuples = _fig07_slice(seed)
+    window = list(tuples[start:start + length])
+    config = ClusterConfig(num_dispatchers=2, num_workers=4)
+    with Cluster(plan, config) as cluster:
+        cluster.run_batched(window, batch_size=64)
+        snapshot = cluster.transport.snapshot_assignments()
+        store = CheckpointStore()
+        checkpoint = store.record(snapshot, len(window))
+        decoded = decode_checkpoint(encode_checkpoint(checkpoint))
+        assert decoded == checkpoint
+
+        for worker_id, original in cluster.workers.items():
+            fresh = WorkerNode(
+                worker_id,
+                plan.bounds,
+                granularity=config.gi2_granularity,
+                term_statistics=plan.statistics,
+            )
+            fresh.install_queries(list(decoded.assignments[worker_id]))
+            original_postings = original.index.posting_pairs_by_query()
+            restored_postings = fresh.index.posting_pairs_by_query()
+            assert restored_postings == original_postings
+            for query_id in original_postings:
+                assert fresh.index.get_query(query_id) == original.index.get_query(query_id)
