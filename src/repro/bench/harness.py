@@ -32,7 +32,7 @@ from ..partitioning import (
     PartitionPlan,
     RTreeSpacePartitioner,
 )
-from ..runtime import Cluster, ClusterConfig, FaultPlan, RunReport, SinkSpec
+from ..runtime import Cluster, ClusterConfig, FaultPlan, RunReport, SinkSpec, TelemetrySpec
 from ..workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
 
 __all__ = [
@@ -134,6 +134,11 @@ class ExperimentConfig:
     #: Chaos-harness fault plan installed into the fleets (``--fault-plan``
     #: on the CLI; :func:`repro.runtime.fabric.parse_fault_plan`).
     fault_plan: Optional[FaultPlan] = None
+    #: JSONL path runtime telemetry appends events to (``--telemetry-path``
+    #: on the CLI); None leaves telemetry off.  Observation-only — the run
+    #: report is byte-identical either way (docs/ARCHITECTURE.md,
+    #: "Telemetry").
+    telemetry_path: Optional[str] = None
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -173,6 +178,7 @@ class ExperimentConfig:
             config.checkpoint_every,
             config.checkpoint_path,
             config.fault_plan,
+            config.telemetry_path,
             partitioner_name,
         )
 
@@ -233,6 +239,11 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
         checkpoint_every=scaled.checkpoint_every,
         checkpoint_path=scaled.checkpoint_path,
         fault_plan=scaled.fault_plan,
+        telemetry=(
+            TelemetrySpec(path=scaled.telemetry_path)
+            if scaled.telemetry_path is not None
+            else None
+        ),
     )
     cluster = Cluster(plan, cluster_config)
 

@@ -1,11 +1,12 @@
 """Command-line interface for the PS2Stream reproduction.
 
-Five subcommands cover the workflows a downstream user needs most often::
+Six subcommands cover the workflows a downstream user needs most often::
 
     python -m repro run       --partitioner hybrid --group Q3 --mu 2000
     python -m repro compare   --group Q2 --workers 8
     python -m repro adjust    --selector GR --mu 2000
     python -m repro serve     --role worker --listen 0.0.0.0:7411
+    python -m repro report    telemetry.jsonl
     python -m repro lint      --json
 
 * ``run`` — build one workload, partition it with one strategy, replay the
@@ -20,6 +21,9 @@ Five subcommands cover the workflows a downstream user needs most often::
   coordinator started with ``run --backend socket --cluster manifest.json``
   connects to the addresses the manifest lists (README, "Multi-host
   deployment").
+* ``report`` — render the timeline of a finished run (per-tier
+  utilisation, window trace waterfall, adjustment/checkpoint/recovery
+  annotations) from the JSONL a ``run --telemetry-path`` wrote.
 * ``lint`` — run the RL00x static-analysis suite over the source tree
   (rule catalog: ``docs/STATIC_ANALYSIS.md``); exit 0 means clean.
 
@@ -154,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "a JSON file; faults fire inside the coordinator's fleets "
                  "on the multiprocess/socket backends (actions: kill, drop, "
                  "truncate, delay)")
+        sub.add_argument(
+            "--telemetry-path", default=None, metavar="JSONL",
+            help="enable runtime telemetry (docs/ARCHITECTURE.md, "
+                 "'Telemetry') and append every event — per-window "
+                 "route/match/merge spans, per-tier gauge samples, "
+                 "adjustment/checkpoint/recovery lifecycle marks — to this "
+                 "JSONL file; render it afterwards with 'repro report'. "
+                 "Telemetry is observation-only: the run report is "
+                 "byte-identical with or without it (default: off)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -214,6 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="serve a single coordinator session and exit instead of "
              "accepting the next one")
+    serve_parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="also expose a Prometheus-style text endpoint on "
+             "127.0.0.1:PORT reporting this endpoint's liveness and "
+             "served-session counter (0 binds an ephemeral port and "
+             "prints it; default: off)")
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a run timeline from a telemetry JSONL")
+    report_parser.add_argument(
+        "telemetry", metavar="JSONL",
+        help="telemetry file written by a run with --telemetry-path")
+    report_parser.add_argument(
+        "--width", type=int, default=30,
+        help="bar width of the waterfall columns (default: 30)")
 
     lint_parser = subparsers.add_parser(
         "lint", help="run the RL00x static-analysis suite")
@@ -258,6 +286,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         fault_plan=(
             parse_fault_plan(args.fault_plan) if args.fault_plan else None
         ),
+        telemetry_path=args.telemetry_path,
     )
 
 
@@ -349,6 +378,7 @@ def _command_adjust(args: argparse.Namespace, out) -> int:
 
 def _command_serve(args: argparse.Namespace, out) -> int:
     from .runtime import parse_address, serve
+    from .runtime.telemetry import TelemetryServer
 
     host, port = parse_address(args.listen)
 
@@ -356,10 +386,50 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         out.write("serving role=%s on %s:%d\n" % (args.role, bound_host, bound_port))
         out.flush()
 
+    sessions = {"count": 0}
+
+    def on_session() -> None:
+        sessions["count"] += 1
+
+    def render() -> str:
+        return (
+            "# TYPE repro_serve_up gauge\n"
+            'repro_serve_up{role="%s"} 1\n'
+            "# TYPE repro_serve_sessions_total counter\n"
+            'repro_serve_sessions_total{role="%s"} %d\n'
+            % (args.role, args.role, sessions["count"])
+        )
+
+    telemetry_server: Optional[TelemetryServer] = None
+    if args.telemetry_port is not None:
+        telemetry_server = TelemetryServer(render, port=args.telemetry_port)
+        out.write("telemetry on http://127.0.0.1:%d/\n" % telemetry_server.port)
+        out.flush()
     try:
-        serve(args.role, host, port, once=args.once, announce=announce)
+        serve(
+            args.role, host, port,
+            once=args.once, announce=announce, on_session=on_session,
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
+    finally:
+        if telemetry_server is not None:
+            telemetry_server.close()
+    return 0
+
+
+def _command_report(args: argparse.Namespace, out) -> int:
+    from .runtime.telemetry import read_events, render_timeline
+
+    try:
+        events = read_events(args.telemetry)
+    except OSError as exc:
+        out.write("cannot read %s: %s\n" % (args.telemetry, exc))
+        return 1
+    if not events:
+        out.write("no telemetry events in %s\n" % args.telemetry)
+        return 1
+    out.write(render_timeline(events, width=max(1, args.width)))
     return 0
 
 
@@ -391,6 +461,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_adjust(args, out)
     if args.command == "serve":
         return _command_serve(args, out)
+    if args.command == "report":
+        return _command_report(args, out)
     if args.command == "lint":
         return _command_lint(args, out)
     parser.error("unknown command %r" % args.command)

@@ -2,7 +2,8 @@
 
 The suite enforces the protocol invariants that unit tests cannot see
 locally — routing completeness, cross-process determinism, pickle/frame
-safety, serve-loop discipline and routing-fence discipline — by reading
+safety, serve-loop discipline, routing-fence discipline and telemetry
+event hygiene — by reading
 the code as an AST and the declarative registry in
 :mod:`repro.runtime.protocol` as literals.  It never imports the code it
 checks.  Rule catalog: ``docs/STATIC_ANALYSIS.md``.
@@ -16,6 +17,7 @@ from .rl002_determinism import DeterminismRule
 from .rl003_pickle import PickleSafetyRule
 from .rl004_serve import ServeLoopDisciplineRule
 from .rl005_fence import FenceDisciplineRule
+from .rl006_telemetry import TelemetryProtocolRule
 from .runner import ALL_RULES, build_project, collect_files, main, run_lint
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "Rule",
     "ServeLoopDisciplineRule",
     "SourceFile",
+    "TelemetryProtocolRule",
     "build_project",
     "collect_files",
     "main",

@@ -1,0 +1,135 @@
+"""RL006 — telemetry events are protocol-registered and pickle-safe.
+
+Invariant: every subclass of ``TelemetryEvent`` (the typed event
+vocabulary of :mod:`repro.runtime.telemetry`) is classified in the
+protocol registry of :mod:`repro.runtime.protocol` *and* satisfies the
+RL003 pickle-safety traversal.  Telemetry events cross two boundaries
+the other rules do not fully cover: gauge samples ride ``TelemetryBatch``
+replies over the fabric (so they must pickle), and every event — spans
+and lifecycle marks included — is serialised into the telemetry JSONL
+sink and rebuilt by ``repro report``.  An unregistered event type would
+let the vocabulary drift away from the registry RL001 audits; an
+unpicklable field would fail deep inside ``pickle.dumps`` in whichever
+endpoint first answers a drain.
+
+Mechanics: the rule locates the module that defines the
+``TelemetryEvent`` base class, computes the transitive subclass set by
+base-name closure within that module, then (1) reports every event class
+missing from the union of the registry's categories (``MESSAGE_ROUTING``,
+``FABRIC_MESSAGES``, ``REPLY_MESSAGES``, ``PAYLOAD_DATACLASSES``,
+``INTERNAL_DATACLASSES``) and (2) re-runs RL003's transitive field walk
+over each event dataclass, re-labelling any finding as RL006 — this
+matters for events the wire tables do not name (spans and lifecycle
+marks are ``INTERNAL_DATACLASSES``, outside RL003's scope, yet still
+serialised into the JSONL sink).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .framework import Finding, Project, Rule, SourceFile
+from .rl001_protocol import _registry_tables
+from .rl003_pickle import PickleSafetyRule
+
+__all__ = ["TelemetryProtocolRule"]
+
+#: Name of the event base class anchoring the vocabulary.
+_BASE_CLASS = "TelemetryEvent"
+
+
+def _base_names(class_def: ast.ClassDef) -> Set[str]:
+    """Trailing names of every base class expression."""
+    names: Set[str] = set()
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+class TelemetryProtocolRule(Rule):
+    rule_id = "RL006"
+    summary = "telemetry events are registry-classified and pickle-safe"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        events = list(self._event_classes(project))
+        if not events:
+            return
+        classified = self._classified_names(project)
+        pickle_rule = PickleSafetyRule()
+        visited: Set[str] = set()
+        for source, class_def in events:
+            if classified is not None and class_def.name not in classified:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=source.display_path,
+                    line=class_def.lineno,
+                    column=class_def.col_offset + 1,
+                    message="telemetry event %s is not classified in the "
+                    "protocol registry (add it to REPLY_MESSAGES, "
+                    "PAYLOAD_DATACLASSES or INTERNAL_DATACLASSES in "
+                    "repro.runtime.protocol)" % class_def.name,
+                )
+            for finding in pickle_rule._check_dataclass(
+                project, class_def.name, class_def.name, visited
+            ):
+                yield replace(
+                    finding,
+                    rule=self.rule_id,
+                    message="telemetry event is not pickle/JSONL-safe: "
+                    + finding.message,
+                )
+
+    @staticmethod
+    def _event_classes(
+        project: Project,
+    ) -> Iterator[Tuple[SourceFile, ast.ClassDef]]:
+        """Subclasses of ``TelemetryEvent`` in the module defining it."""
+        for source in project.files:
+            class_defs: List[ast.ClassDef] = [
+                node for node in source.tree.body if isinstance(node, ast.ClassDef)
+            ]
+            if not any(node.name == _BASE_CLASS for node in class_defs):
+                continue
+            event_names = {_BASE_CLASS}
+            changed = True
+            while changed:
+                changed = False
+                for class_def in class_defs:
+                    if class_def.name in event_names:
+                        continue
+                    if _base_names(class_def) & event_names:
+                        event_names.add(class_def.name)
+                        changed = True
+            for class_def in class_defs:
+                if class_def.name != _BASE_CLASS and class_def.name in event_names:
+                    yield source, class_def
+
+    @staticmethod
+    def _classified_names(project: Project) -> Optional[Set[str]]:
+        """Union of every registry category, or None without a registry."""
+        for source in project.files:
+            tables = _registry_tables(source)
+            if "MESSAGE_ROUTING" not in tables:
+                continue
+            classified: Set[str] = set()
+            routing = tables.get("MESSAGE_ROUTING")
+            if isinstance(routing, dict):
+                for messages in routing.values():
+                    if isinstance(messages, (tuple, list)):
+                        classified.update(str(message) for message in messages)
+            for table_name in (
+                "FABRIC_MESSAGES",
+                "REPLY_MESSAGES",
+                "PAYLOAD_DATACLASSES",
+                "INTERNAL_DATACLASSES",
+            ):
+                extra = tables.get(table_name)
+                if isinstance(extra, (tuple, list)):
+                    classified.update(str(entry) for entry in extra)
+            return classified
+        return None

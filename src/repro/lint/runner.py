@@ -34,6 +34,7 @@ from .rl002_determinism import DeterminismRule
 from .rl003_pickle import PickleSafetyRule
 from .rl004_serve import ServeLoopDisciplineRule
 from .rl005_fence import FenceDisciplineRule
+from .rl006_telemetry import TelemetryProtocolRule
 
 __all__ = ["ALL_RULES", "build_project", "collect_files", "main", "run_lint"]
 
@@ -44,6 +45,7 @@ ALL_RULES: Sequence[Rule] = (
     PickleSafetyRule(),
     ServeLoopDisciplineRule(),
     FenceDisciplineRule(),
+    TelemetryProtocolRule(),
 )
 
 #: Roots linted when no path argument is given, relative to the repo

@@ -69,6 +69,19 @@ from .merge import (
 )
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
+from .telemetry import (
+    GaugeSample,
+    LifecycleEvent,
+    SpanHop,
+    TelemetryEvent,
+    TelemetryHub,
+    TelemetryServer,
+    TelemetrySpec,
+    TierTimeseries,
+    WindowSpan,
+    read_events,
+    render_timeline,
+)
 from .transport import (
     FabricTransport,
     InProcessTransport,
@@ -101,6 +114,7 @@ __all__ = [
     "FaultSpec",
     "Fleet",
     "FrameTruncated",
+    "GaugeSample",
     "InProcessDispatch",
     "InProcessMerge",
     "InProcessTransport",
@@ -113,6 +127,7 @@ __all__ = [
     "make_merge",
     "LatencyBuckets",
     "LatencyTracker",
+    "LifecycleEvent",
     "MergerNode",
     "MergerStats",
     "MigrationRecord",
@@ -136,15 +151,24 @@ __all__ = [
     "RoutingDecision",
     "RunReport",
     "SnapshotAssignments",
+    "SpanHop",
     "StatsReport",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "TelemetryServer",
+    "TelemetrySpec",
+    "TierTimeseries",
     "Transport",
     "TransportError",
     "TRANSPORT_BACKENDS",
+    "WindowSpan",
     "WorkerHost",
     "WorkerNode",
     "WorkerSnapshot",
     "decode_checkpoint",
     "encode_checkpoint",
     "make_transport",
+    "read_events",
+    "render_timeline",
     "utilization_latency",
 ]

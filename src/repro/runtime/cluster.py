@@ -110,6 +110,16 @@ from .protocol import barrier_context, mutates_routing
 from .merge import MergeBackend, SinkSpec, make_merge
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
+from .telemetry import (
+    GaugeSample,
+    LifecycleEvent,
+    SpanHop,
+    TelemetryEvent,
+    TelemetryHub,
+    TelemetrySpec,
+    TierTimeseries,
+    WindowSpan,
+)
 from .transport import (
     DeleteById,
     DeleteQuery,
@@ -117,6 +127,7 @@ from .transport import (
     InsertQuery,
     MatchObjects,
     MatchOne,
+    MatchResults,
     MergerStats,
     RouteBatch,
     StatsReport,
@@ -228,6 +239,16 @@ class ClusterConfig:
     #: worker / merger / dispatcher fleets at construction (no-op on the
     #: in-process backends, which have no fleet to kill).
     fault_plan: Optional[FaultPlan] = None
+    #: Runtime telemetry (:mod:`repro.runtime.telemetry`): ``None`` — the
+    #: default — disables it entirely (zero hot-path work beyond one
+    #: ``is None`` check per window).  When set, every batched window is
+    #: traced route → match → merge, per-tier gauges are drained at
+    #: window boundaries and adjustment barriers, and lifecycle events
+    #: (adjustments, checkpoints, recoveries) are recorded — without
+    #: perturbing reports: telemetry only *reads* the simulated cost
+    #: accounting, and its control messages are exempt from chaos fault
+    #: counting.
+    telemetry: Optional[TelemetrySpec] = None
 
 
 @dataclass(frozen=True)
@@ -326,6 +347,39 @@ class _TraceStore:
         self.worker_offsets = array("l", [0])
         self.worker_ids = array("i")
         self.worker_costs = array("d")
+
+
+class _SpanState:
+    """Accumulator of one in-flight window's telemetry span.
+
+    The deferred-barrier engine interleaves routing with matching and
+    may flush several segments per window, so the match and merge hops
+    accumulate across flushes; the route hop is the window's residual
+    wall time (see :class:`~repro.runtime.telemetry.SpanHop`).
+    """
+
+    __slots__ = (
+        "seq",
+        "base",
+        "size",
+        "opened_ms",
+        "match_ms",
+        "merge_ms",
+        "match_started_ms",
+        "merge_started_ms",
+        "match_endpoints",
+    )
+
+    def __init__(self, seq: int, base: int, size: int, opened_ms: float) -> None:
+        self.seq = seq
+        self.base = base
+        self.size = size
+        self.opened_ms = opened_ms
+        self.match_ms = 0.0
+        self.merge_ms = 0.0
+        self.match_started_ms = -1.0
+        self.merge_started_ms = -1.0
+        self.match_endpoints = 0
 
 
 class PeriodSampleCollector:
@@ -479,6 +533,16 @@ class Cluster:
         )
         self._update_log: List[Tuple[int, Any]] = []
         self._recovery_events: List[RecoveryEvent] = []
+        # Runtime telemetry: a coordinator-side hub (bounded ring +
+        # optional JSONL sink) fed by window spans, barrier-point gauge
+        # drains and lifecycle events.  None (the default) keeps every
+        # hot path on a single ``is None`` check.
+        telemetry = self.config.telemetry
+        self._telemetry: Optional[TelemetryHub] = (
+            TelemetryHub(telemetry) if telemetry is not None and telemetry.enabled else None
+        )
+        self._window_seq = 0
+        self._span_state: Optional[_SpanState] = None
         fault_plan = self.config.fault_plan
         if fault_plan:
             self.transport.install_fault_plan(fault_plan.for_role("worker"))
@@ -942,6 +1006,9 @@ class Cluster:
         assert store is not None
         store.record(self.transport.snapshot_assignments(), self._tuples_processed)
         self._update_log.clear()
+        self._record_lifecycle(
+            "checkpoint", detail="tuples=%d" % self._tuples_processed
+        )
 
     def _recover_from(
         self,
@@ -1022,6 +1089,12 @@ class Cluster:
             raise ValueError("no checkpoint to recover from")
         if worker_id not in self.workers:
             return None
+        self._record_lifecycle(
+            "endpoint_death",
+            tier="worker",
+            endpoint_id=worker_id,
+            detail="lost_tuples=%d" % lost_tuples,
+        )
         self.transport.discard_worker(worker_id)
         survivors = sorted(self.workers)
         if not survivors:
@@ -1078,6 +1151,15 @@ class Cluster:
             during_adjustment=during_adjustment,
         )
         self._recovery_events.append(event)
+        self._record_lifecycle(
+            "recovery",
+            tier="worker",
+            endpoint_id=worker_id,
+            epoch=checkpoint.epoch,
+            detail="worker %d -> %d: %d queries reinstalled, %d updates replayed, "
+            "%d cells remapped"
+            % (worker_id, target, reinstalled, replayed, cells_remapped),
+        )
         return event
 
     @barrier_context
@@ -1113,13 +1195,18 @@ class Cluster:
         the mutations themselves bump the routing version and the replicas
         re-sync before the next routed window.
         """
-        self.transport.barrier()
+        epoch = self.transport.barrier()
         if self._dispatch is not None:
             self._dispatch.barrier()
         # Fence the merger shards too: every result shipped before the
         # barrier (by the coordinator or directly by a worker) is
         # deduplicated before the adjusters snapshot merger state.
         self._merge.barrier()
+        if self._telemetry is not None:
+            # The fence is the one point where every tier is quiescent, so
+            # the gauges drained here are an exact cross-tier cut.
+            self._record_lifecycle("adjustment", epoch=epoch)
+            self._drain_gauges(self._window_seq)
         if local_adjuster is not None:
             local_adjuster.adjust(self)
         if global_adjuster is not None:
@@ -1175,6 +1262,7 @@ class Cluster:
         order).  Per-tuple dispatcher round-robin, costs, counters and
         traces are all assigned by original stream position.
         """
+        self._span_open(len(items))
         routing = self.routing_index
         count = len(items)
         dispatchers = self.dispatchers
@@ -1397,6 +1485,7 @@ class Cluster:
                 trace_costs,
                 trace_workers,
             )
+        self._span_close()
 
     def _flush_fast(
         self,
@@ -1462,13 +1551,24 @@ class Cluster:
                         batch_ops[worker_id] = [DeleteById(query_id)]
                     else:
                         ops.append(DeleteById(query_id))
-        replies = (
-            self.transport.exchange(
-                {worker_id: RouteBatch(ops) for worker_id, ops in batch_ops.items()}
-            )
-            if batch_ops
-            else {}
-        )
+        replies: Dict[int, List[Optional[MatchResults]]]
+        if batch_ops:
+            batches = {
+                worker_id: RouteBatch(ops) for worker_id, ops in batch_ops.items()
+            }
+            span = self._span_state
+            if span is not None and self._telemetry is not None:
+                started_ms = self._telemetry.now_ms()
+                replies = self.transport.exchange(batches)
+                if span.match_started_ms < 0:
+                    span.match_started_ms = started_ms
+                span.match_ms += self._telemetry.now_ms() - started_ms
+                if len(batch_ops) > span.match_endpoints:
+                    span.match_endpoints = len(batch_ops)
+            else:
+                replies = self.transport.exchange(batches)
+        else:
+            replies = {}
 
         if groups:
             all_results: List[MatchResult] = []
@@ -1549,6 +1649,7 @@ class Cluster:
         authoritative index here (pure H2 increments, no H1 probing), so
         adjusters and migrations keep observing exact routing state.
         """
+        self._span_open(len(items))
         routing = self.routing_index
         count = len(items)
         dispatchers = self.dispatchers
@@ -1712,6 +1813,7 @@ class Cluster:
                 trace_costs,
                 trace_workers,
             )
+        self._span_close()
 
     def _process_object_run(self, objects: Sequence, trace: bool) -> None:
         """Route, match and merge a run of consecutive objects in bulk."""
@@ -1905,7 +2007,149 @@ class Cluster:
         self._matches_produced += produced
         if results:
             self._result_hops += len(results)
-            self._merge.deliver(results)
+            span = self._span_state
+            if span is not None and self._telemetry is not None:
+                started_ms = self._telemetry.now_ms()
+                self._merge.deliver(results)
+                if span.merge_started_ms < 0:
+                    span.merge_started_ms = started_ms
+                span.merge_ms += self._telemetry.now_ms() - started_ms
+            else:
+                self._merge.deliver(results)
+
+    # ------------------------------------------------------------------
+    # Runtime telemetry (window spans, gauge drains, lifecycle events)
+    # ------------------------------------------------------------------
+    def _span_open(self, size: int) -> None:
+        """Start tracing one batched window (no-op when telemetry is off)."""
+        hub = self._telemetry
+        if hub is None:
+            return
+        self._window_seq += 1
+        self._span_state = _SpanState(
+            self._window_seq, self._tuples_processed, size, hub.now_ms()
+        )
+
+    def _span_close(self) -> None:
+        """Record the in-flight window's span and drain per-tier gauges.
+
+        The route hop is the window's residual wall time after the
+        measured match and merge hops: inline routing interleaves with
+        the arrival scan and sharded routing overlaps the previous
+        window's matching, so the residual is the honest attribution on
+        both engines.
+        """
+        hub = self._telemetry
+        state = self._span_state
+        if hub is None or state is None:
+            return
+        self._span_state = None
+        closed_ms = hub.now_ms()
+        total_ms = closed_ms - state.opened_ms
+        route_ms = max(0.0, total_ms - state.match_ms - state.merge_ms)
+        hops = (
+            SpanHop("route", "dispatcher", state.opened_ms, route_ms, len(self.dispatchers)),
+            SpanHop(
+                "match",
+                "worker",
+                state.match_started_ms if state.match_started_ms >= 0 else closed_ms,
+                state.match_ms,
+                state.match_endpoints,
+            ),
+            SpanHop(
+                "merge",
+                "merger",
+                state.merge_started_ms if state.merge_started_ms >= 0 else closed_ms,
+                state.merge_ms,
+                self._merge.num_mergers,
+            ),
+        )
+        hub.record(WindowSpan(state.seq, state.base, state.size, hops))
+        if state.seq % max(1, hub.spec.sample_every) == 0:
+            self._drain_gauges(state.seq)
+
+    def _drain_gauges(self, seq: int) -> None:
+        """Pull one gauge sample per endpoint of every tier into the hub.
+
+        Worker and merger gauges come from their backends (role hosts
+        answer a ``TelemetryDrain``; the in-process backends synthesise
+        identical samples locally).  Dispatcher gauges overlay the
+        coordinator's authoritative Definition-1 busy accounting on the
+        shard replicas' memory/cache-depth samples, and the coordinator
+        itself contributes a sample (its relayed-result depth).  Purely
+        read-only — a drained run's report is byte-identical to an
+        undrained one.
+        """
+        hub = self._telemetry
+        if hub is None:
+            return
+        samples: List[GaugeSample] = list(self.transport.drain_telemetry())
+        shard_samples: Dict[int, GaugeSample] = {}
+        if self._dispatch is not None:
+            shard_samples = {
+                sample.endpoint_id: sample
+                for sample in self._dispatch.drain_telemetry()
+            }
+        for dispatcher in self.dispatchers:
+            shard = shard_samples.get(dispatcher.dispatcher_id)
+            samples.append(
+                GaugeSample(
+                    tier="dispatcher",
+                    endpoint_id=dispatcher.dispatcher_id,
+                    busy_cost=dispatcher.busy_cost,
+                    memory_bytes=shard.memory_bytes if shard is not None else 0,
+                    depth=shard.depth if shard is not None else 0,
+                )
+            )
+        samples.extend(self._merge.drain_telemetry())
+        samples.append(
+            GaugeSample(
+                tier="coordinator",
+                endpoint_id=0,
+                busy_cost=0.0,
+                memory_bytes=0,
+                depth=self._result_hops,
+            )
+        )
+        hub.record_gauges(samples, seq)
+
+    def _record_lifecycle(
+        self,
+        kind: str,
+        *,
+        epoch: int = -1,
+        tier: str = "",
+        endpoint_id: int = -1,
+        detail: str = "",
+    ) -> None:
+        hub = self._telemetry
+        if hub is None:
+            return
+        hub.record(
+            LifecycleEvent(
+                kind=kind,
+                seq=self._window_seq,
+                at_ms=hub.now_ms(),
+                detail=detail,
+                epoch=epoch,
+                tier=tier,
+                endpoint_id=endpoint_id,
+            )
+        )
+
+    def telemetry_events(self) -> List[TelemetryEvent]:
+        """The telemetry ring's retained events (empty when disabled)."""
+        return self._telemetry.events() if self._telemetry is not None else []
+
+    def telemetry_timeseries(self) -> Optional[TierTimeseries]:
+        """The per-window gauge store, queryable at the adjustment fence."""
+        return self._telemetry.timeseries if self._telemetry is not None else None
+
+    def telemetry_text(self) -> str:
+        """Prometheus-style text snapshot of the telemetry state."""
+        if self._telemetry is None:
+            return "# telemetry disabled (ClusterConfig.telemetry is None)\n"
+        return self._telemetry.telemetry_text()
 
     @property
     def result_hops(self) -> int:
@@ -2102,6 +2346,10 @@ class Cluster:
         backend — each fetched once per report whichever backend hosts
         the tier.
         """
+        if self._telemetry is not None:
+            # Final cross-tier gauge cut so a run's last partial sampling
+            # interval is still visible in the timeseries and the JSONL.
+            self._drain_gauges(self._window_seq)
         stats = self.transport.worker_stats()
         merger_stats = self._merge.merger_stats()
         if input_rate is None:
@@ -2294,6 +2542,9 @@ class Cluster:
         if self._dispatch is not None:
             closers.append(self._dispatch.close)
         closers.append(self._merge.close)
+        if self._telemetry is not None:
+            # Last: flushes the JSONL sink after every tier stopped emitting.
+            closers.append(self._telemetry.close)
         for closer in closers:
             try:
                 closer()

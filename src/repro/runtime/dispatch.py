@@ -77,6 +77,7 @@ from .fabric import (
     spawn_fleet,
     spawn_socket_fleet,
 )
+from .telemetry import GaugeSample, TelemetryBatch, TelemetryDrain
 
 __all__ = [
     "DISPATCH_BACKENDS",
@@ -428,6 +429,16 @@ class DispatchBackend:
         The in-process reference has no transport to fault; default no-op.
         """
 
+    def drain_telemetry(self) -> List[GaugeSample]:
+        """One gauge sample per shard replica, in ascending shard order.
+
+        Shard-side gauges carry replica memory and route-cache depth;
+        the coordinator overlays the Definition-1 dispatcher busy cost
+        (tracked on its own :class:`DispatcherNode` accounting) before
+        recording, so one sample tells the whole dispatcher story.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release backend resources (terminates shard processes)."""
 
@@ -531,6 +542,25 @@ class InProcessDispatch(DispatchBackend):
     def shard_memory(self) -> Dict[int, int]:
         return {router.shard_id: router.memory_bytes() for router in self._routers}
 
+    def drain_telemetry(self) -> List[GaugeSample]:
+        return [_shard_gauge(router) for router in self._routers]
+
+
+def _shard_gauge(router: "_ShardRouter") -> GaugeSample:
+    """One telemetry gauge sample from live shard state (read-only).
+
+    A shard replica does no Definition-1 cost accounting (the
+    coordinator charges dispatcher busy cost itself, identically on
+    every backend), so ``busy_cost`` is filled in coordinator-side.
+    """
+    return GaugeSample(
+        tier="dispatcher",
+        endpoint_id=router.shard_id,
+        busy_cost=0.0,
+        memory_bytes=router.memory_bytes(),
+        depth=len(router.insertion_plans),
+    )
+
 
 # ----------------------------------------------------------------------
 # The dispatcher role host (served by the fabric's generic serve loop)
@@ -559,6 +589,8 @@ class DispatchHost(RoleHost):
             return True
         if kind is ShardMemoryRequest:
             return router.memory_bytes()
+        if kind is TelemetryDrain:
+            return TelemetryBatch(router.shard_id, (_shard_gauge(router),))
         raise TransportError("unknown dispatch message %r" % (message,))
 
 
@@ -646,6 +678,21 @@ class FabricDispatch(DispatchBackend):
 
     def shard_memory(self) -> Dict[int, int]:
         return self._fleet.broadcast(ShardMemoryRequest())
+
+    def drain_telemetry(self) -> List[GaugeSample]:
+        if self._inflight is not None:
+            # A routed window is outstanding (pipelined engine): a
+            # replied drain now would desync the request/reply pairing.
+            # Telemetry is best-effort — the coordinator still records
+            # its own dispatcher busy accounting, and shard gauges
+            # appear at the next quiescent drain (barrier / report).
+            return []
+        batches = self._fleet.broadcast(TelemetryDrain())
+        return [
+            sample
+            for shard_id in sorted(batches)
+            for sample in batches[shard_id].events
+        ]
 
     def install_fault_plan(self, faults: Sequence[Any]) -> None:
         self._fleet.install_fault_plan(faults)

@@ -663,6 +663,13 @@ class Fleet:
 
     def _maybe_inject(self, endpoint_id: int, message: Any) -> bool:
         """Fire any armed fault matching this send; True swallows the send."""
+        if getattr(type(message), "__telemetry_control__", False):
+            # Telemetry drains are exempt from fault counting: an armed
+            # spec with message_type=None counts *every* matching send,
+            # so counting them would shift when a fault fires between
+            # telemetry-on and telemetry-off runs — breaking the
+            # perturbation-freedom invariant chaos tests pin.
+            return False
         for index, spec in enumerate(self._fault_specs):
             if spec.endpoint_id != endpoint_id:
                 continue
@@ -1124,6 +1131,7 @@ def serve(
     *,
     once: bool = False,
     announce: Optional[Callable[[str, int], None]] = None,
+    on_session: Optional[Callable[[], None]] = None,
 ) -> None:
     """Run one endpoint as a network service (``repro serve``).
 
@@ -1137,6 +1145,8 @@ def serve(
     hosts in a manifest survive coordinator restarts.  ``once`` serves a
     single session regardless (used by coordinator-spawned loopback
     fleets, so closing the cluster reaps the serve process).
+    ``on_session`` is called once per accepted coordinator session —
+    the hook behind ``repro serve --telemetry-port``'s session counter.
     """
     resolve_role(role)  # fail fast on unknown roles, before binding
     listener = socket.create_server((host, port))
@@ -1149,6 +1159,8 @@ def serve(
                 connection, _peer = listener.accept()
             except OSError:  # pragma: no cover - listener torn down
                 break
+            if on_session is not None:
+                on_session()
             channel = SocketChannel(connection)
             shutdown = _serve_session(role, channel)
             channel.close()

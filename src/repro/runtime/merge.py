@@ -74,6 +74,7 @@ from .fabric import (
     spawn_socket_fleet,
 )
 from .merger import MergerNode
+from .telemetry import GaugeSample, TelemetryBatch, TelemetryDrain
 from .transport import (
     DeliverResults,
     MergerReset,
@@ -253,6 +254,22 @@ def _merger_stats(merger: MergerNode) -> MergerStats:
     )
 
 
+def _merger_gauge(merger: MergerNode) -> GaugeSample:
+    """One telemetry gauge sample from live merger state (read-only).
+
+    ``depth`` is the live dedup-window population — the bounded state a
+    future merger re-shard would hand off (droppable: at worst
+    duplicates, never losses).
+    """
+    return GaugeSample(
+        tier="merger",
+        endpoint_id=merger.merger_id,
+        busy_cost=merger.busy_cost,
+        memory_bytes=merger.memory_bytes(),
+        depth=merger.dedup_population(),
+    )
+
+
 # ----------------------------------------------------------------------
 # Backend interface
 # ----------------------------------------------------------------------
@@ -307,6 +324,14 @@ class MergeBackend:
 
         The in-process reference has no transport to fault; default no-op.
         """
+
+    def drain_telemetry(self) -> List[GaugeSample]:
+        """One gauge sample per merger shard, in ascending shard order.
+
+        Read-only: draining never touches the busy/delivered counters
+        reports derive from (the telemetry invariant).
+        """
+        raise NotImplementedError
 
     def close(self) -> None:
         """Release backend resources (terminates merger processes)."""
@@ -369,6 +394,9 @@ class InProcessMerge(MergeBackend):
     def drain_sinks(self) -> Dict[int, List[MatchResult]]:
         return {merger.merger_id: merger.sink.drain() for merger in self.mergers}
 
+    def drain_telemetry(self) -> List[GaugeSample]:
+        return [_merger_gauge(merger) for merger in self.mergers]
+
     def close(self) -> None:
         for merger in self.mergers:
             merger.sink.close()
@@ -408,6 +436,8 @@ class MergeHost(RoleHost):
             return True
         if kind is SinkDrain:
             return merger.sink.drain()
+        if kind is TelemetryDrain:
+            return TelemetryBatch(merger.merger_id, (_merger_gauge(merger),))
         raise TransportError("unknown merge message %r" % (message,))
 
     def close(self) -> None:
@@ -472,6 +502,14 @@ class FabricMerge(MergeBackend):
     def drain_sinks(self) -> Dict[int, List[MatchResult]]:
         drained = self._fleet.broadcast(SinkDrain())
         return {merger_id: drained[merger_id] for merger_id in sorted(drained)}
+
+    def drain_telemetry(self) -> List[GaugeSample]:
+        batches = self._fleet.broadcast(TelemetryDrain())
+        return [
+            sample
+            for merger_id in sorted(batches)
+            for sample in batches[merger_id].events
+        ]
 
     def install_fault_plan(self, faults: Sequence[Any]) -> None:
         self._fleet.install_fault_plan(faults)

@@ -106,5 +106,9 @@ class MergerNode:
     def memory_bytes(self) -> int:
         return 48 * len(self._seen)
 
+    def dedup_population(self) -> int:
+        """Live ``(query, object)`` keys in the dedup window (telemetry)."""
+        return len(self._seen)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "MergerNode(id=%d, delivered=%d)" % (self.merger_id, self.delivered)

@@ -18,7 +18,21 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .checkpoint import RecoveryReport
 
-__all__ = ["LatencyTracker", "LatencyBuckets", "RunReport", "utilization_latency"]
+__all__ = [
+    "JSON_IMBALANCE_CAP",
+    "LatencyTracker",
+    "LatencyBuckets",
+    "RunReport",
+    "utilization_latency",
+]
+
+#: JSON-safe stand-in for an infinite load imbalance (some worker got
+#: zero load while another got work).  :meth:`RunReport.summary` — and
+#: any JSONL sink serialising it — clamps to this finite cap so the
+#: output stays standard JSON (``json.dump`` would otherwise emit the
+#: non-standard ``Infinity`` token); any observed imbalance at the cap
+#: should be read as "infinite".
+JSON_IMBALANCE_CAP = 1e15
 
 
 @dataclass(frozen=True)
@@ -174,18 +188,40 @@ class RunReport:
         return sum(self.worker_memory.values()) / len(self.worker_memory) / 1e6
 
     def summary(self) -> Dict[str, float]:
-        """A flat dict convenient for printing bench tables."""
+        """A flat, JSON-safe dict convenient for printing bench tables.
+
+        Every value is a finite float: an infinite :attr:`load_imbalance`
+        (a zero-load worker alongside a loaded one) is clamped to
+        :data:`JSON_IMBALANCE_CAP`, because ``json.dump`` would emit the
+        non-standard ``Infinity`` token that strict JSON parsers reject.
+        The property itself still returns the honest ``inf``.
+        """
+        buckets = self.delivery_latency_buckets
+        recovery = self.recovery
         return {
             "tuples": float(self.tuples_processed),
             "throughput": self.throughput,
             "mean_latency_ms": self.mean_latency_ms,
             "p95_latency_ms": self.p95_latency_ms,
             "total_load": self.total_load,
-            "imbalance": self.load_imbalance,
+            "imbalance": min(self.load_imbalance, JSON_IMBALANCE_CAP),
             "dispatcher_memory_mb": self.avg_dispatcher_memory_mb,
             "worker_memory_mb": self.avg_worker_memory_mb,
             "matches": float(self.matches_delivered),
+            "merger_duplicates": float(sum(self.merger_duplicates.values())),
             "object_fanout": self.object_fanout,
             "query_fanout": self.query_fanout,
             "delivery_latency_ms": self.delivery_mean_latency_ms,
+            "delivery_under_100ms": buckets.under_100ms if buckets else 1.0,
+            "delivery_100ms_to_1s": (
+                buckets.between_100ms_and_1s if buckets else 0.0
+            ),
+            "delivery_over_1s": buckets.over_1s if buckets else 0.0,
+            "checkpoints_taken": (
+                float(recovery.checkpoints_taken) if recovery else 0.0
+            ),
+            "recoveries": float(len(recovery.events)) if recovery else 0.0,
+            "recovery_lost_tuples": (
+                float(recovery.lost_tuples) if recovery else 0.0
+            ),
         }

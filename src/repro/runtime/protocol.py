@@ -63,6 +63,7 @@ PROTOCOL_MODULES: Tuple[str, ...] = (
     "repro.runtime.dispatch",
     "repro.runtime.merge",
     "repro.runtime.checkpoint",
+    "repro.runtime.telemetry",
 )
 
 #: role -> request messages its host's ``handle`` method must dispatch.
@@ -76,6 +77,7 @@ MESSAGE_ROUTING: Mapping[str, Tuple[str, ...]] = {
         "ExtractCells",
         "ExtractKeywords",
         "SnapshotAssignments",
+        "TelemetryDrain",
     ),
     "dispatcher": (
         "RouteWindow",
@@ -83,12 +85,14 @@ MESSAGE_ROUTING: Mapping[str, Tuple[str, ...]] = {
         "RouteUpdate",
         "SyncRoutingIndex",
         "ShardMemoryRequest",
+        "TelemetryDrain",
     ),
     "merger": (
         "DeliverResults",
         "MergerStatsRequest",
         "MergerReset",
         "SinkDrain",
+        "TelemetryDrain",
     ),
 }
 
@@ -110,6 +114,7 @@ REPLY_MESSAGES: Tuple[str, ...] = (
     "RemoteCallable",
     "RemoteError",
     "StatsReport",
+    "TelemetryBatch",
     "TupleRouting",
     "WindowRouting",
     "WorkerSnapshot",
@@ -126,6 +131,7 @@ PAYLOAD_DATACLASSES: Tuple[str, ...] = (
     "DeleteQuery",
     "DeleteById",
     "SinkSpec",
+    "GaugeSample",
 )
 
 #: Dataclasses in the protocol modules that never cross a process
@@ -139,6 +145,10 @@ INTERNAL_DATACLASSES: Tuple[str, ...] = (
     "FaultSpec",
     "RecoveryEvent",
     "RecoveryReport",
+    "TelemetrySpec",
+    "SpanHop",
+    "WindowSpan",
+    "LifecycleEvent",
 )
 
 

@@ -78,6 +78,7 @@ from .fabric import (
     spawn_fleet,
     spawn_socket_fleet,
 )
+from .telemetry import GaugeSample, TelemetryBatch, TelemetryDrain
 from .worker import QueryAssignment, WorkerNode
 
 __all__ = [
@@ -442,6 +443,17 @@ def _worker_stats(worker: WorkerNode) -> StatsReport:
     )
 
 
+def _worker_gauge(worker: WorkerNode) -> GaugeSample:
+    """One telemetry gauge sample from live worker state (read-only)."""
+    return GaugeSample(
+        tier="worker",
+        endpoint_id=worker.worker_id,
+        busy_cost=worker.busy_cost,
+        memory_bytes=worker.memory_bytes(),
+        depth=worker.query_count,
+    )
+
+
 def _resolve_call(worker: WorkerNode, message: WorkerCall) -> Any:
     target: Any = worker
     for name in message.path:
@@ -512,6 +524,15 @@ class Transport:
         The in-process reference has no transport to fault; default no-op.
         """
 
+    def drain_telemetry(self) -> List[GaugeSample]:
+        """One gauge sample per worker, in ascending worker-id order.
+
+        A read-only snapshot: draining never touches the Definition-1
+        busy counters reports derive from, so a drained run's report is
+        byte-identical to an undrained one (the telemetry invariant).
+        """
+        raise NotImplementedError
+
     def discard_worker(self, worker_id: int) -> None:
         """Drop a dead worker from the fleet (the recovery path).
 
@@ -576,6 +597,9 @@ class InProcessTransport(Transport):
             worker_id: self.workers[worker_id].snapshot_assignments()
             for worker_id in sorted(self.workers)
         }
+
+    def drain_telemetry(self) -> List[GaugeSample]:
+        return [_worker_gauge(self.workers[worker_id]) for worker_id in sorted(self.workers)]
 
     def discard_worker(self, worker_id: int) -> None:
         self.workers.pop(worker_id, None)
@@ -644,6 +668,8 @@ class WorkerHost(RoleHost):
             return WorkerSnapshot(
                 worker.worker_id, tuple(worker.snapshot_assignments())
             )
+        if kind is TelemetryDrain:
+            return TelemetryBatch(worker.worker_id, (_worker_gauge(worker),))
         raise TransportError("unknown message %r" % (message,))
 
 
@@ -813,6 +839,14 @@ class FabricTransport(Transport):
 
     def install_fault_plan(self, faults: Sequence[FaultSpec]) -> None:
         self._fleet.install_fault_plan(faults)
+
+    def drain_telemetry(self) -> List[GaugeSample]:
+        batches = self._fleet.broadcast(TelemetryDrain())
+        return [
+            sample
+            for worker_id in sorted(batches)
+            for sample in batches[worker_id].events
+        ]
 
     def discard_worker(self, worker_id: int) -> None:
         """Drop a dead endpoint and re-align the surviving channels.

@@ -23,6 +23,7 @@ from repro.lint.rl002_determinism import DeterminismRule
 from repro.lint.rl003_pickle import PickleSafetyRule
 from repro.lint.rl004_serve import ServeLoopDisciplineRule
 from repro.lint.rl005_fence import FenceDisciplineRule
+from repro.lint.rl006_telemetry import TelemetryProtocolRule
 from repro.lint.runner import main as lint_main, repo_root
 from repro.runtime import protocol
 
@@ -447,6 +448,90 @@ class TestRL005:
 
 
 # ----------------------------------------------------------------------
+# RL006 — telemetry events registered and pickle-safe
+# ----------------------------------------------------------------------
+_RL006_BAD = """
+    from dataclasses import dataclass
+    from typing import Callable
+
+    MESSAGE_ROUTING = {"worker": ()}
+    INTERNAL_DATACLASSES = ("GoodSpan",)
+
+    class TelemetryEvent:
+        __slots__ = ()
+
+    @dataclass(frozen=True)
+    class GoodSpan(TelemetryEvent):
+        stage: str
+        callback: Callable[[], None]
+
+    @dataclass(frozen=True)
+    class RogueEvent(TelemetryEvent):
+        seq: int
+"""
+
+_RL006_GOOD = """
+    from dataclasses import dataclass
+    from typing import Tuple
+
+    MESSAGE_ROUTING = {"worker": ()}
+    INTERNAL_DATACLASSES = ("GoodSpan", "NestedSpan")
+
+    class TelemetryEvent:
+        __slots__ = ()
+
+    @dataclass(frozen=True)
+    class GoodSpan(TelemetryEvent):
+        stage: str
+        elapsed_ms: float
+
+    @dataclass(frozen=True)
+    class NestedSpan(GoodSpan):
+        hops: Tuple[int, ...] = ()
+"""
+
+
+class TestRL006:
+    RULES = (TelemetryProtocolRule(),)
+
+    def test_flags_unregistered_and_unpicklable_events(self, tmp_path):
+        findings = lint_source(tmp_path, _RL006_BAD, self.RULES)
+        assert len(findings) == 2
+        messages = " ".join(finding.message for finding in findings)
+        assert "RogueEvent is not classified" in messages
+        assert "GoodSpan.callback" in messages
+        assert all(finding.rule == "RL006" for finding in findings)
+
+    def test_passes_registered_picklable_events(self, tmp_path):
+        # Also proves transitive subclasses (NestedSpan via GoodSpan)
+        # are discovered by the base-name closure.
+        assert lint_source(tmp_path, _RL006_GOOD, self.RULES) == []
+
+    def test_ignores_projects_without_telemetry(self, tmp_path):
+        assert lint_source(tmp_path, "X = 1\n", self.RULES) == []
+
+    def test_real_telemetry_events_are_registered(self):
+        # Drift guard against the real tree: every TelemetryEvent
+        # subclass the runtime defines must be classified and clean.
+        import repro.runtime.telemetry as telemetry_module
+
+        names = {
+            name
+            for name, value in vars(telemetry_module).items()
+            if isinstance(value, type)
+            and issubclass(value, telemetry_module.TelemetryEvent)
+            and value is not telemetry_module.TelemetryEvent
+        }
+        assert names == {"SpanHop", "WindowSpan", "GaugeSample", "LifecycleEvent"}
+        registered = (
+            set(protocol.REPLY_MESSAGES)
+            | set(protocol.PAYLOAD_DATACLASSES)
+            | set(protocol.INTERNAL_DATACLASSES)
+        )
+        assert names <= registered
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -524,7 +609,7 @@ class TestRunner:
     def test_list_rules(self):
         code, output = run_lint_cli(["--list-rules"])
         assert code == 0
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
             assert rule_id in output
 
     def test_repro_cli_lint_subcommand(self, tmp_path):

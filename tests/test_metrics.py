@@ -1,8 +1,18 @@
 """Unit tests for the run metrics (latency tracker, buckets, run report)."""
 
+import json
+import math
+
 import pytest
 
-from repro.runtime.metrics import LatencyTracker, RunReport, utilization_latency
+from repro.runtime.checkpoint import RecoveryEvent, RecoveryReport
+from repro.runtime.metrics import (
+    JSON_IMBALANCE_CAP,
+    LatencyBuckets,
+    LatencyTracker,
+    RunReport,
+    utilization_latency,
+)
 
 
 class TestLatencyTracker:
@@ -40,6 +50,41 @@ class TestLatencyTracker:
         assert buckets.between_100ms_and_1s == pytest.approx(0.1)
         assert buckets.over_1s == pytest.approx(0.1)
         assert sum(buckets.as_dict().values()) == pytest.approx(1.0)
+
+    def test_buckets_threshold_values_are_inclusive_middle(self):
+        # Exactly 100 ms is not "< 100 ms" and exactly 1000 ms is not
+        # "> 1000 ms": both boundaries land in the closed middle bucket,
+        # matching the paper's "[100 ms, 1000 ms]" label (Figure 12(c)).
+        tracker = LatencyTracker()
+        tracker.extend([100.0, 1000.0])
+        buckets = tracker.buckets()
+        assert buckets.under_100ms == 0.0
+        assert buckets.between_100ms_and_1s == 1.0
+        assert buckets.over_1s == 0.0
+
+    def test_buckets_just_past_thresholds(self):
+        tracker = LatencyTracker()
+        tracker.extend([99.999, 1000.001])
+        buckets = tracker.buckets()
+        assert buckets.under_100ms == pytest.approx(0.5)
+        assert buckets.between_100ms_and_1s == 0.0
+        assert buckets.over_1s == pytest.approx(0.5)
+
+    def test_single_sample_percentiles_and_buckets(self):
+        tracker = LatencyTracker()
+        tracker.record(250.0)
+        # Nearest-rank on one sample: every q maps to that sample.
+        assert tracker.percentile(0) == 250.0
+        assert tracker.percentile(50) == 250.0
+        assert tracker.percentile(100) == 250.0
+        buckets = tracker.buckets()
+        assert buckets.between_100ms_and_1s == 1.0
+
+    def test_percentile_q0_and_q100_are_min_and_max(self):
+        tracker = LatencyTracker()
+        tracker.extend([30.0, 10.0, 20.0])
+        assert tracker.percentile(0) == 10.0
+        assert tracker.percentile(100) == 30.0
 
 
 class TestUtilizationLatency:
@@ -90,3 +135,50 @@ class TestRunReport:
         summary = report.summary()
         for key in ("tuples", "throughput", "mean_latency_ms", "imbalance", "matches"):
             assert key in summary
+
+    def test_summary_is_json_safe_with_infinite_imbalance(self):
+        # A zero-load worker makes load_imbalance infinite; json.dump
+        # would serialise float("inf") as the non-standard `Infinity`
+        # token, so summary() must clamp it to the finite cap.
+        report = RunReport(worker_loads={0: 0.0, 1: 1.0})
+        assert report.load_imbalance == float("inf")
+        summary = report.summary()
+        assert summary["imbalance"] == JSON_IMBALANCE_CAP
+        encoded = json.dumps(summary, allow_nan=False)
+        assert math.isfinite(json.loads(encoded)["imbalance"])
+
+    def test_summary_full_delivery_story(self):
+        report = RunReport(
+            tuples_processed=10,
+            merger_duplicates={0: 3, 1: 2},
+            delivery_latency_buckets=LatencyBuckets(0.5, 0.25, 0.25),
+            recovery=RecoveryReport(
+                checkpoints_taken=4,
+                events=(
+                    RecoveryEvent(
+                        worker_id=1,
+                        target_worker=0,
+                        epoch=2,
+                        queries_reinstalled=7,
+                        updates_replayed=1,
+                        cells_remapped=3,
+                        lost_tuples=12,
+                    ),
+                ),
+            ),
+        )
+        summary = report.summary()
+        assert summary["merger_duplicates"] == 5.0
+        assert summary["delivery_under_100ms"] == 0.5
+        assert summary["delivery_100ms_to_1s"] == 0.25
+        assert summary["delivery_over_1s"] == 0.25
+        assert summary["checkpoints_taken"] == 4.0
+        assert summary["recoveries"] == 1.0
+        assert summary["recovery_lost_tuples"] == 12.0
+        json.dumps(summary, allow_nan=False)
+
+    def test_summary_without_recovery_or_buckets(self):
+        summary = RunReport().summary()
+        assert summary["delivery_under_100ms"] == 1.0
+        assert summary["checkpoints_taken"] == 0.0
+        assert summary["recoveries"] == 0.0
