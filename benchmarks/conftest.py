@@ -14,7 +14,13 @@ from typing import Callable, Dict, List, Tuple
 
 import pytest
 
-from repro.bench import ExperimentConfig, ExperimentResult, format_table, run_experiment
+from repro.bench import (
+    ExperimentConfig,
+    ExperimentResult,
+    format_table,
+    run_experiment,
+    write_bench_result,
+)
 
 
 #: The paper's query-population parameters, scaled down (see DESIGN.md).
@@ -75,6 +81,39 @@ _FIGURE_ROWS: "OrderedDict[str, List[Dict[str, object]]]" = OrderedDict()
 def record_row() -> Callable[[str, Dict[str, object]], None]:
     def _record(figure: str, row: Dict[str, object]) -> None:
         _FIGURE_ROWS.setdefault(figure, []).append(dict(row))
+
+    return _record
+
+
+# ----------------------------------------------------------------------
+# Perf-result recording: every perf gate that used to hand-roll its own
+# one-shot JSON writes through this fixture instead, so all of them emit
+# the same versioned schema — one-shot BENCH_<name>.json for
+# compatibility plus an appended row in BENCH_HISTORY.jsonl that
+# ``repro bench-report`` renders (see repro.bench.history).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def record_bench() -> Callable[..., Dict[str, object]]:
+    repo_root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+    def _record(
+        name: str,
+        metric: str,
+        value: float,
+        *,
+        floor: float,
+        workload: str,
+        extra: Dict[str, object],
+    ) -> Dict[str, object]:
+        return write_bench_result(
+            name,
+            metric,
+            value,
+            floor=floor,
+            workload=workload,
+            extra=extra,
+            root=repo_root,
+        )
 
     return _record
 

@@ -14,8 +14,6 @@ minimum taken (see test_batched_speedup.py).
 """
 
 import gc
-import json
-import os
 import time
 
 from repro.adjustment import GreedySelector, LocalLoadAdjuster
@@ -27,7 +25,7 @@ from repro.workload import QueryGenerator, StreamConfig, WorkloadStream, make_da
 REPEATS = 5
 BATCH_SIZE = 512
 ADJUST_EVERY = 4000
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_adjustment.json")
+FLOOR = 1.5
 
 
 def _fig12_workload():
@@ -60,7 +58,7 @@ def _time_run(plan, config, tuples, batch_size):
     return time.perf_counter() - started
 
 
-def test_closed_loop_batched_speedup(record_row):
+def test_closed_loop_batched_speedup(record_row, record_bench):
     plan, config, tuples = _fig12_workload()
     reference = []
     batched = []
@@ -87,18 +85,21 @@ def test_closed_loop_batched_speedup(record_row):
             "speedup": speedup,
         },
     )
-    payload = {
-        "workload": "fig12 STS-US-Q1 imbalanced (metric text, 8 workers)",
-        "tuples": count,
-        "batch_size": BATCH_SIZE,
-        "adjust_every": ADJUST_EVERY,
-        "per_tuple_tuples_per_s": count / ref_seconds,
-        "batched_tuples_per_s": count / bat_seconds,
-        "speedup": speedup,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    assert speedup >= 1.5, (
+    record_bench(
+        "adjustment",
+        "adjustment_speedup",
+        speedup,
+        floor=FLOOR,
+        workload="fig12 STS-US-Q1 imbalanced (metric text, 8 workers)",
+        extra={
+            "tuples": count,
+            "batch_size": BATCH_SIZE,
+            "adjust_every": ADJUST_EVERY,
+            "per_tuple_tuples_per_s": count / ref_seconds,
+            "batched_tuples_per_s": count / bat_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= FLOOR, (
         "batched closed loop must stay >= 1.5x the per-tuple path, got %.2fx" % speedup
     )

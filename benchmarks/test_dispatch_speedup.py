@@ -31,7 +31,6 @@ routing on both backends.
 """
 
 import gc
-import json
 import os
 import random
 import time
@@ -56,7 +55,7 @@ NUM_SHARDS = 4
 NUM_WORKERS = 2
 GRANULARITY = 8
 BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_dispatch.json")
+FLOOR = 1.5
 
 
 def _make_objects(count, mu, keys, noise, seed):
@@ -148,7 +147,7 @@ def _time_dispatch(plan, warmup, bodies, dispatch_backend):
     return best
 
 
-def test_sharded_dispatch_speedup(route_bound_workload, record_row):
+def test_sharded_dispatch_speedup(route_bound_workload, record_row, record_bench):
     cores = os.cpu_count() or 1
     if cores < 2:
         pytest.skip(
@@ -170,23 +169,26 @@ def test_sharded_dispatch_speedup(route_bound_workload, record_row):
             "speedup": speedup,
         },
     )
-    payload = {
-        "workload": "route-bound synthetic (single-keyword subscriptions, "
+    record_bench(
+        "dispatch",
+        "dispatch_speedup",
+        speedup,
+        floor=FLOOR,
+        workload="route-bound synthetic (single-keyword subscriptions, "
         "granularity %d, %d dispatcher shards, %d workers)"
         % (GRANULARITY, NUM_SHARDS, NUM_WORKERS),
-        "tuples": count,
-        "batch_size": BATCH_SIZE,
-        "dispatcher_shards": NUM_SHARDS,
-        "workers": NUM_WORKERS,
-        "cpu_cores": cores,
-        "inline_tuples_per_s": count / ref_seconds,
-        "sharded_tuples_per_s": count / sharded_seconds,
-        "speedup": speedup,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    assert speedup >= 1.5, (
+        extra={
+            "tuples": count,
+            "batch_size": BATCH_SIZE,
+            "dispatcher_shards": NUM_SHARDS,
+            "workers": NUM_WORKERS,
+            "cpu_cores": cores,
+            "inline_tuples_per_s": count / ref_seconds,
+            "sharded_tuples_per_s": count / sharded_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= FLOOR, (
         "multiprocess dispatch must reach >= 1.5x inline tuples/sec with "
         "%d dispatcher shards, got %.2fx" % (NUM_SHARDS, speedup)
     )

@@ -28,7 +28,6 @@ object stream with the minimum taken and garbage collection paused.
 """
 
 import gc
-import json
 import os
 import random
 import time
@@ -56,7 +55,7 @@ GRANULARITY = 8
 PAIRS = 30
 PAIRS_PER_OBJECT = 4
 BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_merger.json")
+FLOOR = 1.5
 
 
 def _make_objects(count, seed, id_base=0):
@@ -168,7 +167,7 @@ def _time_merge(plan, warmup, warm_body, bodies, merger_backend):
     return best_rate, total_delivered
 
 
-def test_sharded_merger_speedup(delivery_bound_workload, record_row):
+def test_sharded_merger_speedup(delivery_bound_workload, record_row, record_bench):
     cores = os.cpu_count() or 1
     if cores < 2:
         pytest.skip(
@@ -192,23 +191,26 @@ def test_sharded_merger_speedup(delivery_bound_workload, record_row):
             "speedup": speedup,
         },
     )
-    payload = {
-        "workload": "high-duplication synthetic (OR subscriptions split across "
+    record_bench(
+        "merger",
+        "merger_speedup",
+        speedup,
+        floor=FLOOR,
+        workload="high-duplication synthetic (OR subscriptions split across "
         "workers, granularity %d, %d merger shards, %d workers)"
         % (GRANULARITY, NUM_MERGERS, NUM_WORKERS),
-        "delivered_results": ref_delivered,
-        "batch_size": BATCH_SIZE,
-        "merger_shards": NUM_MERGERS,
-        "workers": NUM_WORKERS,
-        "cpu_cores": cores,
-        "inprocess_delivered_per_s": ref_rate,
-        "sharded_delivered_per_s": sharded_rate,
-        "speedup": speedup,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    assert speedup >= 1.5, (
+        extra={
+            "delivered_results": ref_delivered,
+            "batch_size": BATCH_SIZE,
+            "merger_shards": NUM_MERGERS,
+            "workers": NUM_WORKERS,
+            "cpu_cores": cores,
+            "inprocess_delivered_per_s": ref_rate,
+            "sharded_delivered_per_s": sharded_rate,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= FLOOR, (
         "multiprocess merge must reach >= 1.5x inprocess delivered-results/sec "
         "with %d merger shards, got %.2fx" % (NUM_MERGERS, speedup)
     )

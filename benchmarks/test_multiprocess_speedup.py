@@ -26,7 +26,6 @@ deployment pays worker start-up once, not per stream window.
 """
 
 import gc
-import json
 import os
 import time
 
@@ -41,7 +40,7 @@ REPEATS = 5
 BATCH_SIZE = 2048
 NUM_WORKERS = 4
 GRANULARITY = 4
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_multiprocess.json")
+FLOOR = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -91,7 +90,7 @@ def _time_backend(plan, warmup, body, backend):
     return best
 
 
-def test_multiprocess_backend_speedup(match_bound_workload, record_row):
+def test_multiprocess_backend_speedup(match_bound_workload, record_row, record_bench):
     cores = os.cpu_count() or 1
     if cores < 2:
         pytest.skip(
@@ -113,21 +112,24 @@ def test_multiprocess_backend_speedup(match_bound_workload, record_row):
             "speedup": speedup,
         },
     )
-    payload = {
-        "workload": "fig07 STS-US-Q1 match-bound (hybrid, %d worker processes, "
+    record_bench(
+        "multiprocess",
+        "multiprocess_speedup",
+        speedup,
+        floor=FLOOR,
+        workload="fig07 STS-US-Q1 match-bound (hybrid, %d worker processes, "
         "granularity %d)" % (NUM_WORKERS, GRANULARITY),
-        "tuples": count,
-        "batch_size": BATCH_SIZE,
-        "worker_processes": NUM_WORKERS,
-        "cpu_cores": cores,
-        "inprocess_tuples_per_s": count / ref_seconds,
-        "multiprocess_tuples_per_s": count / mp_seconds,
-        "speedup": speedup,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    assert speedup >= 1.5, (
+        extra={
+            "tuples": count,
+            "batch_size": BATCH_SIZE,
+            "worker_processes": NUM_WORKERS,
+            "cpu_cores": cores,
+            "inprocess_tuples_per_s": count / ref_seconds,
+            "multiprocess_tuples_per_s": count / mp_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= FLOOR, (
         "multiprocess backend must reach >= 1.5x in-process tuples/sec with "
         "%d worker processes, got %.2fx" % (NUM_WORKERS, speedup)
     )

@@ -23,7 +23,6 @@ garbage collection paused.
 """
 
 import gc
-import json
 import os
 import time
 
@@ -39,7 +38,6 @@ CHECKPOINT_EVERY = 4096
 NUM_WORKERS = 4
 GRANULARITY = 4
 FLOOR = 0.9
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_recovery.json")
 
 
 @pytest.fixture(scope="module")
@@ -88,7 +86,7 @@ def _time_mode(plan, warmup, body, checkpoint_every):
     return best, checkpoints
 
 
-def test_checkpoint_overhead(fig07_workload, record_row):
+def test_checkpoint_overhead(fig07_workload, record_row, record_bench):
     plan, warmup, body = fig07_workload
     baseline_seconds, _ = _time_mode(plan, warmup, body, 0)
     checkpointed_seconds, checkpoints = _time_mode(plan, warmup, body, CHECKPOINT_EVERY)
@@ -106,21 +104,24 @@ def test_checkpoint_overhead(fig07_workload, record_row):
             "checkpointed/baseline": ratio,
         },
     )
-    payload = {
-        "workload": "fig07 STS-US-Q1 match-bound (hybrid, %d workers, granularity %d, "
+    record_bench(
+        "recovery",
+        "checkpointed_over_baseline",
+        ratio,
+        floor=FLOOR,
+        workload="fig07 STS-US-Q1 match-bound (hybrid, %d workers, granularity %d, "
         "checkpoint every %d tuples)" % (NUM_WORKERS, GRANULARITY, CHECKPOINT_EVERY),
-        "tuples": count,
-        "batch_size": BATCH_SIZE,
-        "checkpoint_every": CHECKPOINT_EVERY,
-        "checkpoints_taken": checkpoints,
-        "cpu_cores": os.cpu_count() or 1,
-        "baseline_tuples_per_s": count / baseline_seconds,
-        "checkpointed_tuples_per_s": count / checkpointed_seconds,
-        "checkpointed_over_baseline": ratio,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        extra={
+            "tuples": count,
+            "batch_size": BATCH_SIZE,
+            "checkpoint_every": CHECKPOINT_EVERY,
+            "checkpoints_taken": checkpoints,
+            "cpu_cores": os.cpu_count() or 1,
+            "baseline_tuples_per_s": count / baseline_seconds,
+            "checkpointed_tuples_per_s": count / checkpointed_seconds,
+            "checkpointed_over_baseline": ratio,
+        },
+    )
     assert ratio >= FLOOR, (
         "checkpointing every %d tuples must keep >= %.1fx the baseline "
         "tuples/sec, got %.2fx" % (CHECKPOINT_EVERY, FLOOR, ratio)

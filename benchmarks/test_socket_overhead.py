@@ -21,7 +21,6 @@ replays with the minimum taken and garbage collection paused.
 """
 
 import gc
-import json
 import os
 import socket as socket_module
 import time
@@ -38,7 +37,6 @@ BATCH_SIZE = 2048
 NUM_WORKERS = 4
 GRANULARITY = 4
 FLOOR = 0.7
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_socket.json")
 
 
 @pytest.fixture(scope="module")
@@ -88,7 +86,7 @@ def _time_backend(plan, warmup, body, backend):
     return best
 
 
-def test_socket_backend_overhead(match_bound_workload, record_row):
+def test_socket_backend_overhead(match_bound_workload, record_row, record_bench):
     try:
         listener = socket_module.create_server(("127.0.0.1", 0))
         listener.close()
@@ -109,20 +107,23 @@ def test_socket_backend_overhead(match_bound_workload, record_row):
             "socket/multiprocess": ratio,
         },
     )
-    payload = {
-        "workload": "fig07 STS-US-Q1 match-bound (hybrid, %d worker processes, "
+    record_bench(
+        "socket",
+        "socket_over_multiprocess",
+        ratio,
+        floor=FLOOR,
+        workload="fig07 STS-US-Q1 match-bound (hybrid, %d worker processes, "
         "granularity %d, loopback TCP)" % (NUM_WORKERS, GRANULARITY),
-        "tuples": count,
-        "batch_size": BATCH_SIZE,
-        "worker_processes": NUM_WORKERS,
-        "cpu_cores": os.cpu_count() or 1,
-        "multiprocess_tuples_per_s": count / mp_seconds,
-        "socket_tuples_per_s": count / socket_seconds,
-        "socket_over_multiprocess": ratio,
-    }
-    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        extra={
+            "tuples": count,
+            "batch_size": BATCH_SIZE,
+            "worker_processes": NUM_WORKERS,
+            "cpu_cores": os.cpu_count() or 1,
+            "multiprocess_tuples_per_s": count / mp_seconds,
+            "socket_tuples_per_s": count / socket_seconds,
+            "socket_over_multiprocess": ratio,
+        },
+    )
     assert ratio >= FLOOR, (
         "socket backend must keep >= %.1fx the multiprocess tuples/sec over "
         "loopback, got %.2fx" % (FLOOR, ratio)

@@ -32,7 +32,15 @@ from ..partitioning import (
     PartitionPlan,
     RTreeSpacePartitioner,
 )
-from ..runtime import Cluster, ClusterConfig, FaultPlan, RunReport, SinkSpec, TelemetrySpec
+from ..runtime import (
+    Cluster,
+    ClusterConfig,
+    FaultPlan,
+    ProfilingSpec,
+    RunReport,
+    SinkSpec,
+    TelemetrySpec,
+)
 from ..workload import QueryGenerator, StreamConfig, WorkloadStream, make_dataset
 
 __all__ = [
@@ -139,6 +147,13 @@ class ExperimentConfig:
     #: report is byte-identical either way (docs/ARCHITECTURE.md,
     #: "Telemetry").
     telemetry_path: Optional[str] = None
+    #: Enable hot-loop profiling (``--profile`` on the CLI; see
+    #: docs/PROFILING.md).  Observation-only like telemetry — counters
+    #: never perturb the run report.
+    profiling: bool = False
+    #: Also run the coordinator-side sampling profiler (``repro profile
+    #: --stacks-path``); only meaningful with profiling enabled.
+    profile_sample: bool = False
 
     def scaled(self) -> "ExperimentConfig":
         """Apply the global bench scale to the workload sizes."""
@@ -179,6 +194,8 @@ class ExperimentConfig:
             config.checkpoint_path,
             config.fault_plan,
             config.telemetry_path,
+            config.profiling,
+            config.profile_sample,
             partitioner_name,
         )
 
@@ -243,6 +260,9 @@ def run_experiment(partitioner_name: str, config: ExperimentConfig) -> Experimen
             TelemetrySpec(path=scaled.telemetry_path)
             if scaled.telemetry_path is not None
             else None
+        ),
+        profiling=(
+            ProfilingSpec(sample=scaled.profile_sample) if scaled.profiling else None
         ),
     )
     cluster = Cluster(plan, cluster_config)

@@ -1,13 +1,15 @@
 """Command-line interface for the PS2Stream reproduction.
 
-Six subcommands cover the workflows a downstream user needs most often::
+Eight subcommands cover the workflows a downstream user needs most often::
 
-    python -m repro run       --partitioner hybrid --group Q3 --mu 2000
-    python -m repro compare   --group Q2 --workers 8
-    python -m repro adjust    --selector GR --mu 2000
-    python -m repro serve     --role worker --listen 0.0.0.0:7411
-    python -m repro report    telemetry.jsonl
-    python -m repro lint      --json
+    python -m repro run          --partitioner hybrid --group Q3 --mu 2000
+    python -m repro compare      --group Q2 --workers 8
+    python -m repro adjust       --selector GR --mu 2000
+    python -m repro serve        --role worker --listen 0.0.0.0:7411
+    python -m repro report       telemetry.jsonl
+    python -m repro profile      --mu 2000 --stacks-path stacks.txt
+    python -m repro bench-report BENCH_HISTORY.jsonl --check
+    python -m repro lint         --json
 
 * ``run`` — build one workload, partition it with one strategy, replay the
   stream on the simulated cluster and print the run report.
@@ -24,6 +26,14 @@ Six subcommands cover the workflows a downstream user needs most often::
 * ``report`` — render the timeline of a finished run (per-tier
   utilisation, window trace waterfall, adjustment/checkpoint/recovery
   annotations) from the JSONL a ``run --telemetry-path`` wrote.
+* ``profile`` — replay one workload with the hot-loop cost counters
+  enabled and print the per-tier attribution table (postings scanned,
+  route-cache hits, dedup lookups — docs/PROFILING.md); with
+  ``--stacks-path`` also run the sampling profiler and write
+  collapsed-stack lines for flamegraph tooling.
+* ``bench-report`` — render the per-metric perf trajectory recorded in
+  ``BENCH_HISTORY.jsonl`` by the ``benchmarks/`` perf gates and flag
+  regressions against the rolling median (``--check`` exits non-zero).
 * ``lint`` — run the RL00x static-analysis suite over the source tree
   (rule catalog: ``docs/STATIC_ANALYSIS.md``); exit 0 means clean.
 
@@ -167,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "JSONL file; render it afterwards with 'repro report'. "
                  "Telemetry is observation-only: the run report is "
                  "byte-identical with or without it (default: off)")
+        sub.add_argument(
+            "--profile", action="store_true",
+            help="enable the hot-loop cost counters (docs/PROFILING.md): "
+                 "postings scanned and candidates checked per worker, "
+                 "route-cache hits/misses per dispatcher, dedup lookups "
+                 "per merger.  Observation-only like telemetry — the run "
+                 "report is byte-identical with or without it.  'repro "
+                 "profile' prints the attribution table; under 'run' the "
+                 "counters are collected but not printed (default: off)")
 
     run_parser = subparsers.add_parser("run", help="run one partitioning strategy")
     add_workload_arguments(run_parser)
@@ -242,6 +261,43 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--width", type=int, default=30,
         help="bar width of the waterfall columns (default: 30)")
+    report_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the decoded telemetry events as a JSON array instead "
+             "of the rendered timeline")
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="replay one workload with hot-loop profiling on")
+    add_workload_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--partitioner", choices=sorted(PARTITIONER_FACTORIES),
+        default="hybrid", help="strategy to deploy (default: hybrid)")
+    profile_parser.add_argument(
+        "--stacks-path", default=None, metavar="PATH",
+        help="also run the coordinator-side sampling profiler and write "
+             "collapsed-stack lines ('thread;frame;frame count') to PATH "
+             "for flamegraph.pl / speedscope (default: counters only)")
+    profile_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the profile report as JSON instead of the table")
+
+    bench_report_parser = subparsers.add_parser(
+        "bench-report", help="render the BENCH_HISTORY.jsonl perf trajectory")
+    bench_report_parser.add_argument(
+        "history", nargs="?", default="BENCH_HISTORY.jsonl", metavar="JSONL",
+        help="history file the benchmarks append to "
+             "(default: BENCH_HISTORY.jsonl in the current directory)")
+    bench_report_parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any metric's latest value regressed more "
+             "than the threshold below its rolling median")
+    bench_report_parser.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="regression threshold as a fraction of the rolling median "
+             "(default: 0.10)")
+    bench_report_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the records and flagged regressions as JSON")
 
     lint_parser = subparsers.add_parser(
         "lint", help="run the RL00x static-analysis suite")
@@ -287,6 +343,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
             parse_fault_plan(args.fault_plan) if args.fault_plan else None
         ),
         telemetry_path=args.telemetry_path,
+        profiling=args.profile,
     )
 
 
@@ -419,7 +476,9 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
 
 def _command_report(args: argparse.Namespace, out) -> int:
-    from .runtime.telemetry import read_events, render_timeline
+    import json
+
+    from .runtime.telemetry import encode_event, read_events, render_timeline
 
     try:
         events = read_events(args.telemetry)
@@ -429,7 +488,95 @@ def _command_report(args: argparse.Namespace, out) -> int:
     if not events:
         out.write("no telemetry events in %s\n" % args.telemetry)
         return 1
+    if args.as_json:
+        out.write(json.dumps([encode_event(event) for event in events], indent=2))
+        out.write("\n")
+        return 0
     out.write(render_timeline(events, width=max(1, args.width)))
+    return 0
+
+
+def _command_profile(args: argparse.Namespace, out) -> int:
+    import json
+    from dataclasses import asdict, replace
+
+    from .runtime.profiling import profile_text
+
+    config = replace(
+        _experiment_config(args),
+        profiling=True,
+        profile_sample=args.stacks_path is not None,
+    )
+    result = run_experiment(args.partitioner, config)
+    try:
+        # The report drains the live endpoints and the stack fetch stops
+        # the sampler, so both must happen before the cluster closes.
+        profile = result.cluster.profile_report()
+        stacks = result.cluster.profile_stacks()
+    finally:
+        result.close()
+    assert profile is not None  # profiling was forced on above
+    if args.as_json:
+        payload = {
+            "matchers": [asdict(event) for event in profile.matchers],
+            "routers": [asdict(event) for event in profile.routers],
+            "mergers": [asdict(event) for event in profile.mergers],
+        }
+        if stacks is not None:
+            payload["samples"] = sum(int(line.rsplit(" ", 1)[1]) for line in stacks)
+        out.write(json.dumps(payload, indent=2, sort_keys=True))
+        out.write("\n")
+    else:
+        out.write(
+            "%s profile on STS-%s-%s (mu=%d, %d workers)\n\n"
+            % (args.partitioner, args.dataset.upper(), args.group, args.mu, args.workers)
+        )
+        out.write(profile_text(profile))
+    if args.stacks_path is not None and stacks is not None:
+        with open(args.stacks_path, "w", encoding="utf-8") as handle:
+            for line in stacks:
+                handle.write(line)
+                handle.write("\n")
+        if not args.as_json:
+            out.write(
+                "\ncollapsed stacks (%d) written to %s\n"
+                % (len(stacks), args.stacks_path)
+            )
+    return 0
+
+
+def _command_bench_report(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .bench.history import DEFAULT_THRESHOLD, check_regressions, read_history, render_history
+
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    records = read_history(args.history)
+    regressions = check_regressions(records, threshold=threshold)
+    if args.as_json:
+        payload = {
+            "records": records,
+            "regressions": [
+                {
+                    "metric": regression.metric,
+                    "latest": regression.latest,
+                    "median": regression.median,
+                    "threshold": regression.threshold,
+                }
+                for regression in regressions
+            ],
+        }
+        out.write(json.dumps(payload, indent=2, sort_keys=True))
+        out.write("\n")
+    else:
+        out.write(render_history(records, threshold=threshold))
+    if args.check and regressions:
+        if not args.as_json:
+            out.write(
+                "FAIL: %d metric(s) regressed > %.0f%% below the rolling median\n"
+                % (len(regressions), 100.0 * threshold)
+            )
+        return 1
     return 0
 
 
@@ -463,6 +610,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_serve(args, out)
     if args.command == "report":
         return _command_report(args, out)
+    if args.command == "profile":
+        return _command_profile(args, out)
+    if args.command == "bench-report":
+        return _command_bench_report(args, out)
     if args.command == "lint":
         return _command_lint(args, out)
     parser.error("unknown command %r" % args.command)

@@ -21,7 +21,21 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from ..runtime.profiling import MatchCounters
 
 from ..core.costmodel import cell_load
 from ..core.geometry import Rect
@@ -89,6 +103,11 @@ class GI2Index:
         self._statistics = term_statistics
         self._cell_query_counts: Counter = Counter()
         self._cell_object_counts: Counter = Counter()
+        #: Hot-loop profiling counters (:mod:`repro.runtime.profiling`);
+        #: ``None`` — the default — keeps matching at one attribute load
+        #: per call.  Assigned by whoever owns the index (the worker)
+        #: when profiling is enabled; the index never creates it.
+        self.profile: Optional["MatchCounters"] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -395,11 +414,15 @@ class GI2Index:
         """
         cell = self._grid.cell_of(obj.location)
         self._cell_object_counts[cell] += 1
+        prof = self.profile
+        if prof is not None:
+            prof.cells_probed += 1
         inverted = self._cells.get(cell)
         if inverted is None:
             return MatchOutcome((), 0)
         matched: Set[int] = set()
         checks = 0
+        scanned = 0
         for term in obj.terms:
             postings = inverted.postings(term)
             if not postings:
@@ -407,6 +430,7 @@ class GI2Index:
             if self._pending_deletions:
                 inverted.purge(term, self._purge_posting)
                 postings = inverted.postings(term)
+            scanned += len(postings)
             for query_id in postings:
                 if query_id in matched:
                     continue
@@ -416,6 +440,10 @@ class GI2Index:
                 checks += 1
                 if query.matches(obj):
                     matched.add(query_id)
+        if prof is not None:
+            prof.postings_scanned += scanned
+            prof.candidates += checks
+            prof.matches += len(matched)
         return MatchOutcome(tuple(sorted(matched)), checks)
 
     def match_batch(
@@ -447,6 +475,9 @@ class GI2Index:
         pending = self._pending_deletions
         queries_get = self._queries.get
         empty = MatchOutcome((), 0)
+        prof = self.profile
+        if prof is not None:
+            prof.cells_probed += len(by_cell)
         for cell, positions in by_cell.items():
             inverted = self._cells.get(cell)
             if inverted is None:
@@ -496,6 +527,15 @@ class GI2Index:
                             and query.expression.matches(terms)
                         ):
                             matched_add(query_id)
+                if prof is not None:
+                    # Deterministic counts only, accumulated outside the
+                    # candidate loop (the profiling seam — RL007 keeps
+                    # wall-clock out of this file entirely).
+                    prof.postings_scanned += sum(
+                        len(postings_map[term]) for term in hits
+                    )
+                    prof.candidates += checks
+                    prof.matches += len(matched)
                 outcomes[position] = MatchOutcome(tuple(sorted(matched)), checks)
         return outcomes  # type: ignore[return-value]
 

@@ -25,7 +25,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from zlib import crc32
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from ..runtime.profiling import RouteCounters
 
 from ..core.geometry import Point, Rect
 from ..core.objects import SpatioTextualObject, STSQuery
@@ -133,6 +147,12 @@ class GridTIndex:
         #: (cell, frozenset-of-terms) -> (cell version, worker tuple); the
         #: batched object router memoises decisions here.
         self._route_cache: Dict[Tuple[CellCoord, FrozenSet[str]], Tuple[int, Tuple[int, ...]]] = {}
+        #: Hot-loop profiling counters (:mod:`repro.runtime.profiling`);
+        #: ``None`` — the default — keeps routing at one guarded flush
+        #: per batch.  Assigned by whoever owns the index (the cluster's
+        #: inline router or a dispatch-shard replica) when profiling is
+        #: enabled; the index never creates it.
+        self.profile: Optional["RouteCounters"] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -311,9 +331,14 @@ class GridTIndex:
         cell, and discarded otherwise.  Without filtering, the baseline
         routing rules apply (see :meth:`__init__`).
         """
+        prof = self.profile
         coord = self._grid.cell_of(obj.location)
         cell = self._cells.get(coord)
+        if prof is not None:
+            prof.cells_probed += 1
         if cell is None:
+            if prof is not None:
+                prof.fallback_routes += 1
             return set()
         # Content-based routing (H2) applies to text-partitioned cells
         # always — that is what "routing by text" means for the baselines —
@@ -321,13 +346,23 @@ class GridTIndex:
         # filtering is enabled.
         if cell.term_workers is not None or self.object_filtering:
             if not cell.h2:
+                if prof is not None:
+                    prof.fallback_routes += 1
                 return set()
+            if prof is not None:
+                # The single-object path never memoises, so every content
+                # probe counts as a cache miss (matching the batch path's
+                # below-threshold cells).
+                prof.probes += 1
+                prof.cache_misses += 1
             workers: Set[int] = set()
             for term in obj.terms:
                 owners = cell.h2.get(term)
                 if owners:
                     workers.update(owners)
             return workers
+        if prof is not None:
+            prof.fallback_routes += 1
         return {cell.default_worker} if cell.default_worker is not None else set()
 
     def route_object_batch(
@@ -357,6 +392,14 @@ class GridTIndex:
         filtering = self.object_filtering
         decisions: List[Tuple[int, ...]] = []
         append = decisions.append
+        # Profiling accumulates into plain locals unconditionally — integer
+        # adds are cheaper than a per-object attribute test — and flushes
+        # once per batch behind the guard (the RL007 profiling seam).
+        prof_cells = 0
+        prof_probes = 0
+        prof_hits = 0
+        prof_misses = 0
+        prof_fallback = 0
         for obj in objects:
             location = obj.location
             col = int((location.x - min_x) / cell_w)
@@ -371,15 +414,19 @@ class GridTIndex:
                 row = max_row
             coord = (col, row)
             cell = cells_get(coord)
+            prof_cells += 1
             if cell is None:
+                prof_fallback += 1
                 append(())
                 continue
             if cell.term_workers is None and not filtering:
+                prof_fallback += 1
                 default = cell.default_worker
                 append((default,) if default is not None else ())
                 continue
             h2 = cell.h2
             if not h2:
+                prof_fallback += 1
                 append(())
                 continue
             terms = obj.terms
@@ -387,13 +434,16 @@ class GridTIndex:
             # for small cells the direct intersection is cheaper than the
             # cache bookkeeping.
             use_cache = len(h2) >= cache_min_h2
+            prof_probes += 1
             if use_cache:
                 cache_key = (coord, terms)
                 cached = cache.get(cache_key)
                 version = cell.version
                 if cached is not None and cached[0] == version:
+                    prof_hits += 1
                     append(cached[1])
                     continue
+            prof_misses += 1
             # The keys-view intersection runs at C speed; most objects hit
             # no posting keyword at all and are discarded right here.
             hits = terms & h2.keys()
@@ -407,6 +457,13 @@ class GridTIndex:
             if use_cache:
                 cache[cache_key] = (version, decision)
             append(decision)
+        prof = self.profile
+        if prof is not None:
+            prof.cells_probed += prof_cells
+            prof.probes += prof_probes
+            prof.cache_hits += prof_hits
+            prof.cache_misses += prof_misses
+            prof.fallback_routes += prof_fallback
         return decisions
 
     def _posting_assignments(self, query: STSQuery) -> List[Tuple[CellCoord, str, int]]:

@@ -2,8 +2,8 @@
 
 The suite enforces the protocol invariants that unit tests cannot see
 locally — routing completeness, cross-process determinism, pickle/frame
-safety, serve-loop discipline, routing-fence discipline and telemetry
-event hygiene — by reading
+safety, serve-loop discipline, routing-fence discipline, telemetry
+event hygiene and profiling discipline — by reading
 the code as an AST and the declarative registry in
 :mod:`repro.runtime.protocol` as literals.  It never imports the code it
 checks.  Rule catalog: ``docs/STATIC_ANALYSIS.md``.
@@ -18,6 +18,7 @@ from .rl003_pickle import PickleSafetyRule
 from .rl004_serve import ServeLoopDisciplineRule
 from .rl005_fence import FenceDisciplineRule
 from .rl006_telemetry import TelemetryProtocolRule
+from .rl007_profiling import ProfilingDisciplineRule
 from .runner import ALL_RULES, build_project, collect_files, main, run_lint
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "FenceDisciplineRule",
     "Finding",
     "PickleSafetyRule",
+    "ProfilingDisciplineRule",
     "Project",
     "ProtocolCompletenessRule",
     "Rule",

@@ -35,6 +35,7 @@ from .rl003_pickle import PickleSafetyRule
 from .rl004_serve import ServeLoopDisciplineRule
 from .rl005_fence import FenceDisciplineRule
 from .rl006_telemetry import TelemetryProtocolRule
+from .rl007_profiling import ProfilingDisciplineRule
 
 __all__ = ["ALL_RULES", "build_project", "collect_files", "main", "run_lint"]
 
@@ -46,6 +47,7 @@ ALL_RULES: Sequence[Rule] = (
     ServeLoopDisciplineRule(),
     FenceDisciplineRule(),
     TelemetryProtocolRule(),
+    ProfilingDisciplineRule(),
 )
 
 #: Roots linted when no path argument is given, relative to the repo

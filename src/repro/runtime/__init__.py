@@ -69,6 +69,15 @@ from .merge import (
 )
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
+from .profiling import (
+    DedupProfile,
+    MatchProfile,
+    ProfileReport,
+    ProfilingSpec,
+    RouteProfile,
+    StackSampler,
+    profile_text,
+)
 from .telemetry import (
     GaugeSample,
     LifecycleEvent,
@@ -144,9 +153,16 @@ __all__ = [
     "resolve_role",
     "serve",
     "serve_loop",
+    "DedupProfile",
+    "MatchProfile",
     "PeriodSampleCollector",
+    "ProfileReport",
+    "ProfilingSpec",
     "QueryAssignment",
     "RecoveryEvent",
+    "RouteProfile",
+    "StackSampler",
+    "profile_text",
     "RecoveryReport",
     "RoutingDecision",
     "RunReport",

@@ -110,6 +110,12 @@ from .protocol import barrier_context, mutates_routing
 from .merge import MergeBackend, SinkSpec, make_merge
 from .merger import MergerNode
 from .metrics import LatencyBuckets, LatencyTracker, RunReport, utilization_latency
+from .profiling import (
+    ProfileReport,
+    ProfilingSpec,
+    RouteCounters,
+    StackSampler,
+)
 from .telemetry import (
     GaugeSample,
     LifecycleEvent,
@@ -249,6 +255,16 @@ class ClusterConfig:
     #: accounting, and its control messages are exempt from chaos fault
     #: counting.
     telemetry: Optional[TelemetrySpec] = None
+    #: Hot-loop profiling (:mod:`repro.runtime.profiling`): ``None`` — the
+    #: default — disables it entirely (one ``is None`` check per window /
+    #: batch).  When set, deterministic cost counters attach to the three
+    #: hot paths (GI2 matching, GridT routing, merger dedup) and
+    #: :meth:`Cluster.profile_report` drains them coordinator-side;
+    #: ``sample=True`` additionally runs the wall-clock stack sampler in
+    #: the coordinator process.  Like telemetry, profiling never perturbs
+    #: a report — counters are pure counts outside the Definition-1
+    #: accounting.
+    profiling: Optional[ProfilingSpec] = None
 
 
 @dataclass(frozen=True)
@@ -456,6 +472,16 @@ class Cluster:
         manifest = self.config.manifest
         if isinstance(manifest, str):
             manifest = load_manifest(manifest)
+        # Hot-loop profiling: only a plain bool flows into the tier
+        # factories (and across Init handshakes); the spec itself stays
+        # coordinator-side.  The inline routing counters attach to the
+        # authoritative index here — and re-attach whenever the index is
+        # replaced (replace_routing_index).
+        profiling = self.config.profiling
+        profile_on = profiling is not None and profiling.enabled
+        if profile_on:
+            self.routing_index.profile = RouteCounters()
+        self._sampler: Optional[StackSampler] = None
         # The merge backend owns the merger tier; it is built before the
         # transport because the multiprocess worker hosts inherit the
         # shard inboxes at spawn (direct worker→merger result shipping).
@@ -465,6 +491,7 @@ class Cluster:
             sink=self.config.sink,
             dedup_window=self.config.merger_dedup_window,
             addresses=manifest.mergers if manifest else None,
+            profiling=profile_on,
         )
         # The transport owns the worker fleet: in-process workers are real
         # WorkerNode objects, fabric workers are per-endpoint proxies.
@@ -480,6 +507,7 @@ class Cluster:
                 term_statistics=plan.statistics,
                 merger_endpoints=self._merge.worker_endpoints(),
                 addresses=manifest.workers if manifest else None,
+                profiling=profile_on,
             )
         except Exception:
             self._merge.close()
@@ -516,6 +544,7 @@ class Cluster:
                 self.config.dispatch_backend,
                 self.config.num_dispatchers,
                 addresses=manifest.dispatchers if manifest else None,
+                profiling=profile_on,
             )
         except Exception:
             self.transport.close()
@@ -549,6 +578,11 @@ class Cluster:
             self._merge.install_fault_plan(fault_plan.for_role("merger"))
             if self._dispatch is not None:
                 self._dispatch.install_fault_plan(fault_plan.for_role("dispatcher"))
+        # The wall-clock stack sampler starts last so a failed tier
+        # construction never leaks its thread; close() stops it.
+        if profiling is not None and profile_on and profiling.sample:
+            self._sampler = StackSampler(profiling.sample_interval_ms)
+            self._sampler.start()
 
     def _compute_cells_aligned(self) -> bool:
         """True when the routing grid matches the workers' GI2 grids.
@@ -1315,6 +1349,14 @@ class Cluster:
         filtering = routing.object_filtering
         window_objects = 0
         window_fanout = 0
+        # Inline-routing profiling mirrors GridTIndex.route_object_batch:
+        # plain locals accumulated unconditionally, flushed once per window
+        # behind the guard (the RL007 profiling seam).
+        prof_cells = 0
+        prof_probes = 0
+        prof_hits = 0
+        prof_misses = 0
+        prof_fallback = 0
 
         for position, item in enumerate(items):
             if item.kind is object_kind:
@@ -1350,16 +1392,19 @@ class Cluster:
                 if trace_costs is not None:
                     trace_costs[position] = cost
                 cell = cells_get(coord)
+                prof_cells += 1
                 decision: Tuple[int, ...] = ()
                 if cell is None:
-                    pass
+                    prof_fallback += 1
                 elif cell.term_workers is None and not filtering:
+                    prof_fallback += 1
                     default = cell.default_worker
                     if default is not None:
                         decision = (default,)
                 else:
                     h2 = cell.h2
                     if h2:
+                        prof_probes += 1
                         use_cache = len(h2) >= cache_min_h2
                         cached_decision = None
                         if use_cache:
@@ -1369,8 +1414,10 @@ class Cluster:
                             if entry is not None and entry[0] == version:
                                 cached_decision = entry[1]
                         if cached_decision is not None:
+                            prof_hits += 1
                             decision = cached_decision
                         else:
+                            prof_misses += 1
                             hits = terms & h2.keys()
                             if hits:
                                 workers: Set[int] = set()
@@ -1379,6 +1426,8 @@ class Cluster:
                                 decision = tuple(sorted(workers))
                             if use_cache:
                                 route_cache[cache_key] = (version, decision)
+                    else:
+                        prof_fallback += 1
                 if not decision:
                     dispatcher_discarded[slot] += 1
                     continue
@@ -1456,6 +1505,13 @@ class Cluster:
             dispatcher_update_costs, dispatcher_insertions, dispatcher_deletions,
             trace_costs, trace_workers,
         )
+        route_prof = routing.profile
+        if route_prof is not None:
+            route_prof.cells_probed += prof_cells
+            route_prof.probes += prof_probes
+            route_prof.cache_hits += prof_hits
+            route_prof.cache_misses += prof_misses
+            route_prof.fallback_routes += prof_fallback
         self._objects += window_objects
         self._tuples_processed += window_objects
         self._object_fanout_total += window_fanout
@@ -2395,6 +2451,43 @@ class Cluster:
         )
 
     # ------------------------------------------------------------------
+    # Hot-loop profiling (repro profile)
+    # ------------------------------------------------------------------
+    def profile_report(self) -> Optional[ProfileReport]:
+        """Drain every tier's hot-loop counters; ``None`` when profiling is off.
+
+        One :class:`~repro.runtime.profiling.MatchProfile` per worker over
+        the transport, one :class:`~repro.runtime.profiling.RouteProfile`
+        per routing replica — the coordinator's inline counters first
+        (endpoint ``-1``), then the dispatch shards — and one
+        :class:`~repro.runtime.profiling.DedupProfile` per merger shard
+        over the merge backend.  Draining is read-only, so it can run
+        any number of times (e.g. before and after an adjustment round)
+        without perturbing a report.
+        """
+        profiling = self.config.profiling
+        if profiling is None or not profiling.enabled:
+            return None
+        routers = []
+        inline = getattr(self.routing_index, "profile", None)
+        if inline is not None:
+            routers.append(inline.event(-1))
+        if self._dispatch is not None:
+            routers.extend(self._dispatch.drain_profile())
+        return ProfileReport(
+            matchers=tuple(self.transport.drain_profile()),
+            routers=tuple(routers),
+            mergers=tuple(self._merge.drain_profile()),
+        )
+
+    def profile_stacks(self) -> Optional[List[str]]:
+        """The stack sampler's collapsed stacks; ``None`` without ``sample``."""
+        if self._sampler is None:
+            return None
+        self._sampler.stop()
+        return self._sampler.collapsed()
+
+    # ------------------------------------------------------------------
     # Dynamic adjustment hooks (Section V)
     # ------------------------------------------------------------------
     def worker_cell_stats(self, worker_id: int) -> List[CellStats]:
@@ -2501,7 +2594,12 @@ class Cluster:
     @mutates_routing
     def replace_routing_index(self, routing_index: GridTIndex) -> None:
         """Swap in a new routing structure (global load adjustment)."""
+        # The inline-routing profile survives the swap: re-attach the old
+        # index's counters so a run's profile covers the whole stream.
+        old_profile = getattr(self.routing_index, "profile", None)
         self.routing_index = routing_index
+        if old_profile is not None:
+            routing_index.profile = old_profile
         for dispatcher in self.dispatchers:
             dispatcher.routing_index = routing_index
         self.invalidate_routing_caches()
@@ -2537,6 +2635,8 @@ class Cluster:
         if self._closed:
             return
         self._closed = True
+        if self._sampler is not None:
+            self._sampler.stop()
         first_error: Optional[BaseException] = None
         closers = [self.transport.close]
         if self._dispatch is not None:

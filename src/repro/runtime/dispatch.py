@@ -77,6 +77,7 @@ from .fabric import (
     spawn_fleet,
     spawn_socket_fleet,
 )
+from .profiling import ProfileDrain, RouteCounters, RouteProfile
 from .telemetry import GaugeSample, TelemetryBatch, TelemetryDrain
 
 __all__ = [
@@ -260,9 +261,9 @@ class _ShardRouter:
     coordinator routing.
     """
 
-    __slots__ = ("shard_id", "num_shards", "index", "insertion_plans")
+    __slots__ = ("shard_id", "num_shards", "index", "insertion_plans", "profile")
 
-    def __init__(self, shard_id: int, num_shards: int) -> None:
+    def __init__(self, shard_id: int, num_shards: int, profiling: bool = False) -> None:
         self.shard_id = shard_id
         self.num_shards = num_shards
         self.index = None
@@ -271,9 +272,15 @@ class _ShardRouter:
         #: insertion's plan.  Dropped on every snapshot sync, exactly when
         #: the cluster drops its own cache.
         self.insertion_plans: Dict[int, Tuple[WorkerPlan, int]] = {}
+        #: Router-owned profiling counters; re-attached to every freshly
+        #: unpickled replica by :meth:`sync` so a run's profile survives
+        #: snapshot syncs (and the coordinator's own counters never leak
+        #: into shard attribution through the pickle).
+        self.profile: Optional[RouteCounters] = RouteCounters() if profiling else None
 
     def sync(self, index: Any) -> None:
         self.index = index
+        index.profile = self.profile
         self.insertion_plans.clear()
 
     def route_window(
@@ -439,6 +446,15 @@ class DispatchBackend:
         """
         raise NotImplementedError
 
+    def drain_profile(self) -> List[RouteProfile]:
+        """One profile event per profiling shard, ascending shard order.
+
+        Empty when profiling is off (and, on the fabric backends, while
+        a pipelined window is in flight — same best-effort contract as
+        :meth:`drain_telemetry`).
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release backend resources (terminates shard processes)."""
 
@@ -487,11 +503,13 @@ class InProcessDispatch(DispatchBackend):
     backend_name = "inprocess"
     supports_pipelining = False
 
-    def __init__(self, num_shards: int) -> None:
+    def __init__(self, num_shards: int, profiling: bool = False) -> None:
         if num_shards < 1:
             raise ValueError("dispatch needs at least one shard")
         self.num_shards = num_shards
-        self._routers = [_ShardRouter(shard, num_shards) for shard in range(num_shards)]
+        self._routers = [
+            _ShardRouter(shard, num_shards, profiling) for shard in range(num_shards)
+        ]
         self.synced_version = -1
         self._seq = 0
         self._routed: Dict[int, RoutedWindow] = {}
@@ -545,6 +563,19 @@ class InProcessDispatch(DispatchBackend):
     def drain_telemetry(self) -> List[GaugeSample]:
         return [_shard_gauge(router) for router in self._routers]
 
+    def drain_profile(self) -> List[RouteProfile]:
+        return [
+            event for router in self._routers for event in _shard_profile(router)
+        ]
+
+
+def _shard_profile(router: "_ShardRouter") -> Tuple[RouteProfile, ...]:
+    """The shard's profile events — empty when profiling is off."""
+    counters = router.profile
+    if counters is None:
+        return ()
+    return (counters.event(router.shard_id),)
+
 
 def _shard_gauge(router: "_ShardRouter") -> GaugeSample:
     """One telemetry gauge sample from live shard state (read-only).
@@ -570,7 +601,9 @@ class DispatchHost(RoleHost):
     typed-message surface.  ``init`` carries ``num_shards``."""
 
     def __init__(self, shard_id: int, init: Mapping[str, Any]) -> None:
-        self.router = _ShardRouter(shard_id, init["num_shards"])
+        self.router = _ShardRouter(
+            shard_id, init["num_shards"], bool(init.get("profiling"))
+        )
 
     def handle(self, message: Any) -> Any:
         kind = type(message)
@@ -591,6 +624,8 @@ class DispatchHost(RoleHost):
             return router.memory_bytes()
         if kind is TelemetryDrain:
             return TelemetryBatch(router.shard_id, (_shard_gauge(router),))
+        if kind is ProfileDrain:
+            return TelemetryBatch(router.shard_id, _shard_profile(router))
         raise TransportError("unknown dispatch message %r" % (message,))
 
 
@@ -694,6 +729,18 @@ class FabricDispatch(DispatchBackend):
             for sample in batches[shard_id].events
         ]
 
+    def drain_profile(self) -> List[RouteProfile]:
+        if self._inflight is not None:
+            # Same best-effort contract as drain_telemetry: never desync
+            # the request/reply pairing of a pipelined window.
+            return []
+        batches = self._fleet.broadcast(ProfileDrain())
+        return [
+            event
+            for shard_id in sorted(batches)
+            for event in batches[shard_id].events
+        ]
+
     def install_fault_plan(self, faults: Sequence[Any]) -> None:
         self._fleet.install_fault_plan(faults)
 
@@ -722,6 +769,7 @@ def make_dispatch(
     num_shards: int,
     *,
     addresses: Optional[Sequence[Tuple[str, int]]] = None,
+    profiling: bool = False,
 ) -> Optional[DispatchBackend]:
     """Build the dispatch backend; ``None`` means inline (coordinator) routing.
 
@@ -732,7 +780,7 @@ def make_dispatch(
     if backend == "inline":
         return None
     if backend == "inprocess":
-        return InProcessDispatch(num_shards)
+        return InProcessDispatch(num_shards, profiling)
     if backend not in ("multiprocess", "socket"):
         raise ValueError(
             "unknown dispatch backend %r (expected one of %s)"
@@ -741,7 +789,10 @@ def make_dispatch(
     if num_shards < 1:
         raise ValueError("dispatch needs at least one shard")
     shard_ids = list(range(num_shards))
-    inits = {shard_id: {"num_shards": num_shards} for shard_id in shard_ids}
+    inits = {
+        shard_id: {"num_shards": num_shards, "profiling": profiling}
+        for shard_id in shard_ids
+    }
     if backend == "multiprocess":
         fleet = spawn_fleet("dispatcher", inits, label="dispatch shard")
     elif addresses:

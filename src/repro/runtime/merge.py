@@ -74,6 +74,7 @@ from .fabric import (
     spawn_socket_fleet,
 )
 from .merger import MergerNode
+from .profiling import DedupProfile, ProfileDrain
 from .telemetry import GaugeSample, TelemetryBatch, TelemetryDrain
 from .transport import (
     DeliverResults,
@@ -254,6 +255,14 @@ def _merger_stats(merger: MergerNode) -> MergerStats:
     )
 
 
+def _merger_profile(merger: MergerNode) -> Tuple[DedupProfile, ...]:
+    """The shard's profile events — empty when profiling is off."""
+    counters = merger.profile
+    if counters is None:
+        return ()
+    return (counters.event(merger.merger_id),)
+
+
 def _merger_gauge(merger: MergerNode) -> GaugeSample:
     """One telemetry gauge sample from live merger state (read-only).
 
@@ -333,6 +342,13 @@ class MergeBackend:
         """
         raise NotImplementedError
 
+    def drain_profile(self) -> List[DedupProfile]:
+        """One profile event per profiling shard, ascending shard order.
+
+        Empty when profiling is off; read-only like telemetry.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release backend resources (terminates merger processes)."""
 
@@ -354,6 +370,7 @@ class InProcessMerge(MergeBackend):
         *,
         sink: Optional[SinkSpec] = None,
         dedup_window: int = 100_000,
+        profiling: bool = False,
     ) -> None:
         if num_mergers < 1:
             raise ValueError("the merger tier needs at least one shard")
@@ -364,6 +381,7 @@ class InProcessMerge(MergeBackend):
                 merger_id,
                 dedup_window=dedup_window,
                 sink=build_sink(spec, merger_id),
+                profiling=profiling,
             )
             for merger_id in range(num_mergers)
         ]
@@ -397,6 +415,11 @@ class InProcessMerge(MergeBackend):
     def drain_telemetry(self) -> List[GaugeSample]:
         return [_merger_gauge(merger) for merger in self.mergers]
 
+    def drain_profile(self) -> List[DedupProfile]:
+        return [
+            event for merger in self.mergers for event in _merger_profile(merger)
+        ]
+
     def close(self) -> None:
         for merger in self.mergers:
             merger.sink.close()
@@ -421,6 +444,7 @@ class MergeHost(RoleHost):
             merger_id,
             dedup_window=init.get("dedup_window", 100_000),
             sink=build_sink(spec, merger_id),
+            profiling=bool(init.get("profiling")),
         )
 
     def handle(self, message: Any) -> Any:
@@ -438,6 +462,8 @@ class MergeHost(RoleHost):
             return merger.sink.drain()
         if kind is TelemetryDrain:
             return TelemetryBatch(merger.merger_id, (_merger_gauge(merger),))
+        if kind is ProfileDrain:
+            return TelemetryBatch(merger.merger_id, _merger_profile(merger))
         raise TransportError("unknown merge message %r" % (message,))
 
     def close(self) -> None:
@@ -511,6 +537,14 @@ class FabricMerge(MergeBackend):
             for sample in batches[merger_id].events
         ]
 
+    def drain_profile(self) -> List[DedupProfile]:
+        batches = self._fleet.broadcast(ProfileDrain())
+        return [
+            event
+            for merger_id in sorted(batches)
+            for event in batches[merger_id].events
+        ]
+
     def install_fault_plan(self, faults: Sequence[Any]) -> None:
         self._fleet.install_fault_plan(faults)
 
@@ -540,6 +574,7 @@ def make_merge(
     sink: Optional[SinkSpec] = None,
     dedup_window: int = 100_000,
     addresses: Optional[Sequence[Tuple[str, int]]] = None,
+    profiling: bool = False,
 ) -> MergeBackend:
     """Build the merger/delivery backend for a cluster deployment.
 
@@ -548,7 +583,9 @@ def make_merge(
     coordinator spawns loopback serve processes.
     """
     if backend == "inprocess":
-        return InProcessMerge(num_mergers, sink=sink, dedup_window=dedup_window)
+        return InProcessMerge(
+            num_mergers, sink=sink, dedup_window=dedup_window, profiling=profiling
+        )
     if backend not in ("multiprocess", "socket"):
         raise ValueError(
             "unknown merger backend %r (expected one of %s)"
@@ -558,7 +595,11 @@ def make_merge(
         raise ValueError("the merger tier needs at least one shard")
     merger_ids = list(range(num_mergers))
     inits = {
-        merger_id: {"sink": sink, "dedup_window": dedup_window}
+        merger_id: {
+            "sink": sink,
+            "dedup_window": dedup_window,
+            "profiling": profiling,
+        }
         for merger_id in merger_ids
     }
     if backend == "multiprocess":

@@ -22,6 +22,7 @@ from collections import defaultdict, deque
 from typing import Deque, Dict, Iterable, Optional, Protocol, Set, Tuple
 
 from ..core.objects import MatchResult
+from .profiling import DedupCounters
 
 __all__ = ["MergerNode", "ResultSink"]
 
@@ -46,6 +47,7 @@ class MergerNode:
         *,
         dedup_window: int = 100_000,
         sink: Optional[ResultSink] = None,
+        profiling: bool = False,
     ) -> None:
         """``dedup_window`` bounds how many recent match keys are remembered.
 
@@ -53,8 +55,12 @@ class MergerNode:
         delivered; a sliding window over recent object ids is sufficient
         because duplicates of one object arrive close together.  ``sink``
         is an optional subscriber sink receiving every delivered result.
+        ``profiling`` attaches hot-loop dedup counters
+        (:mod:`repro.runtime.profiling`); they accumulate across
+        ``reset_period`` so a run's profile covers every window.
         """
         self.merger_id = merger_id
+        self.profile: Optional[DedupCounters] = DedupCounters() if profiling else None
         self.busy_cost = 0.0
         self.received = 0
         self.delivered = 0
@@ -72,7 +78,12 @@ class MergerNode:
         self.received += 1
         self.busy_cost += self.RESULT_COST
         key = result.key()
+        prof = self.profile
+        if prof is not None:
+            prof.lookups += 1
         if key in self._seen:
+            if prof is not None:
+                prof.duplicates += 1
             self.duplicates += 1
             return False
         self._seen.add(key)
@@ -80,6 +91,8 @@ class MergerNode:
         if len(self._order) > self._dedup_window:
             oldest = self._order.popleft()
             self._seen.discard(oldest)
+            if prof is not None:
+                prof.evictions += 1
         self.delivered += 1
         self._delivered_per_subscriber[result.subscriber_id] += 1
         if self.sink is not None:

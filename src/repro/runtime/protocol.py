@@ -64,6 +64,7 @@ PROTOCOL_MODULES: Tuple[str, ...] = (
     "repro.runtime.merge",
     "repro.runtime.checkpoint",
     "repro.runtime.telemetry",
+    "repro.runtime.profiling",
 )
 
 #: role -> request messages its host's ``handle`` method must dispatch.
@@ -78,6 +79,7 @@ MESSAGE_ROUTING: Mapping[str, Tuple[str, ...]] = {
         "ExtractKeywords",
         "SnapshotAssignments",
         "TelemetryDrain",
+        "ProfileDrain",
     ),
     "dispatcher": (
         "RouteWindow",
@@ -86,6 +88,7 @@ MESSAGE_ROUTING: Mapping[str, Tuple[str, ...]] = {
         "SyncRoutingIndex",
         "ShardMemoryRequest",
         "TelemetryDrain",
+        "ProfileDrain",
     ),
     "merger": (
         "DeliverResults",
@@ -93,6 +96,7 @@ MESSAGE_ROUTING: Mapping[str, Tuple[str, ...]] = {
         "MergerReset",
         "SinkDrain",
         "TelemetryDrain",
+        "ProfileDrain",
     ),
 }
 
@@ -132,6 +136,9 @@ PAYLOAD_DATACLASSES: Tuple[str, ...] = (
     "DeleteById",
     "SinkSpec",
     "GaugeSample",
+    "MatchProfile",
+    "RouteProfile",
+    "DedupProfile",
 )
 
 #: Dataclasses in the protocol modules that never cross a process
@@ -149,6 +156,8 @@ INTERNAL_DATACLASSES: Tuple[str, ...] = (
     "SpanHop",
     "WindowSpan",
     "LifecycleEvent",
+    "ProfilingSpec",
+    "ProfileReport",
 )
 
 

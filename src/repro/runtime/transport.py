@@ -78,6 +78,7 @@ from .fabric import (
     spawn_fleet,
     spawn_socket_fleet,
 )
+from .profiling import MatchProfile, ProfileDrain
 from .telemetry import GaugeSample, TelemetryBatch, TelemetryDrain
 from .worker import QueryAssignment, WorkerNode
 
@@ -454,6 +455,14 @@ def _worker_gauge(worker: WorkerNode) -> GaugeSample:
     )
 
 
+def _worker_profile(worker: WorkerNode) -> Tuple[MatchProfile, ...]:
+    """The worker's profile events — empty when profiling is off."""
+    counters = worker.index.profile
+    if counters is None:
+        return ()
+    return (counters.event(worker.worker_id),)
+
+
 def _resolve_call(worker: WorkerNode, message: WorkerCall) -> Any:
     target: Any = worker
     for name in message.path:
@@ -533,6 +542,14 @@ class Transport:
         """
         raise NotImplementedError
 
+    def drain_profile(self) -> List[MatchProfile]:
+        """One profile event per profiling worker, ascending worker id.
+
+        Empty when profiling is off; read-only like telemetry, so
+        draining never perturbs a report.
+        """
+        raise NotImplementedError
+
     def discard_worker(self, worker_id: int) -> None:
         """Drop a dead worker from the fleet (the recovery path).
 
@@ -600,6 +617,13 @@ class InProcessTransport(Transport):
 
     def drain_telemetry(self) -> List[GaugeSample]:
         return [_worker_gauge(self.workers[worker_id]) for worker_id in sorted(self.workers)]
+
+    def drain_profile(self) -> List[MatchProfile]:
+        return [
+            event
+            for worker_id in sorted(self.workers)
+            for event in _worker_profile(self.workers[worker_id])
+        ]
 
     def discard_worker(self, worker_id: int) -> None:
         self.workers.pop(worker_id, None)
@@ -670,6 +694,8 @@ class WorkerHost(RoleHost):
             )
         if kind is TelemetryDrain:
             return TelemetryBatch(worker.worker_id, (_worker_gauge(worker),))
+        if kind is ProfileDrain:
+            return TelemetryBatch(worker.worker_id, _worker_profile(worker))
         raise TransportError("unknown message %r" % (message,))
 
 
@@ -848,6 +874,14 @@ class FabricTransport(Transport):
             for sample in batches[worker_id].events
         ]
 
+    def drain_profile(self) -> List[MatchProfile]:
+        batches = self._fleet.broadcast(ProfileDrain())
+        return [
+            event
+            for worker_id in sorted(batches)
+            for event in batches[worker_id].events
+        ]
+
     def discard_worker(self, worker_id: int) -> None:
         """Drop a dead endpoint and re-align the surviving channels.
 
@@ -891,6 +925,7 @@ def make_transport(
     term_statistics: Optional[TermStatistics],
     merger_endpoints: Optional[Sequence[Any]] = None,
     addresses: Optional[Sequence[Tuple[str, int]]] = None,
+    profiling: bool = False,
 ) -> Transport:
     """Build the transport (and its workers) for a cluster deployment.
 
@@ -916,6 +951,7 @@ def make_transport(
                 granularity=granularity,
                 cost_model=cost_model,
                 term_statistics=term_statistics,
+                profiling=profiling,
             )
             for worker_id in worker_ids
         }
@@ -930,6 +966,8 @@ def make_transport(
         "granularity": granularity,
         "cost_model": cost_model,
         "term_statistics": term_statistics,
+        # A plain bool crosses the Init handshake, never the ProfilingSpec.
+        "profiling": profiling,
     }
     if backend == "multiprocess":
         endpoints = tuple(merger_endpoints) if merger_endpoints else None

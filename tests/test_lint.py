@@ -24,6 +24,7 @@ from repro.lint.rl003_pickle import PickleSafetyRule
 from repro.lint.rl004_serve import ServeLoopDisciplineRule
 from repro.lint.rl005_fence import FenceDisciplineRule
 from repro.lint.rl006_telemetry import TelemetryProtocolRule
+from repro.lint.rl007_profiling import ProfilingDisciplineRule
 from repro.lint.runner import main as lint_main, repo_root
 from repro.runtime import protocol
 
@@ -532,6 +533,122 @@ class TestRL006:
 
 
 # ----------------------------------------------------------------------
+# RL007 — profiling counters registered; index hot loops timer-free
+# ----------------------------------------------------------------------
+_RL007_BAD = """
+    from dataclasses import dataclass
+    from typing import Callable
+
+    MESSAGE_ROUTING = {"worker": ()}
+    PAYLOAD_DATACLASSES = ("GoodProfile",)
+
+    class ProfileEvent:
+        __slots__ = ()
+
+    @dataclass(frozen=True)
+    class GoodProfile(ProfileEvent):
+        endpoint_id: int
+        on_flush: Callable[[], None]
+
+    @dataclass(frozen=True)
+    class RogueProfile(ProfileEvent):
+        endpoint_id: int
+"""
+
+_RL007_GOOD = """
+    from dataclasses import dataclass
+
+    MESSAGE_ROUTING = {"worker": ()}
+    PAYLOAD_DATACLASSES = ("GoodProfile", "NestedProfile")
+
+    class ProfileEvent:
+        __slots__ = ()
+
+    @dataclass(frozen=True)
+    class GoodProfile(ProfileEvent):
+        endpoint_id: int
+        matches: int
+
+    @dataclass(frozen=True)
+    class NestedProfile(GoodProfile):
+        candidates: int = 0
+"""
+
+
+class TestRL007:
+    RULES = (ProfilingDisciplineRule(),)
+
+    def test_flags_unregistered_and_unpicklable_events(self, tmp_path):
+        findings = lint_source(tmp_path, _RL007_BAD, self.RULES)
+        assert len(findings) == 2
+        messages = " ".join(finding.message for finding in findings)
+        assert "RogueProfile is not classified" in messages
+        assert "GoodProfile.on_flush" in messages
+        assert all(finding.rule == "RL007" for finding in findings)
+
+    def test_passes_registered_picklable_events(self, tmp_path):
+        # Also proves transitive subclasses (NestedProfile via
+        # GoodProfile) are discovered by the base-name closure.
+        assert lint_source(tmp_path, _RL007_GOOD, self.RULES) == []
+
+    def test_flags_timer_in_hot_loop_file(self, tmp_path):
+        source = """
+            import time
+
+            def match_batch(objects):
+                started = time.perf_counter()
+                return time.perf_counter() - started
+        """
+        findings = lint_source(tmp_path, source, self.RULES, name="gi2.py")
+        assert len(findings) == 2
+        assert all(finding.rule == "RL007" for finding in findings)
+        assert "time.perf_counter" in findings[0].message
+
+    def test_flags_from_imported_timer_in_gridt(self, tmp_path):
+        source = """
+            from time import monotonic
+
+            def route_object_batch(objects):
+                return monotonic()
+        """
+        findings = lint_source(tmp_path, source, self.RULES, name="gridt.py")
+        assert len(findings) == 1
+        assert "monotonic" in findings[0].message
+
+    def test_timers_allowed_outside_hot_loop_files(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """
+        assert lint_source(tmp_path, source, self.RULES, name="harness.py") == []
+
+    def test_ignores_projects_without_profiling(self, tmp_path):
+        assert lint_source(tmp_path, "X = 1\n", self.RULES) == []
+
+    def test_real_profiling_events_are_registered(self):
+        # Drift guard against the real tree: every ProfileEvent subclass
+        # the runtime defines must be classified in the registry.
+        import repro.runtime.profiling as profiling_module
+
+        names = {
+            name
+            for name, value in vars(profiling_module).items()
+            if isinstance(value, type)
+            and issubclass(value, profiling_module.ProfileEvent)
+            and value is not profiling_module.ProfileEvent
+        }
+        assert names == {"MatchProfile", "RouteProfile", "DedupProfile"}
+        registered = (
+            set(protocol.REPLY_MESSAGES)
+            | set(protocol.PAYLOAD_DATACLASSES)
+            | set(protocol.INTERNAL_DATACLASSES)
+        )
+        assert names <= registered
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -609,7 +726,7 @@ class TestRunner:
     def test_list_rules(self):
         code, output = run_lint_cli(["--list-rules"])
         assert code == 0
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
             assert rule_id in output
 
     def test_repro_cli_lint_subcommand(self, tmp_path):
